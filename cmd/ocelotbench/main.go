@@ -1,0 +1,121 @@
+// Command ocelotbench regenerates the paper's evaluation: every
+// microbenchmark of Figure 5, the sort experiment of Figure 6, and the
+// TPC-H experiments of Figure 7, printing the same series the paper plots.
+//
+// Usage:
+//
+//	ocelotbench -fig 5a                    # one figure
+//	ocelotbench -all                       # the whole evaluation
+//	ocelotbench -fig 7b -sf 0.4 -runs 5    # override experiment scale
+//	ocelotbench -fig 5a -sizes 16,32,64    # override the size sweep
+//
+// Sizes default to a laptop-scale rendition of the paper's sweeps; the
+// flags restore any scale the machine can hold. See EXPERIMENTS.md for the
+// recorded paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/mal"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "", "figure to regenerate: 5a..5i, 6, 7a..7d")
+		all     = flag.Bool("all", false, "regenerate every figure")
+		sizes   = flag.String("sizes", "", "comma-separated size sweep in MB (Fig 5/6)")
+		baseMB  = flag.Int("base", 0, "fixed column size in MB for parameter sweeps")
+		runs    = flag.Int("runs", 0, "measured repetitions per point")
+		threads = flag.Int("threads", 0, "parallelism for MP and the Ocelot CPU driver (0 = all cores)")
+		gpuMem  = flag.Int64("gpumem", 0, "simulated GPU memory in MiB")
+		sf      = flag.Float64("sf", 0, "TPC-H scale factor override (Fig 7)")
+		pause   = flag.Duration("cpupause", 0, "per-launch Ocelot-CPU pause emulating the Intel SDK overhead (Fig 7)")
+		configs = flag.String("configs", "", "comma-separated subset of MS,MP,CPU,GPU")
+		seed    = flag.Int64("seed", 42, "data generator seed")
+	)
+	flag.Parse()
+
+	opt := bench.Options{
+		BaseMB:         *baseMB,
+		Runs:           *runs,
+		Threads:        *threads,
+		GPUMemory:      *gpuMem << 20,
+		CPULaunchPause: *pause,
+		Seed:           *seed,
+	}
+	if *sizes != "" {
+		for _, s := range strings.Split(*sizes, ",") {
+			mb, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || mb <= 0 {
+				fatalf("bad -sizes entry %q", s)
+			}
+			opt.SizesMB = append(opt.SizesMB, mb)
+		}
+	}
+	if *configs != "" {
+		byName := map[string]mal.Config{"MS": mal.MS, "MP": mal.MP, "CPU": mal.OcelotCPU, "GPU": mal.OcelotGPU, "HYB": mal.Hybrid}
+		for _, c := range strings.Split(*configs, ",") {
+			cfg, ok := byName[strings.ToUpper(strings.TrimSpace(c))]
+			if !ok {
+				fatalf("unknown configuration %q (want MS,MP,CPU,GPU)", c)
+			}
+			opt.Configs = append(opt.Configs, cfg)
+		}
+	}
+	topt := bench.TPCHOptions{Options: opt, SF: *sf}
+
+	var figs []string
+	if *all {
+		figs = []string{"5a", "5b", "5c", "5d", "5e", "5f", "5g", "5h", "5i", "6",
+			"7a", "7b", "7c", "7d", "a1", "a2", "a3", "a4"}
+	} else if *fig != "" {
+		figs = []string{strings.ToLower(*fig)}
+	} else {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	micro := bench.MicroFigures()
+	ablations := bench.Ablations()
+	for _, f := range figs {
+		start := time.Now()
+		switch {
+		case micro[f] != nil:
+			fmt.Println(micro[f](opt))
+		case ablations[f] != nil:
+			fmt.Println(ablations[f](opt))
+		case f == "7a":
+			fmt.Println(bench.Fig7a(topt))
+		case f == "7b":
+			fmt.Println(bench.Fig7b(topt))
+		case f == "7c":
+			fmt.Println(bench.Fig7c(topt))
+		case f == "7d":
+			fmt.Println(bench.Fig7d(topt))
+		default:
+			known := make([]string, 0, len(micro)+len(ablations))
+			for k := range micro {
+				known = append(known, k)
+			}
+			for k := range ablations {
+				known = append(known, k)
+			}
+			sort.Strings(known)
+			fatalf("unknown figure %q (known: %s 7a 7b 7c 7d)", f, strings.Join(known, " "))
+		}
+		fmt.Printf("(%s regenerated in %v)\n\n", f, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ocelotbench: "+format+"\n", args...)
+	os.Exit(1)
+}

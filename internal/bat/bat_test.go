@@ -1,0 +1,207 @@
+package bat
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+func TestTypeWidthAndName(t *testing.T) {
+	cases := []struct {
+		ty    Type
+		width int
+		name  string
+	}{
+		{Void, 0, "void"}, {OID, 4, "oid"}, {I32, 4, "int"}, {F32, 4, "flt"},
+	}
+	for _, c := range cases {
+		if c.ty.Width() != c.width || c.ty.String() != c.name {
+			t.Fatalf("%v: width=%d name=%q", c.ty, c.ty.Width(), c.ty.String())
+		}
+	}
+}
+
+func TestNewAllocatesAlignedZeroedHeap(t *testing.T) {
+	b := New("x", I32, 100)
+	if b.Len() != 100 {
+		t.Fatalf("len = %d", b.Len())
+	}
+	if !mem.Aligned(b.Bytes()) {
+		t.Fatal("heap not 128-byte aligned")
+	}
+	for i, v := range b.I32s() {
+		if v != 0 {
+			t.Fatalf("heap not zeroed at %d", i)
+		}
+	}
+}
+
+func TestVoidSemantics(t *testing.T) {
+	v := NewVoid("head", 10, 5)
+	if !v.Props.Dense || !v.Props.Sorted || !v.Props.Key {
+		t.Fatal("void BAT must be dense, sorted, key")
+	}
+	if v.OIDAt(3) != 13 {
+		t.Fatalf("OIDAt(3) = %d, want 13", v.OIDAt(3))
+	}
+	m := v.MaterializeOIDs()
+	want := []uint32{10, 11, 12, 13, 14}
+	for i := range want {
+		if m[i] != want[i] {
+			t.Fatalf("materialised void = %v", m)
+		}
+	}
+	if v.HeapBytes() != 0 {
+		t.Fatal("void BAT must have no heap")
+	}
+}
+
+func TestWrapNoCopyWhenAligned(t *testing.T) {
+	vals := mem.AllocI32(8)
+	b := NewI32("c", vals)
+	vals[2] = 77
+	if b.I32s()[2] != 77 {
+		t.Fatal("aligned wrap must alias the input slice")
+	}
+}
+
+func TestWrapCopiesWhenUnaligned(t *testing.T) {
+	backing := mem.AllocI32(9)
+	unaligned := backing[1:] // shifted by 4 bytes: not 128-aligned
+	b := NewI32("c", unaligned)
+	if !mem.Aligned(b.Bytes()) {
+		t.Fatal("wrap of unaligned input must produce aligned heap")
+	}
+	unaligned[0] = 123
+	if b.I32s()[0] == 123 {
+		t.Fatal("unaligned wrap must copy, not alias")
+	}
+}
+
+func TestTypedAccessorsPanicOnWrongType(t *testing.T) {
+	b := NewF32("f", mem.AllocF32(4))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("I32s on float BAT must panic")
+		}
+	}()
+	b.I32s()
+}
+
+func TestOIDAtOnValueTailPanics(t *testing.T) {
+	b := NewI32("i", mem.AllocI32(4))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("OIDAt on int BAT must panic")
+		}
+	}()
+	b.OIDAt(0)
+}
+
+func TestFreeNotifiesListenersOnce(t *testing.T) {
+	var got []*BAT
+	OnFree(func(b *BAT) { got = append(got, b) })
+	b := New("victim", I32, 4)
+	b.Free()
+	b.Free() // idempotent
+	count := 0
+	for _, x := range got {
+		if x == b {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("free listener fired %d times, want 1", count)
+	}
+	if !b.Freed() || b.Len() != 0 {
+		t.Fatal("freed BAT must report Freed and zero length")
+	}
+}
+
+func TestCheckSorted(t *testing.T) {
+	asc := NewI32("asc", []int32{1, 2, 2, 9})
+	if s, r := asc.CheckSorted(); !s || r {
+		t.Fatalf("asc: sorted=%v rev=%v", s, r)
+	}
+	desc := NewF32("desc", []float32{9, 4, 4, 1})
+	if s, r := desc.CheckSorted(); s || !r {
+		t.Fatalf("desc: sorted=%v rev=%v", s, r)
+	}
+	mixed := NewOID("mixed", []uint32{1, 5, 3})
+	if s, r := mixed.CheckSorted(); s || r {
+		t.Fatalf("mixed: sorted=%v rev=%v", s, r)
+	}
+	void := NewVoid("v", 0, 10)
+	if s, _ := void.CheckSorted(); !s {
+		t.Fatal("void must be sorted")
+	}
+}
+
+func TestCheckSortedProperty(t *testing.T) {
+	f := func(vals []int32) bool {
+		b := NewI32("p", append([]int32(nil), vals...))
+		s, _ := b.CheckSorted()
+		want := true
+		for i := 1; i < len(vals); i++ {
+			if vals[i] < vals[i-1] {
+				want = false
+			}
+		}
+		return s == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringDescriptor(t *testing.T) {
+	b := NewI32("lineitem_qty", []int32{1})
+	b.OcelotOwned = true
+	s := b.String()
+	for _, frag := range []string{"int", "lineitem_qty", "ocelot=true"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("descriptor %q missing %q", s, frag)
+		}
+	}
+}
+
+func TestTable(t *testing.T) {
+	tb := NewTable("t")
+	tb.Add("a", NewI32("a", []int32{1, 2, 3}))
+	tb.Add("b", NewF32("b", []float32{1, 2, 3}))
+	if tb.Rows() != 3 {
+		t.Fatalf("rows = %d", tb.Rows())
+	}
+	if tb.Col("a").Len() != 3 {
+		t.Fatal("column lookup failed")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("length mismatch must panic")
+			}
+		}()
+		tb.Add("c", NewI32("c", []int32{1}))
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("duplicate column must panic")
+			}
+		}()
+		tb.Add("a", NewI32("a2", []int32{4, 5, 6}))
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("unknown column must panic")
+			}
+		}()
+		tb.Col("nope")
+	}()
+	if NewTable("empty").Rows() != 0 {
+		t.Fatal("empty table must have 0 rows")
+	}
+}

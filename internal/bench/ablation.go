@@ -1,0 +1,315 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/cl"
+	"repro/internal/core/kernels"
+	"repro/internal/ops"
+)
+
+// Ablation benchmarks for the design decisions the paper fixes by
+// trial-and-error or adopts from prior work. Each ablation runs one kernel
+// configuration against its alternative on both device drivers, isolating
+// the specific effect the design addresses:
+//
+//   - accumulator spreading (§4.1.7): replicated accumulators vs. a single
+//     accumulator per group under few-group contention;
+//   - memory access pattern (§4.2, Figure 4): device-preferred vs. foreign
+//     pattern for a bandwidth-bound kernel;
+//   - radix width (§5.2.7): 8-bit vs. 4-bit digits per device;
+//   - optimistic hashing (§4.1.4): the optimistic+check fast path vs. going
+//     straight to the synchronised pessimistic round.
+
+// ablEnv bundles a device's execution state for direct kernel launches.
+type ablEnv struct {
+	dev *cl.Device
+	ctx *cl.Context
+	q   *cl.Queue
+}
+
+func newAblEnv(dev *cl.Device) *ablEnv {
+	ctx := cl.NewContext(dev)
+	return &ablEnv{dev: dev, ctx: ctx, q: cl.NewQueue(ctx)}
+}
+
+func (e *ablEnv) buf(words int) *cl.Buffer {
+	b, err := e.ctx.CreateBuffer(words * 4)
+	if err != nil {
+		panic(err) // ablation devices are sized generously
+	}
+	return b
+}
+
+// measureKernel times reps launches of op: virtual span on simulated
+// devices, wall time otherwise.
+func (e *ablEnv) measureKernel(reps int, op func() *cl.Event) (float64, error) {
+	// Warm-up.
+	if err := op().Wait(); err != nil {
+		return 0, err
+	}
+	if e.dev.Simulated {
+		start := e.dev.TimelineNow()
+		for i := 0; i < reps; i++ {
+			if err := op().Wait(); err != nil {
+				return 0, err
+			}
+		}
+		return float64((e.dev.TimelineNow() - start).Microseconds()) / float64(reps) / 1000, nil
+	}
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		if err := op().Wait(); err != nil {
+			return 0, err
+		}
+	}
+	return float64(time.Since(start).Microseconds()) / float64(reps) / 1000, nil
+}
+
+// AblationAccumulators measures the §4.1.7 contention-spreading design:
+// grouped float sums over few groups, with the paper's replica plan vs. a
+// single accumulator per group.
+func AblationAccumulators(opt Options) *Report {
+	opt = opt.withDefaults()
+	groupCounts := []float64{2, 4, 8, 16, 64}
+	rows := opt.BaseMB * rowsPerMB
+
+	r := &Report{
+		ID:     "Ablation A1",
+		Title:  fmt.Sprintf("Grouped aggregation: replicated vs. single accumulators (§4.1.7), %d MB", opt.BaseMB),
+		XLabel: "#groups",
+		Xs:     groupCounts,
+		Millis: map[string][]float64{},
+	}
+	for _, dev := range []*cl.Device{cl.NewCPUDevice(opt.Threads), cl.NewGPUDevice(opt.GPUMemory)} {
+		e := newAblEnv(dev)
+		vals := e.buf(rows + 1)
+		gids := e.buf(rows + 1)
+		rnd := rand.New(rand.NewSource(opt.Seed))
+		vf := vals.F32()
+		for i := 0; i < rows; i++ {
+			vf[i] = rnd.Float32()
+		}
+		for _, label := range []string{"/spread", "/single"} {
+			r.Order = append(r.Order, dev.Const.Class.String()+label)
+			r.Millis[dev.Const.Class.String()+label] = make([]float64, len(groupCounts))
+		}
+		for xi, gc := range groupCounts {
+			ngroups := int(gc)
+			gi := gids.I32()
+			for i := 0; i < rows; i++ {
+				gi[i] = int32(i % ngroups)
+			}
+			plans := map[string]kernels.AggPlan{
+				"/spread": kernels.PlanGroupedAgg(ngroups),
+				"/single": {NGroups: ngroups, Replicas: 1, Table: ngroups, UseLocal: true},
+			}
+			for label, plan := range plans {
+				launchGroups, _ := cl.DefaultLaunch(dev)
+				scratch := e.buf(launchGroups*plan.Table + 1)
+				dst := e.buf(ngroups + 1)
+				ms, err := e.measureKernel(opt.Runs, func() *cl.Event {
+					return kernels.GroupedAggF32(e.q, dst, vals, gids, scratch, ops.Sum, rows, plan, nil)
+				})
+				if err != nil {
+					r.Notes = append(r.Notes, fmt.Sprintf("%s%s: %v", dev.Const.Class, label, err))
+					continue
+				}
+				r.Millis[dev.Const.Class.String()+label][xi] = ms
+				_ = scratch.Release()
+				_ = dst.Release()
+			}
+		}
+	}
+	return r
+}
+
+// AblationAccessPattern measures the §4.2 access-pattern rule: a
+// bandwidth-bound selection kernel with the device-preferred pattern vs.
+// the other device's pattern, by flipping the build constant.
+func AblationAccessPattern(opt Options) *Report {
+	opt = opt.withDefaults()
+	xs := make([]float64, len(opt.SizesMB))
+	for i, mb := range opt.SizesMB {
+		xs[i] = float64(mb)
+	}
+	r := &Report{
+		ID:     "Ablation A2",
+		Title:  "Selection kernel: device-preferred vs. foreign access pattern (§4.2, Fig. 4)",
+		XLabel: "size[MB]",
+		Xs:     xs,
+		Millis: map[string][]float64{},
+	}
+	for _, base := range []*cl.Device{cl.NewCPUDevice(opt.Threads), cl.NewGPUDevice(opt.GPUMemory)} {
+		// A twin device with the access-pattern constant flipped but the
+		// launch geometry kept, so only the pattern changes.
+		var foreign *cl.Device
+		if base.Const.Class == cl.ClassCPU {
+			foreign = cl.NewCPUDevice(opt.Threads)
+			foreign.Const.Class = cl.ClassGPU
+		} else {
+			foreign = cl.NewGPUDevice(opt.GPUMemory)
+			foreign.Const.Class = cl.ClassCPU
+		}
+		foreign.Const.Cores = base.Const.Cores
+		foreign.Const.UnitsPerCore = base.Const.UnitsPerCore
+		for devLabel, dev := range map[string]*cl.Device{"/preferred": base, "/foreign": foreign} {
+			label := base.Const.Class.String() + devLabel
+			r.Order = append(r.Order, label)
+			series := make([]float64, len(xs))
+			e := newAblEnv(dev)
+			for xi, mb := range opt.SizesMB {
+				rows := mb * rowsPerMB
+				col := e.buf(rows + 1)
+				ci := col.I32()
+				rnd := rand.New(rand.NewSource(opt.Seed + int64(xi)))
+				for i := 0; i < rows; i++ {
+					ci[i] = rnd.Int31n(1000)
+				}
+				bm := e.buf(bitmapWordsOf(rows) + 1)
+				ms, err := e.measureKernel(opt.Runs, func() *cl.Event {
+					return kernels.SelectI32(e.q, bm, col, nil, rows, 0, 49, nil)
+				})
+				if err != nil {
+					r.Notes = append(r.Notes, fmt.Sprintf("%s at %dMB: %v", label, mb, err))
+					continue
+				}
+				series[xi] = ms
+				_ = col.Release()
+				_ = bm.Release()
+			}
+			r.Millis[label] = series
+		}
+	}
+	r.Notes = append(r.Notes,
+		"note: the simulated GPU's cost model is pattern-blind; its foreign-pattern row shows functional portability, the CPU rows show the real cache effect")
+	return r
+}
+
+// AblationRadixWidth measures the §5.2.7 radix choice: sorting with 4-bit
+// vs. 8-bit digits on both devices.
+func AblationRadixWidth(opt Options) *Report {
+	opt = opt.withDefaults()
+	xs := make([]float64, len(opt.SizesMB))
+	for i, mb := range opt.SizesMB {
+		xs[i] = float64(mb)
+	}
+	r := &Report{
+		ID:     "Ablation A3",
+		Title:  "Radix sort: 4-bit vs. 8-bit digits (§5.2.7)",
+		XLabel: "size[MB]",
+		Xs:     xs,
+		Millis: map[string][]float64{},
+	}
+	for _, dev := range []*cl.Device{cl.NewCPUDevice(opt.Threads), cl.NewGPUDevice(opt.GPUMemory)} {
+		e := newAblEnv(dev)
+		for _, bits := range []int{4, 8} {
+			label := fmt.Sprintf("%s/%dbit", dev.Const.Class, bits)
+			r.Order = append(r.Order, label)
+			series := make([]float64, len(xs))
+			for xi, mb := range opt.SizesMB {
+				rows := mb * rowsPerMB
+				keys := e.buf(rows + 1)
+				vals := e.buf(rows + 1)
+				tmpK, tmpV := e.buf(rows+1), e.buf(rows+1)
+				_, _, gsz := kernels.Geometry(dev)
+				hist := e.buf((1<<8)*gsz + 2)
+				rnd := rand.New(rand.NewSource(opt.Seed + int64(xi)))
+				ku := keys.U32()
+				ms, err := e.measureKernel(opt.Runs, func() *cl.Event {
+					for i := 0; i < rows; i++ {
+						ku[i] = rnd.Uint32()
+					}
+					ev := kernels.Iota(e.q, vals, rows, 0, nil)
+					return kernels.SortU32Bits(e.q, keys, vals, tmpK, tmpV, hist, rows, bits, []*cl.Event{ev})
+				})
+				if err != nil {
+					r.Notes = append(r.Notes, fmt.Sprintf("%s at %dMB: %v", label, mb, err))
+					continue
+				}
+				series[xi] = ms
+				for _, b := range []*cl.Buffer{keys, vals, tmpK, tmpV, hist} {
+					_ = b.Release()
+				}
+			}
+			r.Millis[label] = series
+		}
+	}
+	return r
+}
+
+// AblationOptimisticHashing measures the §4.1.4 insertion strategy: the
+// optimistic+check(+pessimistic-if-needed) protocol vs. going straight to
+// the CAS-synchronised round, on a key column (no duplicate churn).
+func AblationOptimisticHashing(opt Options) *Report {
+	opt = opt.withDefaults()
+	xs := make([]float64, len(opt.SizesMB))
+	for i, mb := range opt.SizesMB {
+		xs[i] = float64(mb)
+	}
+	r := &Report{
+		ID:     "Ablation A4",
+		Title:  "Parallel hashing: optimistic-first vs. pessimistic-only insertion (§4.1.4)",
+		XLabel: "size[MB]",
+		Xs:     xs,
+		Millis: map[string][]float64{},
+	}
+	for _, dev := range []*cl.Device{cl.NewCPUDevice(opt.Threads), cl.NewGPUDevice(opt.GPUMemory)} {
+		e := newAblEnv(dev)
+		for _, mode := range []string{"/optimistic", "/pessimistic"} {
+			label := dev.Const.Class.String() + mode
+			r.Order = append(r.Order, label)
+			series := make([]float64, len(xs))
+			for xi, mb := range opt.SizesMB {
+				rows := mb * rowsPerMB
+				col := e.buf(rows + 1)
+				ci := col.I32()
+				perm := rand.New(rand.NewSource(opt.Seed)).Perm(rows)
+				for i := 0; i < rows; i++ {
+					ci[i] = int32(perm[i]) // unique keys
+				}
+				capacity := kernels.TableCapacity(rows)
+				state := e.buf(capacity)
+				keys1 := e.buf(capacity)
+				fail := e.buf(1)
+				pessimistic := mode == "/pessimistic"
+				ms, err := e.measureKernel(opt.Runs, func() *cl.Event {
+					z := kernels.Fill(e.q, state, capacity, 0, nil)
+					z2 := kernels.Fill(e.q, fail, 1, 0, nil)
+					if pessimistic {
+						return kernels.HashInsertPessimistic(e.q, state, keys1, nil, col, nil, fail, rows, capacity, []*cl.Event{z, z2})
+					}
+					ev := kernels.HashInsertOptimistic(e.q, state, keys1, col, rows, capacity, []*cl.Event{z, z2})
+					ev = kernels.HashCheck(e.q, state, keys1, nil, col, nil, fail, rows, capacity, []*cl.Event{ev})
+					// On check failure the engine would re-run pessimistically
+					// over all keys; include that cost when it happens.
+					return kernels.HashInsertPessimistic(e.q, state, keys1, nil, col, nil, fail, rows, capacity, []*cl.Event{ev})
+				})
+				if err != nil {
+					r.Notes = append(r.Notes, fmt.Sprintf("%s at %dMB: %v", label, mb, err))
+					continue
+				}
+				series[xi] = ms
+				for _, b := range []*cl.Buffer{col, state, keys1, fail} {
+					_ = b.Release()
+				}
+			}
+			r.Millis[label] = series
+		}
+	}
+	return r
+}
+
+func bitmapWordsOf(n int) int { return (kernels.BitmapBytes(n) + 3) / 4 }
+
+// Ablations maps ablation ids to their generators.
+func Ablations() map[string]func(Options) *Report {
+	return map[string]func(Options) *Report{
+		"a1": AblationAccumulators,
+		"a2": AblationAccessPattern,
+		"a3": AblationRadixWidth,
+		"a4": AblationOptimisticHashing,
+	}
+}

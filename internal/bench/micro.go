@@ -1,0 +1,285 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/bat"
+	"repro/internal/cl"
+	"repro/internal/ops"
+)
+
+// The microbenchmarks of §5.2 (Figure 5) and §5.2.7 (Figure 6). Each was
+// derived in the paper by piping a one-operator SQL query through EXPLAIN
+// and stripping the plan; here each is the single operator call, measured
+// per configuration over synthetic uniform data.
+
+// sweepBySize runs a per-size experiment: build(rows) prepares the inputs,
+// op performs the measured operator call.
+func sweepBySize(id, title string, opt Options,
+	build func(rows int, seed int64) []*bat.BAT,
+	op func(o ops.Operators, inputs []*bat.BAT) error) *Report {
+
+	opt = opt.withDefaults()
+	xs := make([]float64, len(opt.SizesMB))
+	for i, mb := range opt.SizesMB {
+		xs[i] = float64(mb)
+	}
+	r := newReport(id, title, "size[MB]", xs, opt.Configs)
+	for i, mb := range opt.SizesMB {
+		inputs := build(mb*rowsPerMB, opt.Seed+int64(i))
+		for _, cfg := range opt.Configs {
+			o := engineFor(cfg, opt)
+			d, err := Measure(o, opt.Runs, func() error { return op(o, inputs) })
+			if err != nil {
+				if errors.Is(err, cl.ErrOutOfDeviceMemory) {
+					// The GPU line "ends midway" (§5.2): leave NaN.
+					continue
+				}
+				r.Notes = append(r.Notes, fmt.Sprintf("%v at %dMB: %v", cfg, mb, err))
+				continue
+			}
+			r.Millis[cfg.String()][i] = float64(d.Microseconds()) / 1000
+		}
+		for _, b := range inputs {
+			b.Free()
+		}
+	}
+	return r
+}
+
+// Fig5a — range selection scaled by input size, selectivity 0.05.
+func Fig5a(opt Options) *Report {
+	return sweepBySize("Fig 5(a)", "Range selection scaled by input size (sel 0.05)", opt,
+		func(rows int, seed int64) []*bat.BAT {
+			return []*bat.BAT{uniformI32("col", rows, 1000, seed)}
+		},
+		func(o ops.Operators, in []*bat.BAT) error {
+			res, err := o.Select(in[0], nil, 0, 49, true, true)
+			releaseAll(o, res)
+			return err
+		})
+}
+
+// Fig5b — range selection on a fixed column, scaled by selectivity. The
+// flat Ocelot lines against the growing MonetDB lines are the bitmap-vs-
+// oid-materialisation effect of §5.2.1.
+func Fig5b(opt Options) *Report {
+	opt = opt.withDefaults()
+	selectivities := []float64{0.15, 0.30, 0.45, 0.60, 0.75}
+	xs := make([]float64, len(selectivities))
+	for i, s := range selectivities {
+		xs[i] = s * 100
+	}
+	r := newReport("Fig 5(b)", fmt.Sprintf("Range selection scaled by selectivity (%dMB column)", opt.BaseMB),
+		"sel[%]", xs, opt.Configs)
+	col := uniformI32("col", opt.BaseMB*rowsPerMB, 1000, opt.Seed)
+	defer col.Free()
+	for i, sel := range selectivities {
+		hi := sel*1000 - 1
+		for _, cfg := range opt.Configs {
+			o := engineFor(cfg, opt)
+			d, err := Measure(o, opt.Runs, func() error {
+				res, err := o.Select(col, nil, 0, hi, true, true)
+				releaseAll(o, res)
+				return err
+			})
+			if err != nil {
+				continue
+			}
+			r.Millis[cfg.String()][i] = float64(d.Microseconds()) / 1000
+		}
+	}
+	return r
+}
+
+// Fig5c — left fetch join (projection through a materialised oid list)
+// scaled by input size (§5.2.2).
+func Fig5c(opt Options) *Report {
+	return sweepBySize("Fig 5(c)", "Left fetch join scaled by input size", opt,
+		func(rows int, seed int64) []*bat.BAT {
+			return []*bat.BAT{iotaOIDs("ids", rows), uniformI32("col", rows, 1<<20, seed)}
+		},
+		func(o ops.Operators, in []*bat.BAT) error {
+			res, err := o.Project(in[0], in[1])
+			releaseAll(o, res)
+			return err
+		})
+}
+
+// Fig5d — MIN aggregation scaled by input size (§5.2.3).
+func Fig5d(opt Options) *Report {
+	return sweepBySize("Fig 5(d)", "Aggregation (min) scaled by input size", opt,
+		func(rows int, seed int64) []*bat.BAT {
+			return []*bat.BAT{uniformI32("col", rows, 1<<30, seed)}
+		},
+		func(o ops.Operators, in []*bat.BAT) error {
+			res, err := o.Aggr(ops.Min, in[0], nil, 0)
+			releaseAll(o, res)
+			return err
+		})
+}
+
+// Fig5e — hash table build scaled by input size, 100 distinct values
+// (§5.2.4). The cached table is invalidated between runs so every run pays
+// the build.
+func Fig5e(opt Options) *Report {
+	return sweepBySize("Fig 5(e)", "Hash build scaled by input size (100 distinct)", opt,
+		func(rows int, seed int64) []*bat.BAT {
+			return []*bat.BAT{uniformI32("col", rows, 100, seed)}
+		},
+		func(o ops.Operators, in []*bat.BAT) error {
+			invalidateHash(o, in[0])
+			ht, err := o.BuildHash(in[0])
+			if err != nil {
+				return err
+			}
+			invalidateHash(o, in[0])
+			ht.Release()
+			return nil
+		})
+}
+
+// Fig5f — hash table build on a fixed column, scaled by distinct values.
+// The CPU's atomic same-address contention *decreasing* with more distinct
+// values — and the GPU not showing the pattern — is the §5.2.4 observation.
+func Fig5f(opt Options) *Report {
+	return sweepByDistinct("Fig 5(f)", "Hash build scaled by distinct values", opt,
+		func(o ops.Operators, col *bat.BAT) error {
+			invalidateHash(o, col)
+			ht, err := o.BuildHash(col)
+			if err != nil {
+				return err
+			}
+			invalidateHash(o, col)
+			ht.Release()
+			return nil
+		})
+}
+
+// Fig5g — grouping scaled by input size, 100 groups (§5.2.5).
+func Fig5g(opt Options) *Report {
+	return sweepBySize("Fig 5(g)", "Grouping scaled by input size (100 groups)", opt,
+		func(rows int, seed int64) []*bat.BAT {
+			return []*bat.BAT{uniformI32("col", rows, 100, seed)}
+		},
+		func(o ops.Operators, in []*bat.BAT) error {
+			res, _, err := o.Group(in[0], nil, 0)
+			releaseAll(o, res)
+			return err
+		})
+}
+
+// Fig5h — grouping on a fixed column, scaled by group count.
+func Fig5h(opt Options) *Report {
+	return sweepByDistinct("Fig 5(h)", "Grouping scaled by distinct values", opt,
+		func(o ops.Operators, col *bat.BAT) error {
+			res, _, err := o.Group(col, nil, 0)
+			releaseAll(o, res)
+			return err
+		})
+}
+
+// Fig5i — PK-FK hash join probe scaled by probe size, build side fixed at
+// 100 keys; build time excluded as in the paper (§5.2.6).
+func Fig5i(opt Options) *Report {
+	opt = opt.withDefaults()
+	xs := make([]float64, len(opt.SizesMB))
+	for i, mb := range opt.SizesMB {
+		xs[i] = float64(mb)
+	}
+	r := newReport("Fig 5(i)", "Hash join probe scaled by input size (build fixed, 100 keys)",
+		"size[MB]", xs, opt.Configs)
+	build := uniformI32("build", 100, 1<<30, opt.Seed)
+	// Make the build side a key column (distinct values).
+	bv := build.I32s()
+	for i := range bv {
+		bv[i] = int32(i * 7)
+	}
+	build.Props.Key = true
+	defer build.Free()
+
+	for i, mb := range opt.SizesMB {
+		rows := mb * rowsPerMB
+		probe := uniformI32("probe", rows, 100, opt.Seed+int64(i))
+		pv := probe.I32s()
+		for j := range pv {
+			pv[j] *= 7 // every probe hits a build key: PK-FK
+		}
+		for _, cfg := range opt.Configs {
+			o := engineFor(cfg, opt)
+			ht, err := o.BuildHash(build)
+			if err != nil {
+				r.Notes = append(r.Notes, fmt.Sprintf("%v build: %v", cfg, err))
+				continue
+			}
+			d, err := Measure(o, opt.Runs, func() error {
+				l, rres, err := o.HashProbe(probe, ht)
+				releaseAll(o, l, rres)
+				return err
+			})
+			ht.Release()
+			if err != nil {
+				if errors.Is(err, cl.ErrOutOfDeviceMemory) {
+					continue
+				}
+				r.Notes = append(r.Notes, fmt.Sprintf("%v at %dMB: %v", cfg, mb, err))
+				continue
+			}
+			r.Millis[cfg.String()][i] = float64(d.Microseconds()) / 1000
+		}
+		probe.Free()
+	}
+	return r
+}
+
+// Fig6 — sort scaled by input size: Ocelot's binary radix sort (radix 8 on
+// the CPU, 4 on the GPU) against MonetDB's quick/merge sort (§5.2.7).
+func Fig6(opt Options) *Report {
+	return sweepBySize("Fig 6", "Sort scaled by input size", opt,
+		func(rows int, seed int64) []*bat.BAT {
+			return []*bat.BAT{uniformI32("col", rows, math.MaxInt32, seed)}
+		},
+		func(o ops.Operators, in []*bat.BAT) error {
+			sorted, order, err := o.Sort(in[0])
+			releaseAll(o, sorted, order)
+			return err
+		})
+}
+
+// sweepByDistinct is the shared driver of the Fig. 5(f)/(h) parameter
+// sweeps: a fixed-size column, 10..10000 distinct values.
+func sweepByDistinct(id, title string, opt Options, op func(o ops.Operators, col *bat.BAT) error) *Report {
+	opt = opt.withDefaults()
+	distincts := []int{10, 100, 1000, 10000}
+	xs := make([]float64, len(distincts))
+	for i, d := range distincts {
+		xs[i] = float64(d)
+	}
+	r := newReport(id, fmt.Sprintf("%s (%dMB column)", title, opt.BaseMB), "#distinct", xs, opt.Configs)
+	for i, d := range distincts {
+		col := uniformI32("col", opt.BaseMB*rowsPerMB, int32(d), opt.Seed+int64(i))
+		for _, cfg := range opt.Configs {
+			o := engineFor(cfg, opt)
+			dur, err := Measure(o, opt.Runs, func() error { return op(o, col) })
+			if err != nil {
+				if !errors.Is(err, cl.ErrOutOfDeviceMemory) {
+					r.Notes = append(r.Notes, fmt.Sprintf("%v at %d distinct: %v", cfg, d, err))
+				}
+				continue
+			}
+			r.Millis[cfg.String()][i] = float64(dur.Microseconds()) / 1000
+		}
+		col.Free()
+	}
+	return r
+}
+
+// MicroFigures maps figure ids to their generators.
+func MicroFigures() map[string]func(Options) *Report {
+	return map[string]func(Options) *Report{
+		"5a": Fig5a, "5b": Fig5b, "5c": Fig5c, "5d": Fig5d, "5e": Fig5e,
+		"5f": Fig5f, "5g": Fig5g, "5h": Fig5h, "5i": Fig5i, "6": Fig6,
+	}
+}

@@ -1,0 +1,66 @@
+package cl
+
+import (
+	"errors"
+	"sync"
+)
+
+// errBarrierBroken is the panic value thrown to work-items parked on a
+// barrier when a sibling item of the same group panics, so that a single
+// failing invocation cannot deadlock the launch.
+var errBarrierBroken = errors.New("cl: work-group barrier broken by a failing work-item")
+
+// barrier is a cyclic barrier for the work-items of one work-group,
+// implementing OpenCL's barrier(CLK_LOCAL_MEM_FENCE) semantics: every item
+// of the group must reach the barrier before any item proceeds, and the
+// barrier is immediately reusable for the next synchronisation point.
+type barrier struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	n      int // participants
+	count  int // arrived in current generation
+	gen    int
+	broken bool
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// await blocks until all n participants have called await. Panics with
+// errBarrierBroken if the barrier was broken while waiting.
+func (b *barrier) await() {
+	b.mu.Lock()
+	if b.broken {
+		b.mu.Unlock()
+		panic(errBarrierBroken)
+	}
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	for gen == b.gen && !b.broken {
+		b.cond.Wait()
+	}
+	broken := b.broken
+	b.mu.Unlock()
+	if broken {
+		panic(errBarrierBroken)
+	}
+}
+
+// breakNow marks the barrier broken and wakes all waiters. Called when a
+// work-item panics so its siblings unwind instead of deadlocking.
+func (b *barrier) breakNow() {
+	b.mu.Lock()
+	b.broken = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}

@@ -1,0 +1,97 @@
+package cl
+
+import (
+	"errors"
+	"time"
+)
+
+// ErrOutOfDeviceMemory is returned when a buffer allocation would exceed the
+// device's global memory capacity. The Ocelot Memory Manager reacts to it by
+// evicting cached BATs and offloading intermediates (§3.3).
+var ErrOutOfDeviceMemory = errors.New("cl: out of device memory")
+
+// ErrReleased is returned when an operation touches a released buffer.
+var ErrReleased = errors.New("cl: buffer already released")
+
+// Cost describes the resource footprint of one kernel launch for the
+// analytic cost model of simulated devices. Host code fills it in when
+// enqueuing; it has no effect on real (non-simulated) devices.
+//
+// The model intentionally mirrors the first-order behaviour the paper
+// depends on: kernels are bandwidth-bound (linear in bytes touched), random
+// access is slower than streaming, atomics on few distinct addresses
+// serialise (§4.1.7, §5.2.4), and every launch pays a fixed overhead.
+type Cost struct {
+	// BytesStreamed is the volume read/written with the device-preferred
+	// access pattern (coalesced on GPUs).
+	BytesStreamed int64
+	// BytesRandom is the volume touched with data-dependent addresses.
+	BytesRandom int64
+	// Ops is the number of simple arithmetic/compare operations.
+	Ops int64
+	// Atomics is the number of global-memory atomic operations.
+	Atomics int64
+	// AtomicTargets is the number of distinct addresses the atomics hit;
+	// fewer targets mean more serialisation. Zero is treated as "many"
+	// (uncontended).
+	AtomicTargets int64
+	// Passes multiplies the whole footprint (e.g. multi-pass radix sort
+	// describes one pass and sets Passes to the pass count).
+	Passes int64
+}
+
+// scaled returns c with all volumes multiplied by Passes (if set).
+func (c Cost) scaled() Cost {
+	if c.Passes > 1 {
+		c.BytesStreamed *= c.Passes
+		c.BytesRandom *= c.Passes
+		c.Ops *= c.Passes
+		c.Atomics *= c.Passes
+	}
+	return c
+}
+
+// KernelDuration converts a cost footprint into a virtual execution time
+// under this performance model. The duration is the launch overhead plus the
+// maximum of the memory time and the compute time (kernels overlap compute
+// with memory), plus the atomic serialisation time.
+func (p *Perf) KernelDuration(c Cost) time.Duration {
+	c = c.scaled()
+	var memSec float64
+	if p.MemBandwidth > 0 {
+		memSec += float64(c.BytesStreamed) / p.MemBandwidth
+	}
+	if p.RandomBandwidth > 0 {
+		memSec += float64(c.BytesRandom) / p.RandomBandwidth
+	}
+	var opSec float64
+	if p.Throughput > 0 {
+		opSec = float64(c.Ops) / p.Throughput
+	}
+	sec := memSec
+	if opSec > sec {
+		sec = opSec
+	}
+	if c.Atomics > 0 && p.AtomicThroughput > 0 {
+		contention := 0.0
+		if c.AtomicTargets > 0 {
+			// Fraction of atomics expected to collide on the same address.
+			contention = 1.0 / float64(c.AtomicTargets)
+			if contention > 1 {
+				contention = 1
+			}
+		}
+		rate := p.AtomicThroughput / (1 + p.AtomicContentionPenalty*contention)
+		sec += float64(c.Atomics) / rate
+	}
+	return p.LaunchOverhead + time.Duration(sec*float64(time.Second))
+}
+
+// TransferDuration converts a host↔device copy of n bytes into a virtual
+// duration under this performance model.
+func (p *Perf) TransferDuration(n int64) time.Duration {
+	if p.TransferBandwidth <= 0 {
+		return p.TransferLatency
+	}
+	return p.TransferLatency + time.Duration(float64(n)/p.TransferBandwidth*float64(time.Second))
+}

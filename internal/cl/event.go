@@ -1,0 +1,147 @@
+package cl
+
+import (
+	"sync"
+	"time"
+)
+
+// Event tracks one enqueued device operation (kernel launch, transfer, or
+// host callback), mirroring OpenCL's event model that Ocelot's lazy
+// execution is built on (§3.4). Events are returned by every Enqueue* call
+// and may be passed in the wait-list of later calls; the runtime guarantees
+// an operation only starts once every event in its wait-list has completed.
+type Event struct {
+	name string
+	done chan struct{}
+
+	mu  sync.Mutex
+	err error
+
+	// Virtual schedule on the device timeline, in nanoseconds since device
+	// creation. For simulated devices these are assigned at enqueue time by
+	// the cost model; for real devices vEnd-vStart equals the measured
+	// duration.
+	vStart, vEnd int64
+	realDur      time.Duration
+}
+
+// CompletedEvent returns an already-completed event with the given error.
+// Useful as a degenerate dependency.
+func CompletedEvent(err error) *Event {
+	e := &Event{name: "completed", done: make(chan struct{})}
+	e.err = err
+	close(e.done)
+	return e
+}
+
+// Name returns the label the operation was enqueued under.
+func (e *Event) Name() string { return e.name }
+
+// Wait blocks until the operation has finished (functionally) and returns
+// its error, if any.
+func (e *Event) Wait() error {
+	if e == nil {
+		return nil
+	}
+	<-e.done
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}
+
+// Done reports, without blocking, whether the operation has completed.
+func (e *Event) Done() bool {
+	if e == nil {
+		return true
+	}
+	select {
+	case <-e.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Err returns the operation's error without blocking; it is only meaningful
+// after Wait (or on an event known to be complete).
+func (e *Event) Err() error {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}
+
+// VirtualSpan returns the operation's (start, end) on the device's virtual
+// timeline. On simulated devices it is available immediately after enqueue.
+func (e *Event) VirtualSpan() (start, end time.Duration) {
+	if e == nil {
+		return 0, 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return time.Duration(e.vStart), time.Duration(e.vEnd)
+}
+
+// Duration returns the operation's duration: virtual for simulated devices,
+// measured for real ones.
+func (e *Event) Duration() time.Duration {
+	if e == nil {
+		return 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.realDur > 0 {
+		return e.realDur
+	}
+	return time.Duration(e.vEnd - e.vStart)
+}
+
+func (e *Event) complete(err error) {
+	e.mu.Lock()
+	e.err = err
+	e.mu.Unlock()
+	close(e.done)
+}
+
+// WaitAll waits for every event and returns the first error encountered.
+func WaitAll(events ...*Event) error {
+	var first error
+	for _, ev := range events {
+		if err := ev.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// waitDeps blocks until all dependencies complete, returning the first error.
+func waitDeps(deps []*Event) error {
+	for _, d := range deps {
+		if d == nil {
+			continue
+		}
+		if err := d.Wait(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// depsReady returns the latest virtual end time across the dependencies.
+// Valid for simulated devices, where virtual spans are assigned at enqueue.
+func depsReady(deps []*Event) int64 {
+	var ready int64
+	for _, d := range deps {
+		if d == nil {
+			continue
+		}
+		d.mu.Lock()
+		if d.vEnd > ready {
+			ready = d.vEnd
+		}
+		d.mu.Unlock()
+	}
+	return ready
+}

@@ -1,0 +1,239 @@
+package cl
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/mem"
+)
+
+// KernelFunc is the body of a kernel: the operation on (a chunk of) the
+// input performed by a single work-item, exactly as in the paper's §2.3. A
+// kernel is invoked once per work-item of a launch; it learns its position
+// in the NDRange from the Thread, and accesses global memory through the
+// buffer slices it closes over.
+type KernelFunc func(t *Thread)
+
+// Launch describes the geometry and cost of one kernel launch.
+type Launch struct {
+	// Name labels the launch for events and diagnostics.
+	Name string
+	// Groups is the number of work-groups; Local is the work-group size.
+	// Zero values select the device's default geometry (see DefaultLaunch).
+	Groups, Local int
+	// LocalWords is the number of 32-bit words of local (work-group shared)
+	// memory to allocate per group.
+	LocalWords int
+	// Barriers must be set when the kernel calls Thread.Barrier. Work-items
+	// of a group then execute as concurrent goroutines synchronised by a
+	// cyclic barrier; otherwise the items of a group run sequentially on one
+	// goroutine — which is also how work-groups map onto a CPU core (§2.3:
+	// "mapping the threads of a single work-group onto the same core").
+	Barriers bool
+	// Cost is the analytic footprint used by simulated devices.
+	Cost Cost
+	// Wait lists the events that must complete before the kernel may start.
+	Wait []*Event
+}
+
+// DefaultLaunch returns the paper's device-dependent scheduling rule (§4.2):
+// one work-group per core, each of size 4×n_a, so every kernel is invoked
+// exactly 4×n_c×n_a times and each invocation owns a sequential chunk of
+// ~n/(4·n_c·n_a) elements.
+func DefaultLaunch(dev *Device) (groups, local int) {
+	return dev.Const.Cores, 4 * dev.Const.UnitsPerCore
+}
+
+// Thread is the execution context handed to each kernel invocation: its ids
+// within the NDRange, the device build constants, the work-group barrier and
+// local memory.
+type Thread struct {
+	// Global is the invocation's unique id in [0, GlobalSize).
+	Global int
+	// Local is the id within the work-group, Group the work-group id.
+	Local, Group int
+	// GlobalSize, LocalSize and NumGroups describe the launch geometry.
+	GlobalSize, LocalSize, NumGroups int
+	// Const carries the device build constants (the paper's injected
+	// pre-processor constants, §4.2).
+	Const BuildConstants
+
+	bar      *barrier
+	localMem []uint32
+}
+
+// Span partitions n elements across the launch's work-items using the memory
+// access pattern preferred by the device class (§4.2, Figure 4): on CPUs a
+// thread scans one contiguous chunk (prefetch/cache friendly); on GPUs the
+// threads stride across the input so neighbouring threads touch neighbouring
+// addresses (coalescing friendly). The kernel iterates
+//
+//	for i := lo; i < hi; i += step { ... }
+func (t *Thread) Span(n int) (lo, hi, step int) {
+	if t.Const.Class == ClassGPU {
+		return t.Global, n, t.GlobalSize
+	}
+	chunk := (n + t.GlobalSize - 1) / t.GlobalSize
+	lo = t.Global * chunk
+	hi = lo + chunk
+	if lo > n {
+		lo = n
+	}
+	if hi > n {
+		hi = n
+	}
+	return lo, hi, 1
+}
+
+// ChunkSpan partitions n elements into contiguous per-item chunks regardless
+// of device class. Order-sensitive primitives (prefix sums, stable radix
+// scatter) need each work-item to own a contiguous range so that per-item
+// offsets translate into in-order writes; order-insensitive kernels should
+// prefer Span, which picks the device's fastest pattern.
+func (t *Thread) ChunkSpan(n int) (lo, hi int) {
+	chunk := (n + t.GlobalSize - 1) / t.GlobalSize
+	lo = t.Global * chunk
+	hi = lo + chunk
+	if lo > n {
+		lo = n
+	}
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// GroupSpan partitions n elements contiguously across work-groups and
+// returns this group's [lo, hi) range. Kernels that build per-group partial
+// results (histograms, partial aggregates) first take their group's range,
+// then subdivide it with LocalSpan.
+func (t *Thread) GroupSpan(n int) (lo, hi int) {
+	chunk := (n + t.NumGroups - 1) / t.NumGroups
+	lo = t.Group * chunk
+	hi = lo + chunk
+	if lo > n {
+		lo = n
+	}
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// LocalSpan partitions the half-open range [lo, hi) across the work-items of
+// this group using the device-preferred access pattern.
+func (t *Thread) LocalSpan(lo, hi int) (ilo, ihi, step int) {
+	n := hi - lo
+	if n <= 0 {
+		return lo, lo, 1
+	}
+	if t.Const.Class == ClassGPU {
+		return lo + t.Local, hi, t.LocalSize
+	}
+	chunk := (n + t.LocalSize - 1) / t.LocalSize
+	ilo = lo + t.Local*chunk
+	ihi = ilo + chunk
+	if ilo > hi {
+		ilo = hi
+	}
+	if ihi > hi {
+		ihi = hi
+	}
+	return ilo, ihi, 1
+}
+
+// Barrier synchronises all work-items of the group. The launch must have
+// been enqueued with Barriers set.
+func (t *Thread) Barrier() {
+	if t.bar == nil {
+		panic("cl: Barrier called in a launch without Barriers set")
+	}
+	t.bar.await()
+}
+
+// LocalU32 returns the group's local memory as []uint32. All work-items of a
+// group observe the same memory; distinct groups have distinct memory.
+func (t *Thread) LocalU32() []uint32 { return t.localMem }
+
+// LocalI32 returns the group's local memory viewed as []int32.
+func (t *Thread) LocalI32() []int32 { return mem.I32(mem.BytesOfU32(t.localMem)) }
+
+// LocalF32 returns the group's local memory viewed as []float32.
+func (t *Thread) LocalF32() []float32 { return mem.F32(mem.BytesOfU32(t.localMem)) }
+
+// runLaunch executes the kernel functionally on the host: work-groups run
+// concurrently (this is where the CPU driver's real parallelism comes from);
+// within a group, items run sequentially unless the kernel needs barriers.
+// A panic in any work-item aborts the launch and is reported as an error.
+func runLaunch(dev *Device, fn KernelFunc, l Launch) (err error) {
+	groups, local := l.Groups, l.Local
+	if groups <= 0 || local <= 0 {
+		dg, dl := DefaultLaunch(dev)
+		if groups <= 0 {
+			groups = dg
+		}
+		if local <= 0 {
+			local = dl
+		}
+	}
+	gsz := groups * local
+
+	var (
+		wg      sync.WaitGroup
+		errOnce sync.Once
+		firstEr error
+	)
+	record := func(v any) {
+		errOnce.Do(func() { firstEr = fmt.Errorf("cl: kernel %q panicked: %v", l.Name, v) })
+	}
+
+	for g := 0; g < groups; g++ {
+		var lmem []uint32
+		if l.LocalWords > 0 {
+			lmem = make([]uint32, l.LocalWords)
+		}
+		if !l.Barriers {
+			wg.Add(1)
+			go func(g int, lmem []uint32) {
+				defer wg.Done()
+				defer func() {
+					if v := recover(); v != nil {
+						record(v)
+					}
+				}()
+				t := Thread{
+					Group: g, GlobalSize: gsz, LocalSize: local,
+					NumGroups: groups, Const: dev.Const, localMem: lmem,
+				}
+				for li := 0; li < local; li++ {
+					t.Local = li
+					t.Global = g*local + li
+					fn(&t)
+				}
+			}(g, lmem)
+			continue
+		}
+		bar := newBarrier(local)
+		for li := 0; li < local; li++ {
+			wg.Add(1)
+			go func(g, li int, lmem []uint32, bar *barrier) {
+				defer wg.Done()
+				defer func() {
+					if v := recover(); v != nil {
+						bar.breakNow()
+						if v != errBarrierBroken {
+							record(v)
+						}
+					}
+				}()
+				fn(&Thread{
+					Global: g*local + li, Local: li, Group: g,
+					GlobalSize: gsz, LocalSize: local, NumGroups: groups,
+					Const: dev.Const, bar: bar, localMem: lmem,
+				})
+			}(g, li, lmem, bar)
+		}
+	}
+	wg.Wait()
+	return firstEr
+}

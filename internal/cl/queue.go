@@ -1,0 +1,179 @@
+package cl
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Queue is a command queue on one device, mirroring cl_command_queue in
+// out-of-order mode: commands are only ordered by their wait-lists, which is
+// what lets the driver interleave independent kernels and transfers
+// (Figure 3 of the paper). Every Enqueue* call returns immediately with an
+// Event; Ocelot's operators are lazy (§3.4) — they enqueue and move on, and
+// only the sync operator waits.
+type Queue struct {
+	ctx *Context
+	dev *Device
+
+	mu      sync.Mutex
+	pending []*Event
+}
+
+// NewQueue creates a command queue on the context's device.
+func NewQueue(ctx *Context) *Queue {
+	return &Queue{ctx: ctx, dev: ctx.dev}
+}
+
+// Context returns the queue's context.
+func (q *Queue) Context() *Context { return q.ctx }
+
+// Device returns the queue's device.
+func (q *Queue) Device() *Device { return q.dev }
+
+// Finish blocks until every command enqueued so far has completed and
+// returns the first error among them (clFinish semantics).
+func (q *Queue) Finish() error {
+	q.mu.Lock()
+	pending := q.pending
+	q.pending = nil
+	q.mu.Unlock()
+	var first error
+	for _, ev := range pending {
+		if err := ev.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (q *Queue) remember(ev *Event) {
+	q.mu.Lock()
+	q.pending = append(q.pending, ev)
+	q.mu.Unlock()
+}
+
+// submit is the shared command machinery: it assigns a virtual schedule
+// (simulated devices know the duration up front from the cost model), then
+// runs work asynchronously once deps complete, measuring real time on real
+// devices.
+func (q *Queue) submit(name string, deps []*Event, virtDur time.Duration, copyEngine bool, work func() error) *Event {
+	ev := &Event{name: name, done: make(chan struct{})}
+	if q.dev.Simulated {
+		ready := depsReady(deps)
+		ev.vStart, ev.vEnd = q.dev.scheduleVirtual(ready, virtDur, copyEngine)
+	}
+	q.remember(ev)
+	go func() {
+		if err := waitDeps(deps); err != nil {
+			ev.complete(fmt.Errorf("%s: dependency failed: %w", name, err))
+			return
+		}
+		start := time.Now()
+		err := work()
+		dur := time.Since(start)
+		if !q.dev.Simulated {
+			ev.mu.Lock()
+			ev.realDur = dur
+			ev.mu.Unlock()
+			q.dev.advanceReal(dur)
+		}
+		ev.complete(err)
+	}()
+	return ev
+}
+
+// EnqueueKernel schedules a kernel launch. The returned event completes when
+// the kernel has (functionally) finished; on simulated devices its virtual
+// span is computed from l.Cost at enqueue time.
+func (q *Queue) EnqueueKernel(fn KernelFunc, l Launch) *Event {
+	q.dev.countKernel()
+	if q.dev.LaunchPause > 0 {
+		// Emulates the fixed per-launch framework overhead of the beta Intel
+		// OpenCL SDK the paper measured on the CPU (§5.3.2, Figure 7d).
+		time.Sleep(q.dev.LaunchPause)
+	}
+	var virt time.Duration
+	if q.dev.Simulated {
+		virt = q.dev.Perf.KernelDuration(l.Cost)
+	}
+	name := l.Name
+	if name == "" {
+		name = "kernel"
+	}
+	return q.submit(name, l.Wait, virt, false, func() error {
+		return runLaunch(q.dev, fn, l)
+	})
+}
+
+// EnqueueWrite copies host bytes into a device buffer. On zero-copy buffers
+// aliasing the same memory it degenerates to a no-op; on discrete devices it
+// occupies the copy engine for the modelled PCIe duration.
+func (q *Queue) EnqueueWrite(dst *Buffer, src []byte, wait []*Event) *Event {
+	data := dst.data // captured at enqueue, like kernel views
+	return q.transfer("write", dst, src, wait, func() error {
+		if dst.hostAlias && len(src) > 0 && len(data) > 0 && &data[0] == &src[0] {
+			return nil // already the same memory
+		}
+		copy(data, src)
+		return nil
+	})
+}
+
+// EnqueueRead copies a device buffer back into host bytes. This is the
+// operation behind Ocelot's sync operator (§3.4): handing a result BAT back
+// to MonetDB maps or transfers the buffer to the host.
+func (q *Queue) EnqueueRead(dst []byte, src *Buffer, wait []*Event) *Event {
+	data := src.data
+	return q.transfer("read", src, dst, wait, func() error {
+		if src.hostAlias && len(dst) > 0 && len(data) > 0 && &data[0] == &dst[0] {
+			return nil
+		}
+		copy(dst, data)
+		return nil
+	})
+}
+
+// EnqueueCopy copies between two device buffers on the device itself (no
+// PCIe traffic; modelled at device memory bandwidth).
+func (q *Queue) EnqueueCopy(dst, src *Buffer, wait []*Event) *Event {
+	var virt time.Duration
+	if q.dev.Simulated {
+		virt = time.Duration(float64(2*src.size) / q.dev.Perf.MemBandwidth * float64(time.Second))
+	}
+	dstData, srcData := dst.data, src.data
+	return q.submit("copy", wait, virt, false, func() error {
+		copy(dstData, srcData)
+		return nil
+	})
+}
+
+// transfer implements the shared host↔device copy path with PCIe accounting
+// on discrete devices.
+func (q *Queue) transfer(name string, buf *Buffer, host []byte, wait []*Event, work func() error) *Event {
+	n := int64(len(host))
+	if buf != nil && buf.size < n {
+		n = buf.size
+	}
+	var virt time.Duration
+	if q.dev.Discrete {
+		q.dev.countTransfer(n)
+		if q.dev.Simulated {
+			virt = q.dev.Perf.TransferDuration(n)
+		}
+	}
+	return q.submit(name, wait, virt, true, work)
+}
+
+// EnqueueHost schedules a host-side callback ordered by the wait-list. It
+// occupies no device engine time (virtual duration zero) and is used by the
+// runtime for bookkeeping that must respect the event graph.
+func (q *Queue) EnqueueHost(name string, fn func() error, wait []*Event) *Event {
+	return q.submit(name, wait, 0, false, fn)
+}
+
+// EnqueueMarker returns an event that completes when all the given events
+// have completed, without performing any work.
+func (q *Queue) EnqueueMarker(wait []*Event) *Event {
+	return q.submit("marker", wait, 0, false, func() error { return nil })
+}

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bat"
+	"repro/internal/cl"
+	"repro/internal/core/kernels"
+	"repro/internal/ops"
+)
+
+// Aggr implements Ocelot's aggregation operator (§4.1.7): ungrouped
+// aggregates use the parallel binary reduction, grouped aggregates the
+// hierarchical local-memory scheme with contention-spreading accumulator
+// replicas (falling back to global memory when the table does not fit).
+// Count returns I32, Avg F32, Sum/Min/Max the input type. All accumulation
+// happens in four-byte types — the restriction of §3.1 — so float results
+// may differ from wide-accumulator engines in the last few digits.
+func (e *Engine) Aggr(kind ops.Agg, vals, groups *bat.BAT, ngroups int) (*bat.BAT, error) {
+	if vals == nil && kind != ops.Count {
+		return nil, fmt.Errorf("core: %v aggregate requires a value column", kind)
+	}
+	if vals == nil && groups == nil {
+		return nil, fmt.Errorf("core: count aggregate needs a value column or groups")
+	}
+	if vals != nil && groups != nil && vals.Len() != groups.Len() {
+		return nil, fmt.Errorf("core: aggregate misaligned: %d values, %d group ids",
+			vals.Len(), groups.Len())
+	}
+	if groups == nil {
+		return e.aggrScalar(kind, vals)
+	}
+	if ngroups <= 0 {
+		return nil, fmt.Errorf("core: grouped aggregate with ngroups=%d", ngroups)
+	}
+	return e.aggrGrouped(kind, vals, groups, ngroups)
+}
+
+func (e *Engine) aggrScalar(kind ops.Agg, vals *bat.BAT) (*bat.BAT, error) {
+	n := vals.Len()
+	if kind == ops.Count {
+		// The cardinality is a descriptor fact; no kernel needed.
+		out := bat.New("count", bat.I32, 1)
+		out.I32s()[0] = int32(n)
+		return out, nil
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("core: %v of an empty column", kind)
+	}
+	valBuf, wait, err := e.valuesOf(vals)
+	if err != nil {
+		return nil, err
+	}
+
+	isFloat := vals.T == bat.F32
+	wantFloat := isFloat || kind == ops.Avg
+	var cast *cl.Buffer
+	if wantFloat && !isFloat {
+		if cast, err = e.mm.Alloc((n + 1) * 4); err != nil {
+			return nil, err
+		}
+		cev := kernels.CastI32F32(e.q, cast, valBuf, n, wait)
+		e.mm.NoteConsumer(vals, cev)
+		valBuf, wait, isFloat = cast, []*cl.Event{cev}, true
+	}
+
+	sp, err := e.spine()
+	if err != nil {
+		return nil, err
+	}
+	dst, err := e.mm.Alloc(4)
+	if err != nil {
+		_ = sp.Release()
+		return nil, err
+	}
+	redKind := kind
+	if kind == ops.Avg {
+		redKind = ops.Sum
+	}
+	var ev *cl.Event
+	if isFloat {
+		ev = kernels.ReduceF32(e.q, dst, valBuf, sp, redKind, n, wait)
+	} else {
+		ev = kernels.ReduceI32(e.q, dst, valBuf, sp, redKind, n, wait)
+	}
+	e.mm.NoteConsumer(vals, ev)
+	if kind == ops.Avg {
+		avg, err := e.mm.Alloc(4)
+		if err != nil {
+			_ = sp.Release()
+			_ = dst.Release()
+			return nil, err
+		}
+		ev = kernels.MapBinopConst(e.q, avg, dst, true, ops.Div, float32(n), 0, false, 1, []*cl.Event{ev})
+		e.releaseAfter(ev, dst)
+		dst = avg
+	}
+	e.releaseAfter(ev, sp, cast)
+
+	resType := bat.F32
+	if !isFloat {
+		resType = bat.I32
+	}
+	res := newOwned(kind.String(), resType, 1)
+	e.mm.BindValues(res, dst, ev)
+	return res, nil
+}
+
+func (e *Engine) aggrGrouped(kind ops.Agg, vals, groups *bat.BAT, ngroups int) (*bat.BAT, error) {
+	gidBuf, gWait, err := e.valuesOf(groups)
+	if err != nil {
+		return nil, err
+	}
+	n := groups.Len()
+	plan := kernels.PlanGroupedAgg(ngroups)
+	launchGroups, _ := cl.DefaultLaunch(e.dev)
+
+	var valBuf *cl.Buffer
+	var wait []*cl.Event
+	isFloat := false
+	if vals != nil {
+		if valBuf, wait, err = e.valuesOf(vals); err != nil {
+			return nil, err
+		}
+		isFloat = vals.T == bat.F32
+	}
+	wait = append(wait, gWait...)
+
+	sc := &scratchSet{mm: e.mm}
+	scratch := sc.alloc(launchGroups*plan.Table + 1)
+	var cast *cl.Buffer
+	if kind == ops.Avg && !isFloat && vals != nil {
+		cast = sc.alloc(n + 1)
+		if sc.err == nil {
+			cev := kernels.CastI32F32(e.q, cast, valBuf, n, wait)
+			e.mm.NoteConsumer(vals, cev)
+			valBuf, wait, isFloat = cast, []*cl.Event{cev}, true
+		}
+	}
+	if sc.err != nil {
+		sc.releaseAll()
+		return nil, sc.err
+	}
+
+	switch kind {
+	case ops.Count:
+		dst, err := e.mm.Alloc((ngroups + 1) * 4)
+		if err != nil {
+			sc.releaseAll()
+			return nil, err
+		}
+		ev := kernels.GroupedAggI32(e.q, dst, nil, gidBuf, scratch, ops.Sum, n, plan, wait)
+		e.mm.NoteConsumer(groups, ev)
+		e.releaseAfter(ev, sc.bufs...)
+		res := newOwned("count", bat.I32, ngroups)
+		e.mm.BindValues(res, dst, ev)
+		return res, nil
+
+	case ops.Sum, ops.Min, ops.Max:
+		dst, err := e.mm.Alloc((ngroups + 1) * 4)
+		if err != nil {
+			sc.releaseAll()
+			return nil, err
+		}
+		var ev *cl.Event
+		if isFloat {
+			ev = kernels.GroupedAggF32(e.q, dst, valBuf, gidBuf, scratch, kind, n, plan, wait)
+		} else {
+			ev = kernels.GroupedAggI32(e.q, dst, valBuf, gidBuf, scratch, kind, n, plan, wait)
+		}
+		e.mm.NoteConsumer(vals, ev)
+		e.mm.NoteConsumer(groups, ev)
+		e.releaseAfter(ev, sc.bufs...)
+		resType := bat.F32
+		if !isFloat {
+			resType = bat.I32
+		}
+		res := newOwned(kind.String(), resType, ngroups)
+		e.mm.BindValues(res, dst, ev)
+		return res, nil
+
+	case ops.Avg:
+		sums := sc.alloc(ngroups + 1)
+		cnts := sc.alloc(ngroups + 1)
+		if sc.err != nil {
+			sc.releaseAll()
+			return nil, sc.err
+		}
+		sev := kernels.GroupedAggF32(e.q, sums, valBuf, gidBuf, scratch, ops.Sum, n, plan, wait)
+		cev := kernels.GroupedAggI32(e.q, cnts, nil, gidBuf, scratch2(e, sc, launchGroups, plan), ops.Sum, n, plan, wait)
+		e.mm.NoteConsumer(vals, sev)
+		e.mm.NoteConsumer(groups, sev)
+		e.mm.NoteConsumer(groups, cev)
+		dst, err := e.mm.Alloc((ngroups + 1) * 4)
+		if err != nil {
+			sc.releaseAll()
+			return nil, err
+		}
+		ev := kernels.DivF32I32(e.q, dst, sums, cnts, ngroups, []*cl.Event{sev, cev})
+		e.releaseAfter(ev, sc.bufs...)
+		res := newOwned("avg", bat.F32, ngroups)
+		e.mm.BindValues(res, dst, ev)
+		return res, nil
+
+	default:
+		return nil, fmt.Errorf("core: unknown aggregate %v", kind)
+	}
+}
+
+// scratch2 allocates a second intermediate table so the Avg sum and count
+// kernels can run concurrently (independent events, reorderable by the
+// driver — Figure 3's freedom).
+func scratch2(e *Engine, sc *scratchSet, launchGroups int, plan kernels.AggPlan) *cl.Buffer {
+	return sc.alloc(launchGroups*plan.Table + 1)
+}

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/bat"
+	"repro/internal/cl"
+	"repro/internal/core/kernels"
+)
+
+// Engine is one Ocelot configuration: the hardware-oblivious operator set
+// bound to a single device. Constructing it with the CPU driver yields the
+// paper's "Ocelot on CPU" configuration, with the GPU driver "Ocelot on
+// GPU" — the operator host code below is byte-for-byte identical in both
+// cases (§3.2: "host-code is written completely device-independent").
+type Engine struct {
+	dev *cl.Device
+	ctx *cl.Context
+	q   *cl.Queue
+	mm  *MemoryManager
+	// profile, when set via SetProfile, drives algorithm selection (the
+	// §7 future-work hook); nil falls back to device-class defaults.
+	profile *Profile
+}
+
+// New creates an Ocelot engine on the given device.
+func New(dev *cl.Device) *Engine {
+	ctx := cl.NewContext(dev)
+	q := cl.NewQueue(ctx)
+	return &Engine{dev: dev, ctx: ctx, q: q, mm: NewMemoryManager(ctx, q)}
+}
+
+// Name implements ops.Operators.
+func (e *Engine) Name() string {
+	return fmt.Sprintf("Ocelot[%s]", e.dev.Const.Class)
+}
+
+// Device returns the engine's device.
+func (e *Engine) Device() *cl.Device { return e.dev }
+
+// Queue returns the engine's command queue (examples and tests).
+func (e *Engine) Queue() *cl.Queue { return e.q }
+
+// Memory returns the engine's Memory Manager.
+func (e *Engine) Memory() *MemoryManager { return e.mm }
+
+// Finish drains all outstanding device work (clFinish).
+func (e *Engine) Finish() error { return e.q.Finish() }
+
+// newOwned creates the result BAT every operator returns: per the ownership
+// rules of §3.4, it is owned by Ocelot until an explicit Sync hands it back.
+func newOwned(name string, t bat.Type, n int) *bat.BAT {
+	b := bat.New(name, t, n)
+	b.OcelotOwned = true
+	return b
+}
+
+// spineWords returns the size (in words) of the per-launch partials scratch
+// used by scan/reduce kernels.
+func spineWords(dev *cl.Device) int {
+	_, _, gsz := kernels.Geometry(dev)
+	return gsz + 2
+}
+
+// spine allocates the partials scratch buffer.
+func (e *Engine) spine() (*cl.Buffer, error) {
+	return e.mm.Alloc(spineWords(e.dev) * 4)
+}
+
+// releaseAfter schedules buffer releases once ev has completed, keeping the
+// lazy pipeline intact (no host-side waits on the operator path).
+func (e *Engine) releaseAfter(ev *cl.Event, bufs ...*cl.Buffer) {
+	e.q.EnqueueHost("release_scratch", func() error {
+		for _, b := range bufs {
+			if b != nil {
+				_ = b.Release()
+			}
+		}
+		return nil
+	}, []*cl.Event{ev})
+}
+
+// readU32 transfers a single word from a device buffer to the host. This is
+// the one place operator host code blocks: result *sizes* must be known to
+// allocate result BATs (the paper's operators face the same constraint when
+// materialising). The transfer rides the normal event machinery, so on
+// simulated devices it costs a PCIe round trip on the virtual timeline.
+func (e *Engine) readU32(buf *cl.Buffer, wait []*cl.Event) (uint32, error) {
+	host := make([]byte, 4)
+	if err := e.q.EnqueueRead(host, buf, wait).Wait(); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(host), nil
+}
+
+// candidate is the device-side view of a candidate list argument.
+type candidate struct {
+	n     int  // candidate rows
+	dense bool // the full range [seq, seq+n)
+	seq   uint32
+	buf   *cl.Buffer // materialised oid list when !dense
+	wait  []*cl.Event
+}
+
+// resolveCand normalises a candidate BAT: nil → the full column, Void → a
+// dense range, selection bitmaps → their (cached) materialised oid list,
+// OID lists → their value buffer.
+func (e *Engine) resolveCand(cand *bat.BAT, colLen int) (candidate, error) {
+	switch {
+	case cand == nil:
+		return candidate{n: colLen, dense: true}, nil
+	case cand.T == bat.Void:
+		return candidate{n: cand.Len(), dense: true, seq: cand.Seq}, nil
+	}
+	if _, isBM := e.mm.IsBitmap(cand); isBM {
+		buf, wait, err := e.materializedOIDs(cand)
+		if err != nil {
+			return candidate{}, err
+		}
+		return candidate{n: cand.Len(), buf: buf, wait: wait}, nil
+	}
+	buf, wait, err := e.mm.ValuesForRead(cand)
+	if err != nil {
+		return candidate{}, err
+	}
+	return candidate{n: cand.Len(), buf: buf, wait: wait}, nil
+}
+
+// materializedOIDs returns (building and caching it if necessary) the oid
+// list of a bitmap-backed candidate BAT — the transparent bitmap
+// materialisation of §4.1.1/§4.1.2.
+func (e *Engine) materializedOIDs(b *bat.BAT) (*cl.Buffer, []*cl.Event, error) {
+	e.mm.mu.Lock()
+	ent := e.mm.entries[b]
+	if ent != nil && ent.matBuf != nil {
+		buf, prod := ent.matBuf, ent.matProducer
+		e.mm.touch(ent)
+		e.mm.mu.Unlock()
+		return buf, []*cl.Event{prod}, nil
+	}
+	e.mm.mu.Unlock()
+
+	bm, domain, wait, err := e.mm.BitmapForRead(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	out, err := e.mm.Alloc((b.Len() + 1) * 4)
+	if err != nil {
+		return nil, nil, err
+	}
+	sp, err := e.spine()
+	if err != nil {
+		_ = out.Release()
+		return nil, nil, err
+	}
+	ev := kernels.Materialize(e.q, out, bm, sp, domain, wait)
+	e.releaseAfter(ev, sp)
+	e.mm.NoteConsumer(b, ev)
+
+	e.mm.mu.Lock()
+	ent = e.mm.ensure(b)
+	ent.matBuf = out
+	ent.matProducer = ev
+	e.mm.touch(ent)
+	e.mm.mu.Unlock()
+	return out, []*cl.Event{ev}, nil
+}
+
+// Sync implements the explicit synchronisation operator of §3.4: it waits
+// on the BAT's producer events, transfers (or maps) the payload back to the
+// host heap — materialising bitmaps into oid lists first, since bitmaps are
+// never exposed — and hands ownership back to MonetDB.
+func (e *Engine) Sync(b *bat.BAT) error {
+	if b == nil || !b.OcelotOwned {
+		return nil
+	}
+	if _, isBM := e.mm.IsBitmap(b); isBM {
+		buf, wait, err := e.materializedOIDs(b)
+		if err != nil {
+			return err
+		}
+		if err := e.q.EnqueueRead(b.Bytes(), buf, wait).Wait(); err != nil {
+			return err
+		}
+		b.OcelotOwned = false
+		return nil
+	}
+	buf, wait, err := e.mm.ValuesForRead(b)
+	if err != nil {
+		return err
+	}
+	if err := e.q.EnqueueRead(b.Bytes(), buf, wait).Wait(); err != nil {
+		return err
+	}
+	b.OcelotOwned = false
+	return nil
+}
+
+// Release implements ops.Operators: it drops the BAT's device state.
+func (e *Engine) Release(b *bat.BAT) {
+	if b != nil {
+		e.mm.Drop(b)
+	}
+}
+
+// valuesOf uploads/locates the value payload of any non-void column. For
+// bitmap-backed candidate BATs the values *are* the qualifying oids, so the
+// (cached) materialised list serves as the payload — this is how selection
+// results flow into joins and semijoins without ever exposing the bitmap
+// (§4.1.1).
+func (e *Engine) valuesOf(b *bat.BAT) (*cl.Buffer, []*cl.Event, error) {
+	if _, isBM := e.mm.IsBitmap(b); isBM {
+		return e.materializedOIDs(b)
+	}
+	return e.mm.ValuesForRead(b)
+}

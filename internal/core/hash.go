@@ -1,0 +1,273 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bat"
+	"repro/internal/cl"
+	"repro/internal/core/kernels"
+	"repro/internal/ops"
+)
+
+// devHashTable is the device-resident multi-stage hash lookup table of
+// §4.1.4: the slot table (state/keys), the dense-id enumeration, and the
+// per-key row-id buckets joins iterate (after He et al. [19]).
+type devHashTable struct {
+	e          *Engine
+	capacity   int
+	ndistinct  int
+	buildRows  int
+	state      *cl.Buffer
+	keys1      *cl.Buffer
+	keys2      *cl.Buffer // non-nil only for composite (group refinement) keys
+	slotGid    *cl.Buffer
+	starts     *cl.Buffer // ndistinct+1 scanned bucket offsets
+	rowids     *cl.Buffer // buildRows row ids grouped by bucket
+	gids       *cl.Buffer // per-build-row dense id (kept for grouping)
+	ready      *cl.Event
+	pins       int
+	uniqueKeys bool // every bucket has exactly one row
+}
+
+// BuildRows implements ops.HashTable.
+func (h *devHashTable) BuildRows() int { return h.buildRows }
+
+// Release implements ops.HashTable. Cached tables are released by the
+// Memory Manager instead; Release on a cached table is a no-op until the
+// cache drops it.
+func (h *devHashTable) Release() {
+	h.e.mm.mu.Lock()
+	cached := false
+	for _, t := range h.e.mm.hashCache {
+		if t == h {
+			cached = true
+			break
+		}
+	}
+	h.e.mm.mu.Unlock()
+	if !cached {
+		h.release()
+	}
+}
+
+func (h *devHashTable) release() {
+	_ = h.ready.Wait()
+	for _, b := range []*cl.Buffer{h.state, h.keys1, h.keys2, h.slotGid, h.starts, h.rowids, h.gids} {
+		if b != nil {
+			_ = b.Release()
+		}
+	}
+}
+
+// BuildHash builds the parallel multi-stage hash table over col (§4.1.4).
+// Tables over columns that are not Ocelot-owned intermediates are cached in
+// the Memory Manager and reused by later joins (§5.2.6).
+func (e *Engine) BuildHash(col *bat.BAT) (ops.HashTable, error) {
+	cacheable := !col.OcelotOwned
+	if cacheable {
+		e.mm.mu.Lock()
+		if ht := e.mm.hashCache[col]; ht != nil {
+			e.mm.mu.Unlock()
+			return ht, nil
+		}
+		e.mm.mu.Unlock()
+	}
+	ht, err := e.buildTable(col, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	if cacheable {
+		e.mm.mu.Lock()
+		e.mm.hashCache[col] = ht
+		e.mm.mu.Unlock()
+	}
+	return ht, nil
+}
+
+// InvalidateHash drops the cached hash table of a column, forcing the next
+// BuildHash to rebuild. Benchmarks of the build phase (Fig. 5e/f) use it
+// between runs; the storage-layer free callback covers the production path.
+func (e *Engine) InvalidateHash(col *bat.BAT) {
+	e.mm.mu.Lock()
+	ht := e.mm.hashCache[col]
+	delete(e.mm.hashCache, col)
+	e.mm.mu.Unlock()
+	if ht != nil {
+		ht.release()
+	}
+}
+
+// buildTable runs the full optimistic/check/pessimistic insertion (§4.1.4)
+// plus the multi-stage bucket construction, restarting with a doubled table
+// on a failed pessimistic round. prev, when non-nil, supplies the second
+// word of composite keys (group refinement) — composite builds skip the
+// optimistic round, since a torn two-word write could manufacture a phantom
+// key.
+func (e *Engine) buildTable(col *bat.BAT, prev *cl.Buffer, prevWait []*cl.Event) (*devHashTable, error) {
+	colBuf, wait, err := e.valuesOf(col)
+	if err != nil {
+		return nil, err
+	}
+	wait = append(wait, prevWait...)
+	n := col.Len()
+	capacity := kernels.TableCapacity(n)
+
+	for attempt := 0; ; attempt++ {
+		ht, retry, err := e.tryBuildTable(col, colBuf, prev, n, capacity, wait)
+		if err != nil {
+			return nil, err
+		}
+		if !retry {
+			return ht, nil
+		}
+		// "if the pessimistic approach fails for at least one key, we
+		// restart with an increased table size" (§4.1.4).
+		capacity *= 2
+		if attempt > 28 {
+			return nil, fmt.Errorf("core: hash build of %q cannot converge", col.Name)
+		}
+	}
+}
+
+// scratchSet tracks buffers allocated during a multi-kernel build so error
+// paths can release everything with one call.
+type scratchSet struct {
+	mm   *MemoryManager
+	bufs []*cl.Buffer
+	err  error
+}
+
+// alloc allocates words*4 bytes, remembering the buffer; after a failure it
+// returns nil and latches the error.
+func (s *scratchSet) alloc(words int) *cl.Buffer {
+	if s.err != nil {
+		return nil
+	}
+	b, err := s.mm.Alloc(words * 4)
+	if err != nil {
+		s.err = err
+		return nil
+	}
+	s.bufs = append(s.bufs, b)
+	return b
+}
+
+// releaseAll frees every tracked buffer except those in keep.
+func (s *scratchSet) releaseAll(keep ...*cl.Buffer) {
+	for _, b := range s.bufs {
+		kept := false
+		for _, k := range keep {
+			if b == k {
+				kept = true
+				break
+			}
+		}
+		if !kept && b != nil {
+			_ = b.Release()
+		}
+	}
+}
+
+func (e *Engine) tryBuildTable(col *bat.BAT, colBuf, prev *cl.Buffer, n, capacity int, wait []*cl.Event) (*devHashTable, bool, error) {
+	sc := &scratchSet{mm: e.mm}
+	state := sc.alloc(capacity)
+	keys1 := sc.alloc(capacity)
+	var keys2 *cl.Buffer
+	if prev != nil {
+		keys2 = sc.alloc(capacity)
+	}
+	fail := sc.alloc(1)
+	if sc.err != nil {
+		sc.releaseAll()
+		return nil, false, sc.err
+	}
+
+	zero := kernels.Fill(e.q, state, capacity, 0, wait)
+	var ev *cl.Event
+	if prev == nil {
+		// Optimistic round, then the check round (§4.1.4).
+		ev = kernels.HashInsertOptimistic(e.q, state, keys1, colBuf, n, capacity, []*cl.Event{zero})
+		ev = kernels.HashCheck(e.q, state, keys1, nil, colBuf, nil, fail, n, capacity, []*cl.Event{ev})
+		failed, err := e.readU32(fail, []*cl.Event{ev})
+		if err != nil {
+			sc.releaseAll()
+			return nil, false, err
+		}
+		if failed != 0 {
+			// Pessimistic round over all keys (idempotent for the ones that
+			// already landed).
+			z2 := kernels.Fill(e.q, fail, 1, 0, nil)
+			ev = kernels.HashInsertPessimistic(e.q, state, keys1, nil, colBuf, nil, fail, n, capacity, []*cl.Event{ev, z2})
+			if failed, err = e.readU32(fail, []*cl.Event{ev}); err != nil {
+				sc.releaseAll()
+				return nil, false, err
+			}
+			if failed != 0 {
+				sc.releaseAll()
+				return nil, true, nil
+			}
+		}
+	} else {
+		// Composite keys go straight to the synchronised round (see the
+		// function comment on buildTable).
+		ev = kernels.HashInsertPessimistic(e.q, state, keys1, keys2, colBuf, prev, fail, n, capacity, []*cl.Event{zero})
+		failed, err := e.readU32(fail, []*cl.Event{ev})
+		if err != nil {
+			sc.releaseAll()
+			return nil, false, err
+		}
+		if failed != 0 {
+			sc.releaseAll()
+			return nil, true, nil
+		}
+	}
+
+	// Enumerate distinct keys into dense ids.
+	slotGid := sc.alloc(capacity)
+	sp := sc.alloc(spineWords(e.dev))
+	total := sc.alloc(1)
+	if sc.err != nil {
+		sc.releaseAll()
+		return nil, false, sc.err
+	}
+	eev := kernels.HashEnumerate(e.q, slotGid, state, sp, total, capacity, []*cl.Event{ev})
+	nd32, err := e.readU32(total, []*cl.Event{eev})
+	if err != nil {
+		sc.releaseAll()
+		return nil, false, err
+	}
+	ndistinct := int(nd32)
+
+	// Multi-stage buckets: per-row gid lookup, counts, scan, scatter
+	// (He et al.'s lookup structure, §4.1.4).
+	gids := sc.alloc(n + 1)
+	counts := sc.alloc(ndistinct + 1)
+	starts := sc.alloc(ndistinct + 2)
+	totalB := sc.alloc(1)
+	cursors := sc.alloc(ndistinct + 1)
+	rowids := sc.alloc(n + 1)
+	if sc.err != nil {
+		sc.releaseAll()
+		return nil, false, sc.err
+	}
+	gev := kernels.HashLookupGids(e.q, gids, state, keys1, keys2, slotGid, colBuf, prev, n, capacity, []*cl.Event{eev})
+	zc := kernels.Fill(e.q, counts, ndistinct, 0, nil)
+	cev := kernels.HashBucketCount(e.q, counts, gids, n, ndistinct, []*cl.Event{gev, zc})
+	sev := kernels.PrefixSum(e.q, starts, counts, sp, totalB, ndistinct, []*cl.Event{cev})
+	// Terminate starts with the grand total once the scan lands.
+	st, tb := starts.U32(), totalB.U32()
+	sev = e.q.EnqueueHost("starts_terminate", func() error {
+		st[ndistinct] = tb[0]
+		return nil
+	}, []*cl.Event{sev})
+	zcur := kernels.Fill(e.q, cursors, ndistinct, 0, nil)
+	rev := kernels.HashBucketScatter(e.q, rowids, starts, cursors, gids, n, ndistinct, []*cl.Event{sev, zcur})
+	e.releaseAfter(rev, sp, counts, totalB, cursors, fail, total)
+
+	return &devHashTable{
+		e: e, capacity: capacity, ndistinct: ndistinct, buildRows: n,
+		state: state, keys1: keys1, keys2: keys2, slotGid: slotGid,
+		starts: starts, rowids: rowids, gids: gids, ready: rev,
+		uniqueKeys: ndistinct == n,
+	}, false, nil
+}

@@ -1,0 +1,314 @@
+package kernels
+
+import (
+	"math"
+	"math/bits"
+
+	"repro/internal/cl"
+	"repro/internal/ops"
+)
+
+// Ocelot's selection encodes results as bitmaps (§4.1.1): "each thread
+// evaluating the predicate on a small chunk of the input. We found that
+// evaluating the predicate on eight four-byte values — generating one byte
+// of the result bitmap per thread — gave the best results across
+// architectures." Bitmaps make complex predicates cheap to combine with bit
+// operations and keep the selection's output size independent of
+// selectivity (the effect in Fig. 5b).
+//
+// Layout: byte i of the bitmap covers rows 8i..8i+7, bit j = row 8i+j.
+
+// BitmapBytes returns the bitmap size in bytes for n rows.
+func BitmapBytes(n int) int { return (n + 7) / 8 }
+
+// SelectI32 enqueues the range-selection kernel over an int32 column: bit
+// oid is set iff lo <= col[oid] <= hi (inclusive bounds precomputed by the
+// host code). When cand is non-nil it is ANDed in on the fly — predicate
+// conjunction costs nothing extra.
+func SelectI32(q *cl.Queue, bm *cl.Buffer, col *cl.Buffer, cand *cl.Buffer, n int, lo, hi int32, wait []*cl.Event) *cl.Event {
+	dst := bm.Bytes()
+	src := col.I32()
+	var in []byte
+	if cand != nil {
+		in = cand.Bytes()
+	}
+	nb := BitmapBytes(n)
+	return q.EnqueueKernel(func(t *cl.Thread) {
+		blo, bhi, step := t.Span(nb)
+		for b := blo; b < bhi; b += step {
+			var out byte
+			base := b * 8
+			end := base + 8
+			if end > n {
+				end = n
+			}
+			for r := base; r < end; r++ {
+				v := src[r]
+				if v >= lo && v <= hi {
+					out |= 1 << uint(r-base)
+				}
+			}
+			if in != nil {
+				out &= in[b]
+			}
+			dst[b] = out
+		}
+	}, launch(q.Device(), "select_i32", cl.Cost{BytesStreamed: int64(n)*4 + int64(nb)*2, Ops: int64(n) * 2}, wait))
+}
+
+// SelectF32 is the float32 variant of the range-selection kernel; bound
+// inclusivity is handled explicitly since float bounds cannot be collapsed
+// to an inclusive interval.
+func SelectF32(q *cl.Queue, bm *cl.Buffer, col *cl.Buffer, cand *cl.Buffer, n int, lo, hi float32, loIncl, hiIncl bool, wait []*cl.Event) *cl.Event {
+	dst := bm.Bytes()
+	src := col.F32()
+	var in []byte
+	if cand != nil {
+		in = cand.Bytes()
+	}
+	nb := BitmapBytes(n)
+	return q.EnqueueKernel(func(t *cl.Thread) {
+		blo, bhi, step := t.Span(nb)
+		for b := blo; b < bhi; b += step {
+			var out byte
+			base := b * 8
+			end := base + 8
+			if end > n {
+				end = n
+			}
+			for r := base; r < end; r++ {
+				v := src[r]
+				if (v > lo || (loIncl && v == lo)) && (v < hi || (hiIncl && v == hi)) {
+					out |= 1 << uint(r-base)
+				}
+			}
+			if in != nil {
+				out &= in[b]
+			}
+			dst[b] = out
+		}
+	}, launch(q.Device(), "select_f32", cl.Cost{BytesStreamed: int64(n)*4 + int64(nb)*2, Ops: int64(n) * 2}, wait))
+}
+
+// SelectCmp enqueues the column-vs-column comparison kernel: bit oid is set
+// iff a[oid] cmp b[oid]. Both columns must share one four-byte type; for
+// totally ordered data the comparison runs on the typed views.
+func SelectCmp(q *cl.Queue, bm *cl.Buffer, a, b *cl.Buffer, isFloat bool, cmp ops.Cmp, cand *cl.Buffer, n int, wait []*cl.Event) *cl.Event {
+	dst := bm.Bytes()
+	var in []byte
+	if cand != nil {
+		in = cand.Bytes()
+	}
+	nb := BitmapBytes(n)
+	var test func(r int) bool
+	if isFloat {
+		av, bv := a.F32(), b.F32()
+		test = func(r int) bool { return cmpF32(av[r], bv[r], cmp) }
+	} else {
+		av, bv := a.I32(), b.I32()
+		test = func(r int) bool { return cmpI32(av[r], bv[r], cmp) }
+	}
+	return q.EnqueueKernel(func(t *cl.Thread) {
+		blo, bhi, step := t.Span(nb)
+		for bix := blo; bix < bhi; bix += step {
+			var out byte
+			base := bix * 8
+			end := base + 8
+			if end > n {
+				end = n
+			}
+			for r := base; r < end; r++ {
+				if test(r) {
+					out |= 1 << uint(r-base)
+				}
+			}
+			if in != nil {
+				out &= in[bix]
+			}
+			dst[bix] = out
+		}
+	}, launch(q.Device(), "select_cmp", cl.Cost{BytesStreamed: int64(n)*8 + int64(nb)*2, Ops: int64(n) * 2}, wait))
+}
+
+func cmpI32(x, y int32, c ops.Cmp) bool {
+	switch c {
+	case ops.Lt:
+		return x < y
+	case ops.Le:
+		return x <= y
+	case ops.Gt:
+		return x > y
+	case ops.Ge:
+		return x >= y
+	case ops.Eq:
+		return x == y
+	default:
+		return x != y
+	}
+}
+
+func cmpF32(x, y float32, c ops.Cmp) bool {
+	switch c {
+	case ops.Lt:
+		return x < y
+	case ops.Le:
+		return x <= y
+	case ops.Gt:
+		return x > y
+	case ops.Ge:
+		return x >= y
+	case ops.Eq:
+		return x == y
+	default:
+		return x != y
+	}
+}
+
+// BitmapRange enqueues a bitmap with bits [lo, hi) set over an n-row domain
+// — the device-side rendering of a dense (VOID) candidate sub-range.
+func BitmapRange(q *cl.Queue, bm *cl.Buffer, n, lo, hi int, wait []*cl.Event) *cl.Event {
+	dst := bm.Bytes()
+	nb := BitmapBytes(n)
+	return q.EnqueueKernel(func(t *cl.Thread) {
+		blo, bhi, step := t.Span(nb)
+		for b := blo; b < bhi; b += step {
+			var out byte
+			base := b * 8
+			end := base + 8
+			if end > n {
+				end = n
+			}
+			for r := base; r < end; r++ {
+				if r >= lo && r < hi {
+					out |= 1 << uint(r-base)
+				}
+			}
+			dst[b] = out
+		}
+	}, launch(q.Device(), "bitmap_range", cl.Cost{BytesStreamed: int64(nb)}, wait))
+}
+
+// BitmapAnd enqueues dst = a & b over nb bitmap bytes.
+func BitmapAnd(q *cl.Queue, dst, a, b *cl.Buffer, nb int, wait []*cl.Event) *cl.Event {
+	return bitmapCombine(q, "bitmap_and", dst, a, b, nb, wait, func(x, y byte) byte { return x & y })
+}
+
+// BitmapOr enqueues dst = a | b — the ∨ combine of Figure 3's union of two
+// selection results.
+func BitmapOr(q *cl.Queue, dst, a, b *cl.Buffer, nb int, wait []*cl.Event) *cl.Event {
+	return bitmapCombine(q, "bitmap_or", dst, a, b, nb, wait, func(x, y byte) byte { return x | y })
+}
+
+func bitmapCombine(q *cl.Queue, name string, dst, a, b *cl.Buffer, nb int, wait []*cl.Event, f func(x, y byte) byte) *cl.Event {
+	d, x, y := dst.Bytes(), a.Bytes(), b.Bytes()
+	return q.EnqueueKernel(func(t *cl.Thread) {
+		lo, hi, step := t.Span(nb)
+		for i := lo; i < hi; i += step {
+			d[i] = f(x[i], y[i])
+		}
+	}, launch(q.Device(), name, cl.Cost{BytesStreamed: int64(nb) * 3}, wait))
+}
+
+// BitmapCount enqueues a popcount reduction over the bitmap, writing the
+// number of set bits to total[0]. partials must hold gsz+1 words.
+func BitmapCount(q *cl.Queue, bm, partials, total *cl.Buffer, n int, wait []*cl.Event) *cl.Event {
+	dev := q.Device()
+	_, _, gsz := Geometry(dev)
+	src, p, tot := bm.Bytes(), partials.U32(), total.U32()
+	nb := BitmapBytes(n)
+
+	ev1 := q.EnqueueKernel(func(t *cl.Thread) {
+		lo, hi, step := t.Span(nb)
+		var sum uint32
+		for i := lo; i < hi; i += step {
+			sum += uint32(bits.OnesCount8(src[i]))
+		}
+		p[t.Global] = sum
+	}, launch(dev, "bitcount_partials", cl.Cost{BytesStreamed: int64(nb), Ops: int64(nb)}, wait))
+
+	return q.EnqueueKernel(func(t *cl.Thread) {
+		if t.Global != 0 {
+			return
+		}
+		var sum uint32
+		for i := 0; i < gsz; i++ {
+			sum += p[i]
+		}
+		tot[0] = sum
+	}, launch(dev, "bitcount_final", cl.Cost{BytesStreamed: int64(gsz) * 4}, []*cl.Event{ev1}))
+}
+
+// Materialize enqueues the bitmap→oid-list conversion (§4.1.2): "First, we
+// compute a prefix sum over bit counts to get unique write offsets for each
+// thread. Then, each thread writes the positions of set bits within its
+// assigned bitmap chunk to its corresponding offset." dst must be pre-sized
+// to the known set-bit count (host code learns it from BitmapCount).
+// partials must hold gsz+1 words.
+func Materialize(q *cl.Queue, dst, bm, partials *cl.Buffer, n int, wait []*cl.Event) *cl.Event {
+	dev := q.Device()
+	_, _, gsz := Geometry(dev)
+	d, src, p := dst.U32(), bm.Bytes(), partials.U32()
+	nb := BitmapBytes(n)
+
+	ev1 := q.EnqueueKernel(func(t *cl.Thread) {
+		lo, hi := t.ChunkSpan(nb)
+		var sum uint32
+		for i := lo; i < hi; i++ {
+			sum += uint32(bits.OnesCount8(src[i]))
+		}
+		p[t.Global] = sum
+	}, launch(dev, "materialize_counts", cl.Cost{BytesStreamed: int64(nb), Ops: int64(nb)}, wait))
+
+	ev2 := q.EnqueueKernel(func(t *cl.Thread) {
+		if t.Global != 0 {
+			return
+		}
+		var run uint32
+		for i := 0; i < gsz; i++ {
+			v := p[i]
+			p[i] = run
+			run += v
+		}
+		p[gsz] = run
+	}, launch(dev, "materialize_scan", cl.Cost{BytesStreamed: int64(gsz) * 8}, []*cl.Event{ev1}))
+
+	return q.EnqueueKernel(func(t *cl.Thread) {
+		lo, hi := t.ChunkSpan(nb)
+		k := p[t.Global]
+		for i := lo; i < hi; i++ {
+			w := src[i]
+			for w != 0 {
+				j := bits.TrailingZeros8(w)
+				row := i*8 + j
+				if row < n {
+					d[k] = uint32(row)
+					k++
+				}
+				w &= w - 1
+			}
+		}
+	}, launch(dev, "materialize_write", cl.Cost{BytesStreamed: int64(nb) + int64(n), Ops: int64(nb)}, []*cl.Event{ev2}))
+}
+
+// I32RangeBounds converts float64 bounds into the inclusive int32 interval
+// the selection kernel takes; ok is false when the interval is empty.
+func I32RangeBounds(lo, hi float64, loIncl, hiIncl bool) (l, h int32, ok bool) {
+	lf := math.Ceil(lo)
+	if lf == lo && !loIncl {
+		lf++
+	}
+	hf := math.Floor(hi)
+	if hf == hi && !hiIncl {
+		hf--
+	}
+	if lf > hf {
+		return 0, 0, false
+	}
+	if lf < math.MinInt32 {
+		lf = math.MinInt32
+	}
+	if hf > math.MaxInt32 {
+		hf = math.MaxInt32
+	}
+	return int32(lf), int32(hf), true
+}

@@ -1,0 +1,141 @@
+package kernels
+
+import (
+	"repro/internal/cl"
+	"repro/internal/ops"
+)
+
+// Gather enqueues the parallel gather primitive [He et al., SC'07] behind
+// Ocelot's projection / left-fetch-join (§4.1.2): dst[i] = col[idx[i]] for
+// i < n. All four-byte types share the u32 view — a gather moves bit
+// patterns.
+func Gather(q *cl.Queue, dst, col, idx *cl.Buffer, n int, wait []*cl.Event) *cl.Event {
+	d, src, ix := dst.U32(), col.U32(), idx.U32()
+	return q.EnqueueKernel(func(t *cl.Thread) {
+		lo, hi, step := t.Span(n)
+		for i := lo; i < hi; i += step {
+			d[i] = src[ix[i]]
+		}
+	}, launch(q.Device(), "gather",
+		cl.Cost{BytesStreamed: int64(n) * 8, BytesRandom: int64(n) * 4}, wait))
+}
+
+// GatherShift enqueues dst[i] = idx[i] + seq — fetching from a VOID (dense)
+// column degenerates to an add.
+func GatherShift(q *cl.Queue, dst, idx *cl.Buffer, n int, seq uint32, wait []*cl.Event) *cl.Event {
+	d, ix := dst.U32(), idx.U32()
+	return q.EnqueueKernel(func(t *cl.Thread) {
+		lo, hi, step := t.Span(n)
+		for i := lo; i < hi; i += step {
+			d[i] = ix[i] + seq
+		}
+	}, launch(q.Device(), "gather_shift", cl.Cost{BytesStreamed: int64(n) * 8}, wait))
+}
+
+// CopyRange enqueues dst[0:n] = col[seq:seq+n] — the dense-candidate
+// projection (a straight slice copy on the device).
+func CopyRange(q *cl.Queue, dst, col *cl.Buffer, seq uint32, n int, wait []*cl.Event) *cl.Event {
+	d, src := dst.U32(), col.U32()
+	return q.EnqueueKernel(func(t *cl.Thread) {
+		lo, hi, step := t.Span(n)
+		for i := lo; i < hi; i += step {
+			d[i] = src[int(seq)+i]
+		}
+	}, launch(q.Device(), "copy_range", cl.Cost{BytesStreamed: int64(n) * 8}, wait))
+}
+
+// MapBinop enqueues the element-wise arithmetic kernel dst = a ⟨op⟩ b.
+// Exactly one of the typed flavours runs, chosen by isFloat (the engines
+// promote mixed inputs before calling).
+func MapBinop(q *cl.Queue, dst, a, b *cl.Buffer, isFloat bool, op ops.Bin, n int, wait []*cl.Event) *cl.Event {
+	cost := cl.Cost{BytesStreamed: int64(n) * 12, Ops: int64(n)}
+	if isFloat {
+		d, av, bv := dst.F32(), a.F32(), b.F32()
+		return q.EnqueueKernel(func(t *cl.Thread) {
+			lo, hi, step := t.Span(n)
+			for i := lo; i < hi; i += step {
+				d[i] = applyF32(op, av[i], bv[i])
+			}
+		}, launch(q.Device(), "map_binop_f32", cost, wait))
+	}
+	d, av, bv := dst.I32(), a.I32(), b.I32()
+	return q.EnqueueKernel(func(t *cl.Thread) {
+		lo, hi, step := t.Span(n)
+		for i := lo; i < hi; i += step {
+			d[i] = applyI32(op, av[i], bv[i])
+		}
+	}, launch(q.Device(), "map_binop_i32", cost, wait))
+}
+
+// MapBinopConst enqueues dst = a ⟨op⟩ c (or c ⟨op⟩ a when constFirst).
+func MapBinopConst(q *cl.Queue, dst, a *cl.Buffer, isFloat bool, op ops.Bin, cF float32, cI int32, constFirst bool, n int, wait []*cl.Event) *cl.Event {
+	cost := cl.Cost{BytesStreamed: int64(n) * 8, Ops: int64(n)}
+	if isFloat {
+		d, av := dst.F32(), a.F32()
+		return q.EnqueueKernel(func(t *cl.Thread) {
+			lo, hi, step := t.Span(n)
+			for i := lo; i < hi; i += step {
+				if constFirst {
+					d[i] = applyF32(op, cF, av[i])
+				} else {
+					d[i] = applyF32(op, av[i], cF)
+				}
+			}
+		}, launch(q.Device(), "map_const_f32", cost, wait))
+	}
+	d, av := dst.I32(), a.I32()
+	return q.EnqueueKernel(func(t *cl.Thread) {
+		lo, hi, step := t.Span(n)
+		for i := lo; i < hi; i += step {
+			if constFirst {
+				d[i] = applyI32(op, cI, av[i])
+			} else {
+				d[i] = applyI32(op, av[i], cI)
+			}
+		}
+	}, launch(q.Device(), "map_const_i32", cost, wait))
+}
+
+// CastI32F32 enqueues dst(float32) = float32(a(int32)) — the promotion cast.
+func CastI32F32(q *cl.Queue, dst, a *cl.Buffer, n int, wait []*cl.Event) *cl.Event {
+	d, av := dst.F32(), a.I32()
+	return q.EnqueueKernel(func(t *cl.Thread) {
+		lo, hi, step := t.Span(n)
+		for i := lo; i < hi; i += step {
+			d[i] = float32(av[i])
+		}
+	}, launch(q.Device(), "cast_i32_f32", cl.Cost{BytesStreamed: int64(n) * 8}, wait))
+}
+
+func applyI32(op ops.Bin, x, y int32) int32 {
+	switch op {
+	case ops.Add:
+		return x + y
+	case ops.SubOp:
+		return x - y
+	case ops.Mul:
+		return x * y
+	case ops.Div:
+		if y == 0 {
+			return 0
+		}
+		return x / y
+	default:
+		panic("kernels: unknown binop")
+	}
+}
+
+func applyF32(op ops.Bin, x, y float32) float32 {
+	switch op {
+	case ops.Add:
+		return x + y
+	case ops.SubOp:
+		return x - y
+	case ops.Mul:
+		return x * y
+	case ops.Div:
+		return x / y
+	default:
+		panic("kernels: unknown binop")
+	}
+}

@@ -1,0 +1,49 @@
+package kernels
+
+import (
+	"repro/internal/cl"
+)
+
+// Sorted-input grouping (§4.1.6): "If the input is sorted, we identify
+// group boundaries by having each thread compare its value with its
+// successor. Then, a prefix sum operation is used to generate dense group
+// IDs." (Equivalently, each element compares with its predecessor; the scan
+// of the boundary flags is the id.)
+
+// GroupBoundaryFlags enqueues flags[i] = 1 iff i > 0 and col[i] != col[i-1]
+// (bit-pattern comparison works for all four-byte types on sorted data).
+// When prev is non-nil (refining an earlier grouping), a change in the
+// previous group id also starts a new group.
+func GroupBoundaryFlags(q *cl.Queue, flags, col, prev *cl.Buffer, n int, wait []*cl.Event) *cl.Event {
+	f, c := flags.U32(), col.U32()
+	var p []int32
+	if prev != nil {
+		p = prev.I32()
+	}
+	return q.EnqueueKernel(func(t *cl.Thread) {
+		lo, hi, step := t.Span(n)
+		for i := lo; i < hi; i += step {
+			if i == 0 {
+				f[i] = 0
+				continue
+			}
+			if c[i] != c[i-1] || (p != nil && p[i] != p[i-1]) {
+				f[i] = 1
+			} else {
+				f[i] = 0
+			}
+		}
+	}, launch(q.Device(), "group_boundaries", cl.Cost{BytesStreamed: int64(n) * 12}, wait))
+}
+
+// GroupIDsFromScan enqueues ids[i] = int32(excl[i] + flags[i]) — turning the
+// exclusive scan of boundary flags into inclusive dense group ids.
+func GroupIDsFromScan(q *cl.Queue, ids, excl, flags *cl.Buffer, n int, wait []*cl.Event) *cl.Event {
+	d, e, f := ids.I32(), excl.U32(), flags.U32()
+	return q.EnqueueKernel(func(t *cl.Thread) {
+		lo, hi, step := t.Span(n)
+		for i := lo; i < hi; i += step {
+			d[i] = int32(e[i] + f[i])
+		}
+	}, launch(q.Device(), "group_ids", cl.Cost{BytesStreamed: int64(n) * 12}, wait))
+}

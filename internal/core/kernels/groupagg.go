@@ -1,0 +1,258 @@
+package kernels
+
+import (
+	"repro/internal/cl"
+	"repro/internal/ops"
+)
+
+// Grouped aggregation follows the paper's hierarchical scheme (§4.1.7):
+// work-groups are scheduled on disjunct data partitions and build
+// intermediate aggregation tables with atomic operations in local memory;
+// afterwards one thread per group combines the intermediates. Because
+// "atomic operations frequently accessing the same memory address" serialise
+// when the number of groups is small, "the values for each group are
+// aggregated across multiple accumulators, with the number of accumulators
+// per group being chosen inversely proportional to the number of groups".
+// When the accumulator table does not fit into local memory the kernel
+// falls back to the same scheme in global memory.
+
+// localAggBudget is the number of 32-bit accumulator words a work-group may
+// place in local memory (8 KiB of the 32/48 KiB the devices expose — the
+// rest is headroom for the per-group replica spreading).
+const localAggBudget = 2048
+
+// AggPlan describes the geometry the host code and kernels agree on for one
+// grouped aggregation: replica count and table placement. Host code derives
+// it from ngroups alone, so it is device-independent.
+type AggPlan struct {
+	NGroups int
+	// Replicas is the contention-spreading factor A: each group owns A
+	// accumulators, thread t updates replica t%A.
+	Replicas int
+	// Table is NGroups*Replicas words.
+	Table int
+	// UseLocal is true when the table fits the local-memory budget.
+	UseLocal bool
+}
+
+// PlanGroupedAgg computes the accumulator layout for ngroups.
+func PlanGroupedAgg(ngroups int) AggPlan {
+	reps := localAggBudget / (2 * ngroups) // ×2: value + count live side by side for Avg
+	if reps < 1 {
+		reps = 1
+	}
+	if reps > 16 {
+		reps = 16
+	}
+	table := ngroups * reps
+	return AggPlan{
+		NGroups:  ngroups,
+		Replicas: reps,
+		Table:    table,
+		UseLocal: 2*table <= localAggBudget,
+	}
+}
+
+// GroupedAggF32 enqueues the grouped aggregation of vals (float32, aligned
+// with gids) under kind ∈ {Sum, Min, Max}. dst receives one float32 per
+// group. scratch must hold numGroups(launch)×plan.Table words and is the
+// global intermediate table.
+func GroupedAggF32(q *cl.Queue, dst, vals, gids, scratch *cl.Buffer, kind ops.Agg, n int, plan AggPlan, wait []*cl.Event) *cl.Event {
+	dev := q.Device()
+	groups, local := cl.DefaultLaunch(dev)
+	v, g, sc, d := vals.F32(), gids.I32(), scratch.F32(), dst.F32()
+	id := identityF32(kind)
+	reps := plan.Replicas
+	tbl := plan.Table
+
+	atomicFold := func(p *float32, x float32) {
+		switch kind {
+		case ops.Min:
+			cl.AtomicMinF32(p, x)
+		case ops.Max:
+			cl.AtomicMaxF32(p, x)
+		default:
+			cl.AtomicAddF32(p, x)
+		}
+	}
+
+	cost := cl.Cost{
+		BytesStreamed: int64(n) * 8,
+		Atomics:       int64(n),
+		AtomicTargets: int64(tbl),
+	}
+
+	var ev1 *cl.Event
+	if plan.UseLocal {
+		ev1 = q.EnqueueKernel(func(t *cl.Thread) {
+			lmem := t.LocalF32()
+			for i := t.Local; i < tbl; i += t.LocalSize {
+				lmem[i] = id
+			}
+			t.Barrier()
+			glo, ghi := t.GroupSpan(n)
+			lo, hi, step := t.LocalSpan(glo, ghi)
+			rep := t.Local % reps
+			for i := lo; i < hi; i += step {
+				atomicFold(&lmem[int(g[i])*reps+rep], v[i])
+			}
+			t.Barrier()
+			base := t.Group * tbl
+			for i := t.Local; i < tbl; i += t.LocalSize {
+				sc[base+i] = lmem[i]
+			}
+		}, cl.Launch{
+			Name: "groupagg_f32_local", Groups: groups, Local: local,
+			LocalWords: tbl, Barriers: true, Cost: cost, Wait: wait,
+		})
+	} else {
+		init := q.EnqueueKernel(func(t *cl.Thread) {
+			lo, hi, step := t.Span(groups * tbl)
+			for i := lo; i < hi; i += step {
+				sc[i] = id
+			}
+		}, launch(dev, "groupagg_f32_init", cl.Cost{BytesStreamed: int64(groups*tbl) * 4}, wait))
+		ev1 = q.EnqueueKernel(func(t *cl.Thread) {
+			glo, ghi := t.GroupSpan(n)
+			lo, hi, step := t.LocalSpan(glo, ghi)
+			base := t.Group * tbl
+			rep := t.Local % reps
+			for i := lo; i < hi; i += step {
+				atomicFold(&sc[base+int(g[i])*reps+rep], v[i])
+			}
+		}, cl.Launch{
+			Name: "groupagg_f32_global", Groups: groups, Local: local,
+			Cost: cost, Wait: []*cl.Event{init},
+		})
+	}
+
+	// Final pass: one thread per group folds all work-groups' replicas
+	// ("a single thread is scheduled per group", §4.1.7).
+	return q.EnqueueKernel(func(t *cl.Thread) {
+		lo, hi, step := t.Span(plan.NGroups)
+		for grp := lo; grp < hi; grp += step {
+			acc := id
+			for wg := 0; wg < groups; wg++ {
+				base := wg*tbl + grp*reps
+				for r := 0; r < reps; r++ {
+					acc = foldF32(kind, acc, sc[base+r])
+				}
+			}
+			d[grp] = acc
+		}
+	}, launch(dev, "groupagg_f32_final",
+		cl.Cost{BytesStreamed: int64(groups*tbl) * 4, Ops: int64(groups * tbl)}, []*cl.Event{ev1}))
+}
+
+// GroupedAggI32 is the int32 flavour of the hierarchical grouped
+// aggregation; it also implements Count (vals nil → every row adds 1).
+func GroupedAggI32(q *cl.Queue, dst, vals, gids, scratch *cl.Buffer, kind ops.Agg, n int, plan AggPlan, wait []*cl.Event) *cl.Event {
+	dev := q.Device()
+	groups, local := cl.DefaultLaunch(dev)
+	var v []int32
+	if vals != nil {
+		v = vals.I32()
+	}
+	g, sc, d := gids.I32(), scratch.I32(), dst.I32()
+	id := identityI32(kind)
+	reps := plan.Replicas
+	tbl := plan.Table
+
+	atomicFold := func(p *int32, x int32) {
+		switch kind {
+		case ops.Min:
+			cl.AtomicMinI32(p, x)
+		case ops.Max:
+			cl.AtomicMaxI32(p, x)
+		default:
+			cl.AtomicAddI32(p, x)
+		}
+	}
+	val := func(i int) int32 {
+		if v == nil {
+			return 1 // Count
+		}
+		return v[i]
+	}
+
+	cost := cl.Cost{
+		BytesStreamed: int64(n) * 8,
+		Atomics:       int64(n),
+		AtomicTargets: int64(tbl),
+	}
+
+	var ev1 *cl.Event
+	if plan.UseLocal {
+		ev1 = q.EnqueueKernel(func(t *cl.Thread) {
+			lmem := t.LocalI32()
+			for i := t.Local; i < tbl; i += t.LocalSize {
+				lmem[i] = id
+			}
+			t.Barrier()
+			glo, ghi := t.GroupSpan(n)
+			lo, hi, step := t.LocalSpan(glo, ghi)
+			rep := t.Local % reps
+			for i := lo; i < hi; i += step {
+				atomicFold(&lmem[int(g[i])*reps+rep], val(i))
+			}
+			t.Barrier()
+			base := t.Group * tbl
+			for i := t.Local; i < tbl; i += t.LocalSize {
+				sc[base+i] = lmem[i]
+			}
+		}, cl.Launch{
+			Name: "groupagg_i32_local", Groups: groups, Local: local,
+			LocalWords: tbl, Barriers: true, Cost: cost, Wait: wait,
+		})
+	} else {
+		init := q.EnqueueKernel(func(t *cl.Thread) {
+			lo, hi, step := t.Span(groups * tbl)
+			for i := lo; i < hi; i += step {
+				sc[i] = id
+			}
+		}, launch(dev, "groupagg_i32_init", cl.Cost{BytesStreamed: int64(groups*tbl) * 4}, wait))
+		ev1 = q.EnqueueKernel(func(t *cl.Thread) {
+			glo, ghi := t.GroupSpan(n)
+			lo, hi, step := t.LocalSpan(glo, ghi)
+			base := t.Group * tbl
+			rep := t.Local % reps
+			for i := lo; i < hi; i += step {
+				atomicFold(&sc[base+int(g[i])*reps+rep], val(i))
+			}
+		}, cl.Launch{
+			Name: "groupagg_i32_global", Groups: groups, Local: local,
+			Cost: cost, Wait: []*cl.Event{init},
+		})
+	}
+
+	return q.EnqueueKernel(func(t *cl.Thread) {
+		lo, hi, step := t.Span(plan.NGroups)
+		for grp := lo; grp < hi; grp += step {
+			acc := id
+			for wg := 0; wg < groups; wg++ {
+				base := wg*tbl + grp*reps
+				for r := 0; r < reps; r++ {
+					acc = foldI32(kind, acc, sc[base+r])
+				}
+			}
+			d[grp] = acc
+		}
+	}, launch(dev, "groupagg_i32_final",
+		cl.Cost{BytesStreamed: int64(groups*tbl) * 4, Ops: int64(groups * tbl)}, []*cl.Event{ev1}))
+}
+
+// DivF32I32 enqueues dst[i] = a[i] / float32(cnt[i]) (0 when cnt[i]==0) —
+// the Avg finalisation over per-group sums and counts.
+func DivF32I32(q *cl.Queue, dst, a, cnt *cl.Buffer, n int, wait []*cl.Event) *cl.Event {
+	d, av, cv := dst.F32(), a.F32(), cnt.I32()
+	return q.EnqueueKernel(func(t *cl.Thread) {
+		lo, hi, step := t.Span(n)
+		for i := lo; i < hi; i += step {
+			if cv[i] != 0 {
+				d[i] = av[i] / float32(cv[i])
+			} else {
+				d[i] = 0
+			}
+		}
+	}, launch(q.Device(), "avg_div", cl.Cost{BytesStreamed: int64(n) * 12}, wait))
+}

@@ -1,0 +1,185 @@
+package kernels
+
+import (
+	"repro/internal/cl"
+)
+
+// Join kernels (§4.1.5), after He et al.: both the hash join and the nested
+// loop join use the two-step count-then-scatter approach to avoid thread
+// synchronisation — "each thread counts the number of result tuples it will
+// generate. From these counts, unique write offsets into a result buffer
+// are computed for each thread using a prefix sum. In the second stage, the
+// join is actually performed." When the build side is a key column the
+// result size is bounded by the probe size and the two-step procedure is
+// skipped (the direct path below).
+
+// probeGid finds the dense id of key a in the table, or -1.
+func probeGid(st, k1, sg []uint32, a, mask uint32, capacity int) int32 {
+	for p := 0; p < capacity; p++ {
+		s := hashSlot(a, 0, mask, p)
+		if st[s] == slotEmpty {
+			return -1
+		}
+		if k1[s] == a {
+			return int32(sg[s])
+		}
+	}
+	return -1
+}
+
+// JoinProbeCount enqueues step one of the hash join: counts[i] = number of
+// build matches of probe row i.
+func JoinProbeCount(q *cl.Queue, counts *cl.Buffer, state, keys1, slotGid, starts *cl.Buffer, probe *cl.Buffer, n, capacity int, wait []*cl.Event) *cl.Event {
+	c := counts.U32()
+	st, k1, sg, so := state.U32(), keys1.U32(), slotGid.U32(), starts.U32()
+	src := probe.U32()
+	mask := uint32(capacity - 1)
+	return q.EnqueueKernel(func(t *cl.Thread) {
+		lo, hi, step := t.Span(n)
+		for i := lo; i < hi; i += step {
+			gid := probeGid(st, k1, sg, src[i], mask, capacity)
+			if gid < 0 {
+				c[i] = 0
+			} else {
+				c[i] = so[gid+1] - so[gid]
+			}
+		}
+	}, launch(q.Device(), "join_probe_count",
+		cl.Cost{BytesStreamed: int64(n) * 8, BytesRandom: int64(n) * 12}, wait))
+}
+
+// JoinProbeWrite enqueues step two: every probe row re-finds its bucket and
+// writes its (probe, build) pairs at its offset from the prefix sum.
+func JoinProbeWrite(q *cl.Queue, outL, outR, offsets *cl.Buffer, state, keys1, slotGid, starts, rowids *cl.Buffer, probe *cl.Buffer, n, capacity int, wait []*cl.Event) *cl.Event {
+	ol, or, off := outL.U32(), outR.U32(), offsets.U32()
+	st, k1, sg, so, rid := state.U32(), keys1.U32(), slotGid.U32(), starts.U32(), rowids.U32()
+	src := probe.U32()
+	mask := uint32(capacity - 1)
+	return q.EnqueueKernel(func(t *cl.Thread) {
+		lo, hi, step := t.Span(n)
+		for i := lo; i < hi; i += step {
+			gid := probeGid(st, k1, sg, src[i], mask, capacity)
+			if gid < 0 {
+				continue
+			}
+			k := off[i]
+			for b := so[gid]; b < so[gid+1]; b++ {
+				ol[k] = uint32(i)
+				or[k] = rid[b]
+				k++
+			}
+		}
+	}, launch(q.Device(), "join_probe_write",
+		cl.Cost{BytesStreamed: int64(n) * 12, BytesRandom: int64(n) * 12}, wait))
+}
+
+// JoinProbeUnique enqueues the direct path for key build sides: at most one
+// match per probe row, so the kernel emits a match bitmap plus the matching
+// build row per probe row — no counting pass needed (§4.1.5's
+// known-cardinality case). rpos[i] is undefined where the bit is unset.
+func JoinProbeUnique(q *cl.Queue, bm, rpos *cl.Buffer, state, keys1, slotGid, starts, rowids *cl.Buffer, probe *cl.Buffer, n, capacity int, wait []*cl.Event) *cl.Event {
+	dst := bm.Bytes()
+	rp := rpos.U32()
+	st, k1, sg, so, rid := state.U32(), keys1.U32(), slotGid.U32(), starts.U32(), rowids.U32()
+	src := probe.U32()
+	mask := uint32(capacity - 1)
+	nb := BitmapBytes(n)
+	return q.EnqueueKernel(func(t *cl.Thread) {
+		blo, bhi, step := t.Span(nb)
+		for bix := blo; bix < bhi; bix += step {
+			var out byte
+			base := bix * 8
+			end := base + 8
+			if end > n {
+				end = n
+			}
+			for r := base; r < end; r++ {
+				gid := probeGid(st, k1, sg, src[r], mask, capacity)
+				if gid >= 0 && so[gid+1] > so[gid] {
+					out |= 1 << uint(r-base)
+					rp[r] = rid[so[gid]]
+				}
+			}
+			dst[bix] = out
+		}
+	}, launch(q.Device(), "join_probe_unique",
+		cl.Cost{BytesStreamed: int64(n) * 8, BytesRandom: int64(n) * 12}, wait))
+}
+
+// ExistsProbe enqueues the semi/anti-join kernel: bit i of the bitmap is set
+// iff probe row i's key {is, is not} present in the table.
+func ExistsProbe(q *cl.Queue, bm *cl.Buffer, state, keys1, slotGid *cl.Buffer, probe *cl.Buffer, n, capacity int, negate bool, wait []*cl.Event) *cl.Event {
+	dst := bm.Bytes()
+	st, k1, sg := state.U32(), keys1.U32(), slotGid.U32()
+	src := probe.U32()
+	mask := uint32(capacity - 1)
+	nb := BitmapBytes(n)
+	name := "semijoin_probe"
+	if negate {
+		name = "antijoin_probe"
+	}
+	return q.EnqueueKernel(func(t *cl.Thread) {
+		blo, bhi, step := t.Span(nb)
+		for bix := blo; bix < bhi; bix += step {
+			var out byte
+			base := bix * 8
+			end := base + 8
+			if end > n {
+				end = n
+			}
+			for r := base; r < end; r++ {
+				found := probeGid(st, k1, sg, src[r], mask, capacity) >= 0
+				if found != negate {
+					out |= 1 << uint(r-base)
+				}
+			}
+			dst[bix] = out
+		}
+	}, launch(q.Device(), name,
+		cl.Cost{BytesStreamed: int64(n) * 4, BytesRandom: int64(n) * 12}, wait))
+}
+
+// NestedLoopCount enqueues step one of the nested loop join used for theta
+// joins: counts[i] = matches of l[i] across all of r under cmp (encoded as
+// an equality here for the generic path; callers provide the typed predicate
+// via pred).
+func NestedLoopCount(q *cl.Queue, counts *cl.Buffer, l, r *cl.Buffer, nl, nr int, pred func(a, b uint32) bool, wait []*cl.Event) *cl.Event {
+	c := counts.U32()
+	lv, rv := l.U32(), r.U32()
+	return q.EnqueueKernel(func(t *cl.Thread) {
+		lo, hi, step := t.Span(nl)
+		for i := lo; i < hi; i += step {
+			var cnt uint32
+			a := lv[i]
+			for j := 0; j < nr; j++ {
+				if pred(a, rv[j]) {
+					cnt++
+				}
+			}
+			c[i] = cnt
+		}
+	}, launch(q.Device(), "nlj_count",
+		cl.Cost{BytesStreamed: int64(nl) * int64(nr) * 4 / 64, Ops: int64(nl) * int64(nr)}, wait))
+}
+
+// NestedLoopWrite enqueues step two of the nested loop join, scattering the
+// (left, right) pairs at the prefix-sum offsets.
+func NestedLoopWrite(q *cl.Queue, outL, outR, offsets *cl.Buffer, l, r *cl.Buffer, nl, nr int, pred func(a, b uint32) bool, wait []*cl.Event) *cl.Event {
+	ol, or, off := outL.U32(), outR.U32(), offsets.U32()
+	lv, rv := l.U32(), r.U32()
+	return q.EnqueueKernel(func(t *cl.Thread) {
+		lo, hi, step := t.Span(nl)
+		for i := lo; i < hi; i += step {
+			k := off[i]
+			a := lv[i]
+			for j := 0; j < nr; j++ {
+				if pred(a, rv[j]) {
+					ol[k] = uint32(i)
+					or[k] = uint32(j)
+					k++
+				}
+			}
+		}
+	}, launch(q.Device(), "nlj_write",
+		cl.Cost{BytesStreamed: int64(nl) * int64(nr) * 4 / 64, Ops: int64(nl) * int64(nr)}, wait))
+}

@@ -1,0 +1,853 @@
+package kernels
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cl"
+	"repro/internal/ops"
+)
+
+func devices() []*cl.Device {
+	return []*cl.Device{cl.NewCPUDevice(4), cl.NewGPUDevice(256 << 20)}
+}
+
+type env struct {
+	dev *cl.Device
+	ctx *cl.Context
+	q   *cl.Queue
+}
+
+func newEnv(dev *cl.Device) *env {
+	ctx := cl.NewContext(dev)
+	return &env{dev: dev, ctx: ctx, q: cl.NewQueue(ctx)}
+}
+
+func (e *env) buf(t *testing.T, words int) *cl.Buffer {
+	t.Helper()
+	b, err := e.ctx.CreateBuffer(words * 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func (e *env) u32(t *testing.T, vals []uint32) *cl.Buffer {
+	b := e.buf(t, len(vals)+1)
+	copy(b.U32(), vals)
+	return b
+}
+
+func (e *env) i32(t *testing.T, vals []int32) *cl.Buffer {
+	b := e.buf(t, len(vals)+1)
+	copy(b.I32(), vals)
+	return b
+}
+
+func (e *env) f32(t *testing.T, vals []float32) *cl.Buffer {
+	b := e.buf(t, len(vals)+1)
+	copy(b.F32(), vals)
+	return b
+}
+
+func (e *env) scratch(t *testing.T) *cl.Buffer {
+	_, _, gsz := Geometry(e.dev)
+	return e.buf(t, gsz+2)
+}
+
+func TestPrefixSum(t *testing.T) {
+	for _, dev := range devices() {
+		e := newEnv(dev)
+		for _, n := range []int{0, 1, 5, 1000, 4099} {
+			src := make([]uint32, n)
+			var want uint32
+			r := rand.New(rand.NewSource(int64(n)))
+			for i := range src {
+				src[i] = uint32(r.Intn(10))
+			}
+			sb := e.u32(t, src)
+			db := e.buf(t, n+1)
+			total := e.buf(t, 1)
+			ev := PrefixSum(e.q, db, sb, e.scratch(t), total, n, nil)
+			if err := ev.Wait(); err != nil {
+				t.Fatal(err)
+			}
+			var run uint32
+			for i := 0; i < n; i++ {
+				if db.U32()[i] != run {
+					t.Fatalf("%s n=%d: scan[%d] = %d, want %d", dev.Name, n, i, db.U32()[i], run)
+				}
+				run += src[i]
+			}
+			want = run
+			if total.U32()[0] != want {
+				t.Fatalf("%s n=%d: total = %d, want %d", dev.Name, n, total.U32()[0], want)
+			}
+		}
+	}
+}
+
+func TestPrefixSumProperty(t *testing.T) {
+	e := newEnv(cl.NewCPUDevice(4))
+	f := func(raw []uint8) bool {
+		src := make([]uint32, len(raw))
+		for i, v := range raw {
+			src[i] = uint32(v)
+		}
+		n := len(src)
+		db := e.buf(t, n+1)
+		total := e.buf(t, 1)
+		if err := PrefixSum(e.q, db, e.u32(t, src), e.scratch(t), total, n, nil).Wait(); err != nil {
+			return false
+		}
+		var run uint32
+		for i := 0; i < n; i++ {
+			if db.U32()[i] != run {
+				return false
+			}
+			run += src[i]
+		}
+		return total.U32()[0] == run
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectBitmapAndCountAndMaterialize(t *testing.T) {
+	for _, dev := range devices() {
+		e := newEnv(dev)
+		n := 10007
+		vals := make([]int32, n)
+		r := rand.New(rand.NewSource(7))
+		for i := range vals {
+			vals[i] = r.Int31n(1000)
+		}
+		col := e.i32(t, vals)
+		bm := e.buf(t, (BitmapBytes(n)+3)/4+1)
+		ev := SelectI32(e.q, bm, col, nil, n, 100, 299, nil)
+
+		total := e.buf(t, 1)
+		ev = BitmapCount(e.q, bm, e.scratch(t), total, n, []*cl.Event{ev})
+		if err := ev.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		var want []uint32
+		for i, v := range vals {
+			if v >= 100 && v <= 299 {
+				want = append(want, uint32(i))
+			}
+		}
+		if got := int(total.U32()[0]); got != len(want) {
+			t.Fatalf("%s: count = %d, want %d", dev.Name, got, len(want))
+		}
+
+		oids := e.buf(t, len(want)+1)
+		if err := Materialize(e.q, oids, bm, e.scratch(t), n, nil).Wait(); err != nil {
+			t.Fatal(err)
+		}
+		for i, w := range want {
+			if oids.U32()[i] != w {
+				t.Fatalf("%s: materialised[%d] = %d, want %d", dev.Name, i, oids.U32()[i], w)
+			}
+		}
+	}
+}
+
+func TestSelectWithCandidateBitmapAnds(t *testing.T) {
+	for _, dev := range devices() {
+		e := newEnv(dev)
+		n := 1000
+		vals := make([]int32, n)
+		for i := range vals {
+			vals[i] = int32(i % 100)
+		}
+		col := e.i32(t, vals)
+		words := (BitmapBytes(n)+3)/4 + 1
+		bm1 := e.buf(t, words)
+		ev1 := SelectI32(e.q, bm1, col, nil, n, 0, 49, nil)
+		bm2 := e.buf(t, words)
+		ev2 := SelectI32(e.q, bm2, col, bm1, n, 25, 74, []*cl.Event{ev1})
+		total := e.buf(t, 1)
+		if err := BitmapCount(e.q, bm2, e.scratch(t), total, n, []*cl.Event{ev2}).Wait(); err != nil {
+			t.Fatal(err)
+		}
+		want := 0
+		for _, v := range vals {
+			if v >= 25 && v <= 49 {
+				want++
+			}
+		}
+		if int(total.U32()[0]) != want {
+			t.Fatalf("%s: chained select count = %d, want %d", dev.Name, total.U32()[0], want)
+		}
+	}
+}
+
+func TestSelectF32Bounds(t *testing.T) {
+	e := newEnv(cl.NewCPUDevice(2))
+	vals := []float32{0.04, 0.05, 0.06, 0.07, 0.08}
+	col := e.f32(t, vals)
+	bm := e.buf(t, 2)
+	total := e.buf(t, 1)
+	ev := SelectF32(e.q, bm, col, nil, len(vals), 0.05, 0.07, true, true, nil)
+	if err := BitmapCount(e.q, bm, e.scratch(t), total, len(vals), []*cl.Event{ev}).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if total.U32()[0] != 3 {
+		t.Fatalf("inclusive f32 between = %d, want 3", total.U32()[0])
+	}
+	ev = SelectF32(e.q, bm, col, nil, len(vals), 0.05, 0.07, false, false, nil)
+	if err := BitmapCount(e.q, bm, e.scratch(t), total, len(vals), []*cl.Event{ev}).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if total.U32()[0] != 1 {
+		t.Fatalf("exclusive f32 between = %d, want 1", total.U32()[0])
+	}
+}
+
+func TestSelectCmpKernel(t *testing.T) {
+	for _, dev := range devices() {
+		e := newEnv(dev)
+		a := e.i32(t, []int32{1, 5, 3, 7, 2})
+		b := e.i32(t, []int32{2, 4, 3, 9, 1})
+		bm := e.buf(t, 2)
+		total := e.buf(t, 1)
+		ev := SelectCmp(e.q, bm, a, b, false, ops.Lt, nil, 5, nil)
+		if err := BitmapCount(e.q, bm, e.scratch(t), total, 5, []*cl.Event{ev}).Wait(); err != nil {
+			t.Fatal(err)
+		}
+		if total.U32()[0] != 2 {
+			t.Fatalf("%s: a<b count = %d, want 2", dev.Name, total.U32()[0])
+		}
+	}
+}
+
+func TestBitmapOrAnd(t *testing.T) {
+	e := newEnv(cl.NewGPUDevice(64 << 20))
+	a := e.u32(t, []uint32{0x0F0F0F0F})
+	b := e.u32(t, []uint32{0x00FF00FF})
+	d := e.buf(t, 2)
+	if err := BitmapOr(e.q, d, a, b, 4, nil).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if d.U32()[0] != 0x0FFF0FFF {
+		t.Fatalf("or = %#x", d.U32()[0])
+	}
+	if err := BitmapAnd(e.q, d, a, b, 4, nil).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if d.U32()[0] != 0x000F000F {
+		t.Fatalf("and = %#x", d.U32()[0])
+	}
+}
+
+func TestGatherAndVariants(t *testing.T) {
+	for _, dev := range devices() {
+		e := newEnv(dev)
+		col := e.i32(t, []int32{10, 20, 30, 40, 50})
+		idx := e.u32(t, []uint32{4, 0, 2})
+		dst := e.buf(t, 4)
+		if err := Gather(e.q, dst, col, idx, 3, nil).Wait(); err != nil {
+			t.Fatal(err)
+		}
+		if dst.I32()[0] != 50 || dst.I32()[1] != 10 || dst.I32()[2] != 30 {
+			t.Fatalf("%s: gather = %v", dev.Name, dst.I32()[:3])
+		}
+		if err := GatherShift(e.q, dst, idx, 3, 100, nil).Wait(); err != nil {
+			t.Fatal(err)
+		}
+		if dst.U32()[0] != 104 || dst.U32()[2] != 102 {
+			t.Fatalf("%s: gather_shift = %v", dev.Name, dst.U32()[:3])
+		}
+		if err := CopyRange(e.q, dst, col, 1, 3, nil).Wait(); err != nil {
+			t.Fatal(err)
+		}
+		if dst.I32()[0] != 20 || dst.I32()[2] != 40 {
+			t.Fatalf("%s: copy_range = %v", dev.Name, dst.I32()[:3])
+		}
+	}
+}
+
+func TestMapKernels(t *testing.T) {
+	for _, dev := range devices() {
+		e := newEnv(dev)
+		a := e.f32(t, []float32{1, 2, 3})
+		b := e.f32(t, []float32{4, 5, 6})
+		d := e.buf(t, 4)
+		if err := MapBinop(e.q, d, a, b, true, ops.Mul, 3, nil).Wait(); err != nil {
+			t.Fatal(err)
+		}
+		if d.F32()[2] != 18 {
+			t.Fatalf("%s: f32 mul = %v", dev.Name, d.F32()[:3])
+		}
+		if err := MapBinopConst(e.q, d, a, true, ops.SubOp, 1, 0, true, 3, nil).Wait(); err != nil {
+			t.Fatal(err)
+		}
+		if d.F32()[0] != 0 || d.F32()[2] != -2 {
+			t.Fatalf("%s: 1-a = %v", dev.Name, d.F32()[:3])
+		}
+		ai := e.i32(t, []int32{19940215, 19951231})
+		if err := MapBinopConst(e.q, d, ai, false, ops.Div, 0, 10000, false, 2, nil).Wait(); err != nil {
+			t.Fatal(err)
+		}
+		if d.I32()[0] != 1994 || d.I32()[1] != 1995 {
+			t.Fatalf("%s: year div = %v", dev.Name, d.I32()[:2])
+		}
+		if err := CastI32F32(e.q, d, ai, 2, nil).Wait(); err != nil {
+			t.Fatal(err)
+		}
+		if d.F32()[0] != 19940216 { // nearest float32 to 19940215
+			t.Fatalf("%s: cast = %v", dev.Name, d.F32()[0])
+		}
+	}
+}
+
+func TestReduceKernels(t *testing.T) {
+	for _, dev := range devices() {
+		e := newEnv(dev)
+		n := 100000
+		vals := make([]float32, n)
+		r := rand.New(rand.NewSource(11))
+		var sum float64
+		mn, mx := float32(math.Inf(1)), float32(math.Inf(-1))
+		for i := range vals {
+			vals[i] = r.Float32()*100 - 50
+			sum += float64(vals[i])
+			if vals[i] < mn {
+				mn = vals[i]
+			}
+			if vals[i] > mx {
+				mx = vals[i]
+			}
+		}
+		src := e.f32(t, vals)
+		dst := e.buf(t, 1)
+		if err := ReduceF32(e.q, dst, src, e.scratch(t), ops.Sum, n, nil).Wait(); err != nil {
+			t.Fatal(err)
+		}
+		if rel := math.Abs(float64(dst.F32()[0])-sum) / (math.Abs(sum) + 1); rel > 1e-3 {
+			t.Fatalf("%s: f32 sum = %v, want %v (rel %v)", dev.Name, dst.F32()[0], sum, rel)
+		}
+		if err := ReduceF32(e.q, dst, src, e.scratch(t), ops.Min, n, nil).Wait(); err != nil {
+			t.Fatal(err)
+		}
+		if dst.F32()[0] != mn {
+			t.Fatalf("%s: min = %v, want %v", dev.Name, dst.F32()[0], mn)
+		}
+		if err := ReduceF32(e.q, dst, src, e.scratch(t), ops.Max, n, nil).Wait(); err != nil {
+			t.Fatal(err)
+		}
+		if dst.F32()[0] != mx {
+			t.Fatalf("%s: max = %v, want %v", dev.Name, dst.F32()[0], mx)
+		}
+
+		ivals := make([]int32, n)
+		var isum int64
+		for i := range ivals {
+			ivals[i] = int32(i % 97)
+			isum += int64(ivals[i])
+		}
+		isrc := e.i32(t, ivals)
+		if err := ReduceI32(e.q, dst, isrc, e.scratch(t), ops.Sum, n, nil).Wait(); err != nil {
+			t.Fatal(err)
+		}
+		if int64(dst.I32()[0]) != isum {
+			t.Fatalf("%s: i32 sum = %d, want %d", dev.Name, dst.I32()[0], isum)
+		}
+	}
+}
+
+func TestGroupedAggBothSchemes(t *testing.T) {
+	for _, dev := range devices() {
+		for _, ngroups := range []int{4, 100, 5000} { // 5000 forces the global fallback
+			e := newEnv(dev)
+			n := 60000
+			vals := make([]float32, n)
+			gids := make([]int32, n)
+			r := rand.New(rand.NewSource(int64(ngroups)))
+			wantSum := make([]float64, ngroups)
+			wantMin := make([]float32, ngroups)
+			wantCnt := make([]int32, ngroups)
+			for g := range wantMin {
+				wantMin[g] = float32(math.Inf(1))
+			}
+			for i := range vals {
+				g := r.Intn(ngroups)
+				v := r.Float32() * 10
+				vals[i], gids[i] = v, int32(g)
+				wantSum[g] += float64(v)
+				wantCnt[g]++
+				if v < wantMin[g] {
+					wantMin[g] = v
+				}
+			}
+			plan := PlanGroupedAgg(ngroups)
+			if ngroups == 5000 && plan.UseLocal {
+				t.Fatal("5000 groups should exceed the local budget")
+			}
+			groups, _ := cl.DefaultLaunch(dev)
+			scratch := e.buf(t, groups*plan.Table+1)
+			vb, gb := e.f32(t, vals), e.i32(t, gids)
+			dst := e.buf(t, ngroups)
+			if err := GroupedAggF32(e.q, dst, vb, gb, scratch, ops.Sum, n, plan, nil).Wait(); err != nil {
+				t.Fatal(err)
+			}
+			for g := 0; g < ngroups; g++ {
+				got := float64(dst.F32()[g])
+				if rel := math.Abs(got-wantSum[g]) / (math.Abs(wantSum[g]) + 1); rel > 1e-3 {
+					t.Fatalf("%s ngroups=%d: sum[%d] = %v, want %v", dev.Name, ngroups, g, got, wantSum[g])
+				}
+			}
+			if err := GroupedAggF32(e.q, dst, vb, gb, scratch, ops.Min, n, plan, nil).Wait(); err != nil {
+				t.Fatal(err)
+			}
+			for g := 0; g < ngroups; g++ {
+				if wantCnt[g] > 0 && dst.F32()[g] != wantMin[g] {
+					t.Fatalf("%s ngroups=%d: min[%d] = %v, want %v", dev.Name, ngroups, g, dst.F32()[g], wantMin[g])
+				}
+			}
+			cnt := e.buf(t, ngroups)
+			if err := GroupedAggI32(e.q, cnt, nil, gb, scratch, ops.Sum, n, plan, nil).Wait(); err != nil {
+				t.Fatal(err)
+			}
+			for g := 0; g < ngroups; g++ {
+				if cnt.I32()[g] != wantCnt[g] {
+					t.Fatalf("%s ngroups=%d: count[%d] = %d, want %d", dev.Name, ngroups, g, cnt.I32()[g], wantCnt[g])
+				}
+			}
+			// Avg = sum/count via the finalisation kernel.
+			avg := e.buf(t, ngroups)
+			if err := GroupedAggF32(e.q, dst, vb, gb, scratch, ops.Sum, n, plan, nil).Wait(); err != nil {
+				t.Fatal(err)
+			}
+			if err := DivF32I32(e.q, avg, dst, cnt, ngroups, nil).Wait(); err != nil {
+				t.Fatal(err)
+			}
+			for g := 0; g < ngroups; g++ {
+				want := wantSum[g] / float64(wantCnt[g])
+				if rel := math.Abs(float64(avg.F32()[g])-want) / (math.Abs(want) + 1); rel > 1e-3 {
+					t.Fatalf("%s ngroups=%d: avg[%d] = %v, want %v", dev.Name, ngroups, g, avg.F32()[g], want)
+				}
+			}
+		}
+	}
+}
+
+func TestRadixSort(t *testing.T) {
+	for _, dev := range devices() {
+		e := newEnv(dev)
+		n := 30011
+		vals := make([]int32, n)
+		r := rand.New(rand.NewSource(13))
+		for i := range vals {
+			vals[i] = r.Int31() - (1 << 30) // include negatives
+		}
+		col := e.i32(t, vals)
+		keys := e.buf(t, n+1)
+		perm := e.buf(t, n+1)
+		tmpK, tmpV := e.buf(t, n+1), e.buf(t, n+1)
+		hist := e.buf(t, SortHistWords(dev)+1)
+		ev := TransformI32Keys(e.q, keys, col, n, nil)
+		ev = Iota(e.q, perm, n, 0, []*cl.Event{ev})
+		ev = SortU32(e.q, keys, perm, tmpK, tmpV, hist, n, []*cl.Event{ev})
+		if err := ev.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		p := perm.U32()
+		seen := make([]bool, n)
+		prev := int32(math.MinInt32)
+		for i := 0; i < n; i++ {
+			o := p[i]
+			if seen[o] {
+				t.Fatalf("%s: permutation repeats %d", dev.Name, o)
+			}
+			seen[o] = true
+			if vals[o] < prev {
+				t.Fatalf("%s: not sorted at %d: %d < %d", dev.Name, i, vals[o], prev)
+			}
+			prev = vals[o]
+		}
+	}
+}
+
+func TestRadixSortF32Keys(t *testing.T) {
+	e := newEnv(cl.NewCPUDevice(4))
+	vals := []float32{3.5, -1.25, 0, -100, 42, 0.001, -0.001}
+	n := len(vals)
+	col := e.f32(t, vals)
+	keys := e.buf(t, n+1)
+	perm := e.buf(t, n+1)
+	ev := TransformF32Keys(e.q, keys, col, n, nil)
+	ev = Iota(e.q, perm, n, 0, []*cl.Event{ev})
+	ev = SortU32(e.q, keys, perm, e.buf(t, n+1), e.buf(t, n+1), e.buf(t, SortHistWords(e.dev)+1), n, []*cl.Event{ev})
+	if err := ev.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	prev := float32(math.Inf(-1))
+	for i := 0; i < n; i++ {
+		v := vals[perm.U32()[i]]
+		if v < prev {
+			t.Fatalf("float sort broken at %d: %v < %v", i, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestRadixSortProperty(t *testing.T) {
+	e := newEnv(cl.NewCPUDevice(4))
+	f := func(raw []int32) bool {
+		n := len(raw)
+		if n == 0 {
+			return true
+		}
+		col := e.i32(t, raw)
+		keys, perm := e.buf(t, n+1), e.buf(t, n+1)
+		ev := TransformI32Keys(e.q, keys, col, n, nil)
+		ev = Iota(e.q, perm, n, 0, []*cl.Event{ev})
+		ev = SortU32(e.q, keys, perm, e.buf(t, n+1), e.buf(t, n+1), e.buf(t, SortHistWords(e.dev)+1), n, []*cl.Event{ev})
+		if ev.Wait() != nil {
+			return false
+		}
+		seen := make(map[uint32]bool, n)
+		prev := int32(math.MinInt32)
+		for i := 0; i < n; i++ {
+			o := perm.U32()[i]
+			if seen[o] || raw[o] < prev {
+				return false
+			}
+			seen[o] = true
+			prev = raw[o]
+		}
+		return len(seen) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// buildTable builds a complete multi-stage hash table over vals, mirroring
+// what the core engine's host code does, and returns the buffers.
+func buildTable(t *testing.T, e *env, vals []int32) (state, keys1, slotGid, starts, rowids *cl.Buffer, capacity, ndistinct int) {
+	t.Helper()
+	n := len(vals)
+	col := e.i32(t, vals)
+	capacity = TableCapacity(n)
+	state = e.buf(t, capacity)
+	keys1 = e.buf(t, capacity)
+	fail := e.buf(t, 1)
+	ev := HashInsertOptimistic(e.q, state, keys1, col, n, capacity, nil)
+	ev = HashCheck(e.q, state, keys1, nil, col, nil, fail, n, capacity, []*cl.Event{ev})
+	if err := ev.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if fail.U32()[0] != 0 {
+		ev = HashInsertPessimistic(e.q, state, keys1, nil, col, nil, fail, n, capacity, nil)
+		if err := ev.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	slotGid = e.buf(t, capacity)
+	total := e.buf(t, 1)
+	ev = HashEnumerate(e.q, slotGid, state, e.scratch(t), total, capacity, nil)
+	if err := ev.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	ndistinct = int(total.U32()[0])
+	gids := e.buf(t, n+1)
+	ev = HashLookupGids(e.q, gids, state, keys1, nil, slotGid, col, nil, n, capacity, nil)
+	counts := e.buf(t, ndistinct+1)
+	ev2 := HashBucketCount(e.q, counts, gids, n, ndistinct, []*cl.Event{ev})
+	starts = e.buf(t, ndistinct+2)
+	ev2 = PrefixSum(e.q, starts, counts, e.scratch(t), total, ndistinct, []*cl.Event{ev2})
+	// starts needs the terminating total as entry ndistinct.
+	st := starts.U32()
+	if err := ev2.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	st[ndistinct] = total.U32()[0]
+	cursors := e.buf(t, ndistinct+1)
+	rowids = e.buf(t, n+1)
+	if err := HashBucketScatter(e.q, rowids, starts, cursors, gids, n, ndistinct, nil).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	return state, keys1, slotGid, starts, rowids, capacity, ndistinct
+}
+
+func TestHashBuildAndGroupIDs(t *testing.T) {
+	for _, dev := range devices() {
+		e := newEnv(dev)
+		n := 20000
+		distinct := 137
+		vals := make([]int32, n)
+		r := rand.New(rand.NewSource(17))
+		for i := range vals {
+			vals[i] = r.Int31n(int32(distinct)) * 3
+		}
+		state, keys1, slotGid, starts, rowids, capacity, nd := buildTable(t, e, vals)
+		if nd > distinct {
+			t.Fatalf("%s: %d distinct found, at most %d exist", dev.Name, nd, distinct)
+		}
+		// Every row must be in exactly one bucket, with its own value.
+		col := e.i32(t, vals)
+		gids := e.buf(t, n+1)
+		if err := HashLookupGids(e.q, gids, state, keys1, nil, slotGid, col, nil, n, capacity, nil).Wait(); err != nil {
+			t.Fatal(err)
+		}
+		seen := make([]bool, n)
+		st := starts.U32()
+		for g := 0; g < nd; g++ {
+			for b := st[g]; b < st[g+1]; b++ {
+				row := rowids.U32()[b]
+				if seen[row] {
+					t.Fatalf("%s: row %d in two buckets", dev.Name, row)
+				}
+				seen[row] = true
+				if gids.I32()[row] != int32(g) {
+					t.Fatalf("%s: row %d bucket/gid mismatch", dev.Name, row)
+				}
+			}
+		}
+		for i, s := range seen {
+			if !s {
+				t.Fatalf("%s: row %d not in any bucket", dev.Name, i)
+			}
+		}
+		// Group ids must be consistent: equal values ⇔ equal ids.
+		byVal := map[int32]int32{}
+		for i, v := range vals {
+			g := gids.I32()[i]
+			if prev, ok := byVal[v]; ok && prev != g {
+				t.Fatalf("%s: value %d has two group ids", dev.Name, v)
+			}
+			byVal[v] = g
+		}
+	}
+}
+
+func TestHashPessimisticOnlyCompositeKeys(t *testing.T) {
+	// Composite (two-word) keys skip the optimistic round; build directly
+	// with the pessimistic kernel and verify lookups.
+	e := newEnv(cl.NewCPUDevice(4))
+	n := 5000
+	col := make([]int32, n)
+	prev := make([]uint32, n)
+	r := rand.New(rand.NewSource(23))
+	for i := range col {
+		col[i] = r.Int31n(50)
+		prev[i] = uint32(r.Intn(7))
+	}
+	cb := e.i32(t, col)
+	pb := e.u32(t, prev)
+	capacity := TableCapacity(n)
+	state, keys1, keys2 := e.buf(t, capacity), e.buf(t, capacity), e.buf(t, capacity)
+	fail := e.buf(t, 1)
+	ev := HashInsertPessimistic(e.q, state, keys1, keys2, cb, pb, fail, n, capacity, nil)
+	if err := ev.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if fail.U32()[0] != 0 {
+		t.Fatal("pessimistic insert failed with ample capacity")
+	}
+	slotGid := e.buf(t, capacity)
+	total := e.buf(t, 1)
+	if err := HashEnumerate(e.q, slotGid, state, e.scratch(t), total, capacity, nil).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	gids := e.buf(t, n+1)
+	if err := HashLookupGids(e.q, gids, state, keys1, keys2, slotGid, cb, pb, n, capacity, nil).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	type pair struct {
+		v int32
+		p uint32
+	}
+	byKey := map[pair]int32{}
+	for i := 0; i < n; i++ {
+		g := gids.I32()[i]
+		if g < 0 {
+			t.Fatalf("row %d not found after insert", i)
+		}
+		k := pair{col[i], prev[i]}
+		if prevG, ok := byKey[k]; ok && prevG != g {
+			t.Fatalf("composite key %v has two ids", k)
+		}
+		byKey[k] = g
+	}
+	if int(total.U32()[0]) != len(byKey) {
+		t.Fatalf("ndistinct = %d, want %d", total.U32()[0], len(byKey))
+	}
+}
+
+func TestJoinProbeKernels(t *testing.T) {
+	for _, dev := range devices() {
+		e := newEnv(dev)
+		build := []int32{5, 7, 5, 9}
+		probe := []int32{5, 9, 1, 7, 5}
+		state, keys1, slotGid, starts, rowids, capacity, nd := buildTable(t, e, build)
+		pb := e.i32(t, probe)
+		n := len(probe)
+		counts := e.buf(t, n+1)
+		ev := JoinProbeCount(e.q, counts, state, keys1, slotGid, starts, pb, n, capacity, nil)
+		offsets := e.buf(t, n+1)
+		total := e.buf(t, 1)
+		ev = PrefixSum(e.q, offsets, counts, e.scratch(t), total, n, []*cl.Event{ev})
+		if err := ev.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		m := int(total.U32()[0])
+		if m != 6 { // 5→{0,2} twice, 9→{3}, 7→{1}
+			t.Fatalf("%s: match count = %d, want 6", dev.Name, m)
+		}
+		outL, outR := e.buf(t, m+1), e.buf(t, m+1)
+		if err := JoinProbeWrite(e.q, outL, outR, offsets, state, keys1, slotGid, starts, rowids, pb, n, capacity, nil).Wait(); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < m; i++ {
+			if probe[outL.U32()[i]] != build[outR.U32()[i]] {
+				t.Fatalf("%s: pair %d joins different values", dev.Name, i)
+			}
+		}
+		// Semi/anti probes.
+		bm := e.buf(t, 2)
+		cnt := e.buf(t, 1)
+		ev = ExistsProbe(e.q, bm, state, keys1, slotGid, pb, n, capacity, false, nil)
+		if err := BitmapCount(e.q, bm, e.scratch(t), cnt, n, []*cl.Event{ev}).Wait(); err != nil {
+			t.Fatal(err)
+		}
+		if cnt.U32()[0] != 4 {
+			t.Fatalf("%s: semi count = %d, want 4", dev.Name, cnt.U32()[0])
+		}
+		ev = ExistsProbe(e.q, bm, state, keys1, slotGid, pb, n, capacity, true, nil)
+		if err := BitmapCount(e.q, bm, e.scratch(t), cnt, n, []*cl.Event{ev}).Wait(); err != nil {
+			t.Fatal(err)
+		}
+		if cnt.U32()[0] != 1 {
+			t.Fatalf("%s: anti count = %d, want 1", dev.Name, cnt.U32()[0])
+		}
+		_ = nd
+	}
+}
+
+func TestJoinProbeUniqueFastPath(t *testing.T) {
+	e := newEnv(cl.NewCPUDevice(4))
+	build := []int32{10, 20, 30, 40} // key column
+	probe := []int32{20, 99, 40, 10}
+	state, keys1, slotGid, starts, rowids, capacity, _ := buildTable(t, e, build)
+	pb := e.i32(t, probe)
+	n := len(probe)
+	bm := e.buf(t, 2)
+	rpos := e.buf(t, n+1)
+	ev := JoinProbeUnique(e.q, bm, rpos, state, keys1, slotGid, starts, rowids, pb, n, capacity, nil)
+	if err := ev.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	wantBits := []bool{true, false, true, true}
+	for i, w := range wantBits {
+		got := bm.Bytes()[i/8]&(1<<uint(i%8)) != 0
+		if got != w {
+			t.Fatalf("bit %d = %v, want %v", i, got, w)
+		}
+		if w && build[rpos.U32()[i]] != probe[i] {
+			t.Fatalf("rpos[%d] joins wrong value", i)
+		}
+	}
+}
+
+func TestNestedLoopJoinKernels(t *testing.T) {
+	e := newEnv(cl.NewGPUDevice(64 << 20))
+	l := e.i32(t, []int32{1, 2, 3})
+	r := e.i32(t, []int32{2, 3, 3, 5})
+	nl, nr := 3, 4
+	pred := func(a, b uint32) bool { return int32(a) < int32(b) } // theta: l < r
+	counts := e.buf(t, nl+1)
+	ev := NestedLoopCount(e.q, counts, l, r, nl, nr, pred, nil)
+	offsets := e.buf(t, nl+1)
+	total := e.buf(t, 1)
+	ev = PrefixSum(e.q, offsets, counts, e.scratch(t), total, nl, []*cl.Event{ev})
+	if err := ev.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	m := int(total.U32()[0])
+	if m != 8 { // 1<{2,3,3,5}: 4, 2<{3,3,5}: 3, 3<{5}: 1
+		t.Fatalf("theta join count = %d, want 8", m)
+	}
+	outL, outR := e.buf(t, m+1), e.buf(t, m+1)
+	if err := NestedLoopWrite(e.q, outL, outR, offsets, l, r, nl, nr, pred, nil).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < m; i++ {
+		if !(l.I32()[outL.U32()[i]] < r.I32()[outR.U32()[i]]) {
+			t.Fatalf("pair %d violates theta predicate", i)
+		}
+	}
+}
+
+func TestSortedGroupKernels(t *testing.T) {
+	for _, dev := range devices() {
+		e := newEnv(dev)
+		col := e.i32(t, []int32{3, 3, 5, 5, 5, 9})
+		n := 6
+		flags := e.buf(t, n+1)
+		ev := GroupBoundaryFlags(e.q, flags, col, nil, n, nil)
+		excl := e.buf(t, n+1)
+		total := e.buf(t, 1)
+		ev = PrefixSum(e.q, excl, flags, e.scratch(t), total, n, []*cl.Event{ev})
+		ids := e.buf(t, n+1)
+		if err := GroupIDsFromScan(e.q, ids, excl, flags, n, []*cl.Event{ev}).Wait(); err != nil {
+			t.Fatal(err)
+		}
+		want := []int32{0, 0, 1, 1, 1, 2}
+		for i, w := range want {
+			if ids.I32()[i] != w {
+				t.Fatalf("%s: ids = %v, want %v", dev.Name, ids.I32()[:n], want)
+			}
+		}
+		if total.U32()[0]+1 != 3 {
+			t.Fatalf("%s: ngroups = %d, want 3", dev.Name, total.U32()[0]+1)
+		}
+	}
+}
+
+func TestFillAndIota(t *testing.T) {
+	e := newEnv(cl.NewCPUDevice(2))
+	b := e.buf(t, 10)
+	if err := Fill(e.q, b, 10, 7, nil).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if b.U32()[i] != 7 {
+			t.Fatalf("fill[%d] = %d", i, b.U32()[i])
+		}
+	}
+	if err := Iota(e.q, b, 10, 5, nil).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if b.U32()[0] != 5 || b.U32()[9] != 14 {
+		t.Fatalf("iota = %v", b.U32()[:10])
+	}
+}
+
+func TestI32RangeBounds(t *testing.T) {
+	cases := []struct {
+		lo, hi  float64
+		li, hi2 bool
+		wl, wh  int32
+		ok      bool
+	}{
+		{2, 4, true, true, 2, 4, true},
+		{2, 4, false, false, 3, 3, true},
+		{2.5, 3.5, true, true, 3, 3, true},
+		{4, 2, true, true, 0, 0, false},
+		{math.Inf(-1), 5, true, true, math.MinInt32, 5, true},
+	}
+	for _, c := range cases {
+		l, h, ok := I32RangeBounds(c.lo, c.hi, c.li, c.hi2)
+		if ok != c.ok || (ok && (l != c.wl || h != c.wh)) {
+			t.Fatalf("bounds(%v,%v,%v,%v) = (%d,%d,%v), want (%d,%d,%v)",
+				c.lo, c.hi, c.li, c.hi2, l, h, ok, c.wl, c.wh, c.ok)
+		}
+	}
+}

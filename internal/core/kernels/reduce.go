@@ -1,0 +1,156 @@
+package kernels
+
+import (
+	"math"
+
+	"repro/internal/cl"
+	"repro/internal/ops"
+)
+
+// Ungrouped aggregation uses the parallel binary reduction strategy of
+// Horn's stream-reduction work, as the paper does (§4.1.7): every work-item
+// folds its span into a private accumulator, the per-item partials are then
+// tree-reduced in local memory by a single work-group.
+
+// identityF32 returns the fold identity for a float aggregate.
+func identityF32(kind ops.Agg) float32 {
+	switch kind {
+	case ops.Min:
+		return float32(math.Inf(1))
+	case ops.Max:
+		return float32(math.Inf(-1))
+	default:
+		return 0
+	}
+}
+
+// identityI32 returns the fold identity for an integer aggregate.
+func identityI32(kind ops.Agg) int32 {
+	switch kind {
+	case ops.Min:
+		return math.MaxInt32
+	case ops.Max:
+		return math.MinInt32
+	default:
+		return 0
+	}
+}
+
+func foldF32(kind ops.Agg, a, b float32) float32 {
+	switch kind {
+	case ops.Min:
+		if b < a {
+			return b
+		}
+		return a
+	case ops.Max:
+		if b > a {
+			return b
+		}
+		return a
+	default:
+		return a + b
+	}
+}
+
+func foldI32(kind ops.Agg, a, b int32) int32 {
+	switch kind {
+	case ops.Min:
+		if b < a {
+			return b
+		}
+		return a
+	case ops.Max:
+		if b > a {
+			return b
+		}
+		return a
+	default:
+		return a + b
+	}
+}
+
+// ReduceF32 enqueues the reduction of src[:n] under kind (Sum/Min/Max) into
+// dst[0]. partials must hold gsz words.
+func ReduceF32(q *cl.Queue, dst, src, partials *cl.Buffer, kind ops.Agg, n int, wait []*cl.Event) *cl.Event {
+	dev := q.Device()
+	_, local, gsz := Geometry(dev)
+	s, p, d := src.F32(), partials.F32(), dst.F32()
+	id := identityF32(kind)
+
+	ev1 := q.EnqueueKernel(func(t *cl.Thread) {
+		lo, hi, step := t.Span(n)
+		acc := id
+		for i := lo; i < hi; i += step {
+			acc = foldF32(kind, acc, s[i])
+		}
+		p[t.Global] = acc
+	}, launch(dev, "reduce_f32_partials", cl.Cost{BytesStreamed: int64(n) * 4, Ops: int64(n)}, wait))
+
+	return q.EnqueueKernel(func(t *cl.Thread) {
+		lmem := t.LocalF32()
+		acc := id
+		for i := t.Local; i < gsz; i += t.LocalSize {
+			acc = foldF32(kind, acc, p[i])
+		}
+		lmem[t.Local] = acc
+		t.Barrier()
+		for w := t.LocalSize; w > 1; {
+			half := (w + 1) / 2
+			if t.Local < w/2 {
+				lmem[t.Local] = foldF32(kind, lmem[t.Local], lmem[t.Local+half])
+			}
+			t.Barrier()
+			w = half
+		}
+		if t.Local == 0 {
+			d[0] = lmem[0]
+		}
+	}, cl.Launch{
+		Name: "reduce_f32_final", Groups: 1, Local: local, LocalWords: local,
+		Barriers: true, Cost: cl.Cost{BytesStreamed: int64(gsz) * 4, Ops: int64(gsz)},
+		Wait: []*cl.Event{ev1},
+	})
+}
+
+// ReduceI32 enqueues the int32 reduction of src[:n] under kind into dst[0].
+func ReduceI32(q *cl.Queue, dst, src, partials *cl.Buffer, kind ops.Agg, n int, wait []*cl.Event) *cl.Event {
+	dev := q.Device()
+	_, local, gsz := Geometry(dev)
+	s, p, d := src.I32(), partials.I32(), dst.I32()
+	id := identityI32(kind)
+
+	ev1 := q.EnqueueKernel(func(t *cl.Thread) {
+		lo, hi, step := t.Span(n)
+		acc := id
+		for i := lo; i < hi; i += step {
+			acc = foldI32(kind, acc, s[i])
+		}
+		p[t.Global] = acc
+	}, launch(dev, "reduce_i32_partials", cl.Cost{BytesStreamed: int64(n) * 4, Ops: int64(n)}, wait))
+
+	return q.EnqueueKernel(func(t *cl.Thread) {
+		lmem := t.LocalI32()
+		acc := id
+		for i := t.Local; i < gsz; i += t.LocalSize {
+			acc = foldI32(kind, acc, p[i])
+		}
+		lmem[t.Local] = acc
+		t.Barrier()
+		for w := t.LocalSize; w > 1; {
+			half := (w + 1) / 2
+			if t.Local < w/2 {
+				lmem[t.Local] = foldI32(kind, lmem[t.Local], lmem[t.Local+half])
+			}
+			t.Barrier()
+			w = half
+		}
+		if t.Local == 0 {
+			d[0] = lmem[0]
+		}
+	}, cl.Launch{
+		Name: "reduce_i32_final", Groups: 1, Local: local, LocalWords: local,
+		Barriers: true, Cost: cl.Cost{BytesStreamed: int64(gsz) * 4, Ops: int64(gsz)},
+		Wait: []*cl.Event{ev1},
+	})
+}

@@ -1,0 +1,84 @@
+package kernels
+
+import (
+	"repro/internal/cl"
+)
+
+// PrefixSum enqueues an exclusive prefix sum (scan) over src[:n] into
+// dst[:n], writing the grand total to total[0]. Scans are the workhorse
+// Ocelot uses to turn per-thread counts into unique write offsets
+// (selection materialisation §4.1.2, the two-step joins §4.1.5, the radix
+// sort §4.1.3), following Sengupta et al.'s scan primitives.
+//
+// Three phases, all device-side:
+//  1. each work-item sums its contiguous chunk → partials[item]
+//  2. one work-item scans the (tiny) partials array exclusively
+//  3. each work-item re-walks its chunk, writing running offsets
+//
+// partials must hold gsz+1 words (gsz = Geometry's global size).
+func PrefixSum(q *cl.Queue, dst, src, partials, total *cl.Buffer, n int, wait []*cl.Event) *cl.Event {
+	dev := q.Device()
+	_, _, gsz := Geometry(dev)
+	s, d, p, tot := src.U32(), dst.U32(), partials.U32(), total.U32()
+
+	ev1 := q.EnqueueKernel(func(t *cl.Thread) {
+		lo, hi := t.ChunkSpan(n)
+		var sum uint32
+		for i := lo; i < hi; i++ {
+			sum += s[i]
+		}
+		p[t.Global] = sum
+	}, launch(dev, "scan_partials", cl.Cost{BytesStreamed: int64(n) * 4}, wait))
+
+	ev2 := q.EnqueueKernel(func(t *cl.Thread) {
+		if t.Global != 0 {
+			return
+		}
+		var run uint32
+		for i := 0; i < gsz; i++ {
+			v := p[i]
+			p[i] = run
+			run += v
+		}
+		p[gsz] = run
+		tot[0] = run
+	}, launch(dev, "scan_spine", cl.Cost{BytesStreamed: int64(gsz) * 8}, []*cl.Event{ev1}))
+
+	return q.EnqueueKernel(func(t *cl.Thread) {
+		lo, hi := t.ChunkSpan(n)
+		run := p[t.Global]
+		for i := lo; i < hi; i++ {
+			v := s[i]
+			d[i] = run
+			run += v
+		}
+	}, launch(dev, "scan_apply", cl.Cost{BytesStreamed: int64(n) * 8}, []*cl.Event{ev2}))
+}
+
+// ReduceU32 enqueues a sum reduction of src[:n] into total[0], using
+// per-item partials in partials (gsz+1 words).
+func ReduceU32(q *cl.Queue, src, partials, total *cl.Buffer, n int, wait []*cl.Event) *cl.Event {
+	dev := q.Device()
+	_, _, gsz := Geometry(dev)
+	s, p, tot := src.U32(), partials.U32(), total.U32()
+
+	ev1 := q.EnqueueKernel(func(t *cl.Thread) {
+		lo, hi, step := t.Span(n)
+		var sum uint32
+		for i := lo; i < hi; i += step {
+			sum += s[i]
+		}
+		p[t.Global] = sum
+	}, launch(dev, "reduce_partials", cl.Cost{BytesStreamed: int64(n) * 4}, wait))
+
+	return q.EnqueueKernel(func(t *cl.Thread) {
+		if t.Global != 0 {
+			return
+		}
+		var sum uint32
+		for i := 0; i < gsz; i++ {
+			sum += p[i]
+		}
+		tot[0] = sum
+	}, launch(dev, "reduce_final", cl.Cost{BytesStreamed: int64(gsz) * 4}, []*cl.Event{ev1}))
+}

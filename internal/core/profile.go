@@ -1,0 +1,259 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/cl"
+	"repro/internal/core/kernels"
+	"repro/internal/ops"
+)
+
+// Profile is an automatically generated device performance profile — the
+// §7 future-work item: "an automatic understanding of the performance
+// characteristics of the given hardware, which could be obtained by
+// automatically generating a device profile from standardized benchmarks."
+//
+// Calibrate runs a fixed set of micro-kernels on a device and records the
+// observed rates; the engine then uses the profile to pick between
+// alternative algorithms (today: the radix width of the sort operator,
+// replacing the hard-wired per-class constant) and the hybrid placement
+// layer uses it to cost operators across devices.
+type Profile struct {
+	// Device names the profiled device.
+	Device string
+	// ScanBandwidth is the streaming rate of a bandwidth-bound selection
+	// kernel, in bytes/second.
+	ScanBandwidth float64
+	// GatherBandwidth is the rate of a data-dependent gather, bytes/second.
+	GatherBandwidth float64
+	// ContendedAtomicRate is the throughput of atomics all hitting a
+	// handful of addresses, operations/second.
+	ContendedAtomicRate float64
+	// SortRows maps radix widths (4 and 8 bits) to measured sort
+	// throughput in rows/second.
+	SortRows map[int]float64
+	// LaunchOverhead is the observed fixed cost of an empty kernel launch.
+	LaunchOverhead time.Duration
+}
+
+// calibrationRows sizes the calibration kernels: large enough to be
+// bandwidth-bound on full-size devices.
+const calibrationRows = 1 << 20
+
+// calibRowsFor shrinks the calibration size on tiny devices so that the
+// ~20 working buffers of the calibration suite fit the capacity.
+func calibRowsFor(dev *cl.Device) int {
+	rows := calibrationRows
+	if dev.GlobalMemSize > 0 {
+		if fit := int(dev.GlobalMemSize / (4 * 24)); fit < rows {
+			rows = fit
+		}
+	}
+	if rows < 1024 {
+		rows = 1024
+	}
+	return rows
+}
+
+// Calibrate builds a device profile from standardized micro-benchmarks.
+// On simulated devices the rates come from the virtual timeline, on real
+// devices from the wall clock, so profiles are comparable across the two
+// driver kinds (which is exactly what placement needs).
+func Calibrate(dev *cl.Device) (*Profile, error) {
+	ctx := cl.NewContext(dev)
+	q := cl.NewQueue(ctx)
+	p := &Profile{Device: dev.Name, SortRows: map[int]float64{}}
+	calibrationRows := calibRowsFor(dev)
+
+	alloc := func(words int) (*cl.Buffer, error) { return ctx.CreateBuffer(words * 4) }
+	timeOp := func(reps int, op func() *cl.Event) (time.Duration, error) {
+		if err := op().Wait(); err != nil { // warm-up
+			return 0, err
+		}
+		if dev.Simulated {
+			start := dev.TimelineNow()
+			for i := 0; i < reps; i++ {
+				if err := op().Wait(); err != nil {
+					return 0, err
+				}
+			}
+			return (dev.TimelineNow() - start) / time.Duration(reps), nil
+		}
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			if err := op().Wait(); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start) / time.Duration(reps), nil
+	}
+
+	col, err := alloc(calibrationRows + 1)
+	if err != nil {
+		return nil, fmt.Errorf("calibrate %s: %w", dev.Name, err)
+	}
+	rnd := rand.New(rand.NewSource(99))
+	ci := col.I32()
+	for i := range ci[:calibrationRows] {
+		ci[i] = rnd.Int31n(1000)
+	}
+
+	// Launch overhead: an empty kernel.
+	d, err := timeOp(16, func() *cl.Event {
+		return q.EnqueueKernel(func(*cl.Thread) {}, cl.Launch{Name: "calib_empty"})
+	})
+	if err != nil {
+		return nil, err
+	}
+	p.LaunchOverhead = d
+
+	// Streaming scan: the selection kernel.
+	bm, err := alloc((kernels.BitmapBytes(calibrationRows)+3)/4 + 1)
+	if err != nil {
+		return nil, err
+	}
+	if d, err = timeOp(4, func() *cl.Event {
+		return kernels.SelectI32(q, bm, col, nil, calibrationRows, 0, 49, nil)
+	}); err != nil {
+		return nil, err
+	}
+	p.ScanBandwidth = rate(4*calibrationRows, d)
+
+	// Gather: data-dependent access.
+	idx, err := alloc(calibrationRows + 1)
+	if err != nil {
+		return nil, err
+	}
+	iu := idx.U32()
+	perm := rnd.Perm(calibrationRows)
+	for i := range iu[:calibrationRows] {
+		iu[i] = uint32(perm[i])
+	}
+	dst, err := alloc(calibrationRows + 1)
+	if err != nil {
+		return nil, err
+	}
+	if d, err = timeOp(4, func() *cl.Event {
+		return kernels.Gather(q, dst, col, idx, calibrationRows, nil)
+	}); err != nil {
+		return nil, err
+	}
+	p.GatherBandwidth = rate(4*calibrationRows, d)
+
+	// Contended atomics: grouped count over 4 groups, single accumulator.
+	gids, err := alloc(calibrationRows + 1)
+	if err != nil {
+		return nil, err
+	}
+	gi := gids.I32()
+	for i := range gi[:calibrationRows] {
+		gi[i] = int32(i & 3)
+	}
+	plan := kernels.AggPlan{NGroups: 4, Replicas: 1, Table: 4, UseLocal: true}
+	launchGroups, _ := cl.DefaultLaunch(dev)
+	scratch, err := alloc(launchGroups*plan.Table + 1)
+	if err != nil {
+		return nil, err
+	}
+	cnt, err := alloc(8)
+	if err != nil {
+		return nil, err
+	}
+	if d, err = timeOp(2, func() *cl.Event {
+		return kernels.GroupedAggI32(q, cnt, nil, gids, scratch, ops.Sum, calibrationRows, plan, nil)
+	}); err != nil {
+		return nil, err
+	}
+	p.ContendedAtomicRate = rate(calibrationRows, d)
+
+	// Sort throughput at both candidate radix widths.
+	keys, err := alloc(calibrationRows + 1)
+	if err != nil {
+		return nil, err
+	}
+	vals, err := alloc(calibrationRows + 1)
+	if err != nil {
+		return nil, err
+	}
+	tmpK, err := alloc(calibrationRows + 1)
+	if err != nil {
+		return nil, err
+	}
+	tmpV, err := alloc(calibrationRows + 1)
+	if err != nil {
+		return nil, err
+	}
+	_, _, gsz := kernels.Geometry(dev)
+	hist, err := alloc((1<<8)*gsz + 2)
+	if err != nil {
+		return nil, err
+	}
+	ku := keys.U32()
+	for _, bits := range []int{4, 8} {
+		bits := bits
+		if d, err = timeOp(2, func() *cl.Event {
+			for i := range ku[:calibrationRows] {
+				ku[i] = rnd.Uint32()
+			}
+			ev := kernels.Iota(q, vals, calibrationRows, 0, nil)
+			return kernels.SortU32Bits(q, keys, vals, tmpK, tmpV, hist, calibrationRows, bits, []*cl.Event{ev})
+		}); err != nil {
+			return nil, err
+		}
+		p.SortRows[bits] = rate(calibrationRows, d)
+	}
+
+	for _, b := range []*cl.Buffer{col, bm, idx, dst, gids, scratch, cnt, keys, vals, tmpK, tmpV, hist} {
+		_ = b.Release()
+	}
+	return p, nil
+}
+
+func rate(units int, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(units) / d.Seconds()
+}
+
+// RadixBits returns the profile-selected sort radix width, falling back to
+// the device-class constant when the profile is inconclusive.
+func (p *Profile) RadixBits(dev *cl.Device) int {
+	best, bestRate := 0, 0.0
+	for bits, r := range p.SortRows {
+		if r > bestRate {
+			best, bestRate = bits, r
+		}
+	}
+	if best == 0 {
+		return kernels.RadixBits(dev)
+	}
+	return best
+}
+
+// String renders the profile for tools.
+func (p *Profile) String() string {
+	return fmt.Sprintf(
+		"profile(%s): scan %.1f GB/s, gather %.1f GB/s, contended atomics %.1f M/s, sort r4 %.1f / r8 %.1f Mrows/s, launch %v",
+		p.Device, p.ScanBandwidth/1e9, p.GatherBandwidth/1e9, p.ContendedAtomicRate/1e6,
+		p.SortRows[4]/1e6, p.SortRows[8]/1e6, p.LaunchOverhead)
+}
+
+// SetProfile attaches a calibrated profile to the engine: the sort operator
+// then picks its radix width from measurement instead of the device-class
+// default — the first concrete instance of the paper's §7 "optimizer
+// selecting the best-fitting algorithm for the given device".
+func (e *Engine) SetProfile(p *Profile) { e.profile = p }
+
+// ProfileOf returns the engine's attached profile, if any.
+func (e *Engine) ProfileOf() *Profile { return e.profile }
+
+// sortRadixBits is the algorithm-selection hook used by Sort.
+func (e *Engine) sortRadixBits() int {
+	if e.profile != nil {
+		return e.profile.RadixBits(e.dev)
+	}
+	return kernels.RadixBits(e.dev)
+}

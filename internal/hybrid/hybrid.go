@@ -1,0 +1,470 @@
+// Package hybrid implements the paper's §7 multi-device future work:
+// "Reasonably supporting multiple devices would call for automatic operator
+// placement. As a prerequisite, this requires an understanding of specific
+// hardware properties, which could also be based on automatically generated
+// device profiles. Once the cost model is defined, a hardware-aware query
+// optimizer strategy is required to decide on the actual placement."
+//
+// The Engine here owns two Ocelot engines — one per device — calibrates a
+// profile for each (core.Calibrate), and routes every operator call to the
+// device with the lower estimated cost: streamed bytes over the profiled
+// scan bandwidth, plus the PCIe cost of shipping any inputs that are not
+// already resident on the device. Intermediates stay where they were
+// produced; crossing devices goes through an explicit sync, exactly as the
+// ownership rules of §3.4 prescribe. A device failure (out of device
+// memory) falls back to the other device transparently.
+package hybrid
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/bat"
+	"repro/internal/cl"
+	"repro/internal/core"
+	"repro/internal/ops"
+)
+
+// Engine is the placement layer over two Ocelot engines. It implements
+// ops.Operators, so it slots into the MAL session as a fifth configuration.
+type Engine struct {
+	cpu, gpu   *core.Engine
+	cpuProfile *core.Profile
+	gpuProfile *core.Profile
+
+	mu    sync.Mutex
+	owner map[*bat.BAT]*core.Engine // engine owning each Ocelot-owned BAT
+	// placement counters (observability for tests and tools)
+	placed map[string]map[string]int
+}
+
+// New builds the two engines and calibrates their profiles. threads sizes
+// the CPU driver, gpuMem the simulated device memory.
+func New(threads int, gpuMem int64) (*Engine, error) {
+	cpu := core.New(cl.NewCPUDevice(threads))
+	gpu := core.New(cl.NewGPUDevice(gpuMem))
+	cpuProf, err := core.Calibrate(cpu.Device())
+	if err != nil {
+		return nil, fmt.Errorf("hybrid: calibrating CPU: %w", err)
+	}
+	gpuProf, err := core.Calibrate(gpu.Device())
+	if err != nil {
+		return nil, fmt.Errorf("hybrid: calibrating GPU: %w", err)
+	}
+	cpu.SetProfile(cpuProf)
+	gpu.SetProfile(gpuProf)
+	return &Engine{
+		cpu: cpu, gpu: gpu,
+		cpuProfile: cpuProf, gpuProfile: gpuProf,
+		owner:  map[*bat.BAT]*core.Engine{},
+		placed: map[string]map[string]int{},
+	}, nil
+}
+
+// Name implements ops.Operators.
+func (h *Engine) Name() string { return "Ocelot[hybrid CPU+GPU]" }
+
+// Profiles returns the calibrated device profiles.
+func (h *Engine) Profiles() (cpu, gpu *core.Profile) { return h.cpuProfile, h.gpuProfile }
+
+// Placements returns how many times each operator ran on each device.
+func (h *Engine) Placements() map[string]map[string]int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make(map[string]map[string]int, len(h.placed))
+	for op, m := range h.placed {
+		c := make(map[string]int, len(m))
+		for k, v := range m {
+			c[k] = v
+		}
+		out[op] = c
+	}
+	return out
+}
+
+// Engines returns the two underlying engines (tools and tests).
+func (h *Engine) Engines() (cpu, gpu *core.Engine) { return h.cpu, h.gpu }
+
+func (h *Engine) note(op string, target *core.Engine) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	m := h.placed[op]
+	if m == nil {
+		m = map[string]int{}
+		h.placed[op] = m
+	}
+	m[target.Device().Const.Class.String()]++
+}
+
+// batBytes estimates a BAT's payload volume.
+func batBytes(b *bat.BAT) int64 {
+	if b == nil {
+		return 0
+	}
+	if n := b.HeapBytes(); n > 0 {
+		return n
+	}
+	return int64(b.Len()) * 4
+}
+
+// pick chooses the execution device for an operator touching the given
+// inputs. Owned intermediates pin the choice to their producer unless both
+// devices own inputs (then everything syncs to the host and the cost model
+// decides). bytes is the operator's streamed volume estimate.
+func (h *Engine) pick(inputs []*bat.BAT, bytes int64) *core.Engine {
+	h.mu.Lock()
+	var forced *core.Engine
+	split := false
+	for _, b := range inputs {
+		if b == nil || !b.OcelotOwned {
+			continue
+		}
+		if own := h.owner[b]; own != nil {
+			if forced != nil && forced != own {
+				split = true
+			}
+			forced = own
+		}
+	}
+	h.mu.Unlock()
+	if forced != nil && !split {
+		return forced
+	}
+
+	// Cost both devices: streamed volume over the profiled scan rate plus
+	// the PCIe shipping cost of inputs not resident on the GPU.
+	cpuCost := secs(bytes, h.cpuProfile.ScanBandwidth) + h.cpuProfile.LaunchOverhead.Seconds()
+	var ship int64
+	for _, b := range inputs {
+		if b != nil && !h.gpu.Memory().HasDeviceCopy(b) {
+			ship += batBytes(b)
+		}
+	}
+	link := h.gpu.Device().Perf.TransferBandwidth
+	gpuCost := secs(bytes, h.gpuProfile.ScanBandwidth) +
+		secs(ship, link) + h.gpuProfile.LaunchOverhead.Seconds()
+	if gpuCost < cpuCost {
+		return h.gpu
+	}
+	return h.cpu
+}
+
+func secs(bytes int64, rate float64) float64 {
+	if rate <= 0 {
+		return 0
+	}
+	return float64(bytes) / rate
+}
+
+// migrate makes every input readable by target: inputs owned by the other
+// engine are synchronised back to the host (the §3.4 ownership hand-over),
+// after which target uploads them like any base BAT.
+func (h *Engine) migrate(target *core.Engine, inputs ...*bat.BAT) error {
+	for _, b := range inputs {
+		if b == nil || !b.OcelotOwned {
+			continue
+		}
+		h.mu.Lock()
+		own := h.owner[b]
+		h.mu.Unlock()
+		if own == nil || own == target {
+			continue
+		}
+		if err := own.Sync(b); err != nil {
+			return fmt.Errorf("hybrid: migrating %q: %w", b.Name, err)
+		}
+		h.mu.Lock()
+		delete(h.owner, b)
+		h.mu.Unlock()
+	}
+	return nil
+}
+
+// adopt records target as the owner of freshly produced BATs.
+func (h *Engine) adopt(target *core.Engine, outs ...*bat.BAT) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, b := range outs {
+		if b != nil && b.OcelotOwned {
+			h.owner[b] = target
+		}
+	}
+}
+
+// other returns the fallback device.
+func (h *Engine) other(e *core.Engine) *core.Engine {
+	if e == h.cpu {
+		return h.gpu
+	}
+	return h.cpu
+}
+
+// run executes f on the chosen device, falling back to the other device on
+// failure (e.g. the GPU running out of memory mid-operator).
+func (h *Engine) run(op string, inputs []*bat.BAT, bytes int64, f func(e *core.Engine) ([]*bat.BAT, error)) ([]*bat.BAT, error) {
+	target := h.pick(inputs, bytes)
+	if err := h.migrate(target, inputs...); err != nil {
+		return nil, err
+	}
+	outs, err := f(target)
+	if err != nil {
+		fallback := h.other(target)
+		if mErr := h.migrate(fallback, inputs...); mErr != nil {
+			return nil, err
+		}
+		if outs, err = f(fallback); err != nil {
+			return nil, err
+		}
+		target = fallback
+	}
+	h.note(op, target)
+	h.adopt(target, outs...)
+	return outs, nil
+}
+
+// --- ops.Operators ---
+
+// Select routes the selection to the cheaper device.
+func (h *Engine) Select(col, cand *bat.BAT, lo, hi float64, loIncl, hiIncl bool) (*bat.BAT, error) {
+	outs, err := h.run("select", []*bat.BAT{col, cand}, batBytes(col), func(e *core.Engine) ([]*bat.BAT, error) {
+		r, err := e.Select(col, cand, lo, hi, loIncl, hiIncl)
+		return []*bat.BAT{r}, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return outs[0], nil
+}
+
+// SelectCmp routes the column-comparison selection.
+func (h *Engine) SelectCmp(a, b *bat.BAT, cmp ops.Cmp, cand *bat.BAT) (*bat.BAT, error) {
+	outs, err := h.run("selectcmp", []*bat.BAT{a, b, cand}, batBytes(a)*2, func(e *core.Engine) ([]*bat.BAT, error) {
+		r, err := e.SelectCmp(a, b, cmp, cand)
+		return []*bat.BAT{r}, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return outs[0], nil
+}
+
+// Project routes the gather.
+func (h *Engine) Project(cand, col *bat.BAT) (*bat.BAT, error) {
+	outs, err := h.run("leftfetchjoin", []*bat.BAT{cand, col}, batBytes(cand)+batBytes(col), func(e *core.Engine) ([]*bat.BAT, error) {
+		r, err := e.Project(cand, col)
+		return []*bat.BAT{r}, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return outs[0], nil
+}
+
+// Join routes the hash join.
+func (h *Engine) Join(l, r *bat.BAT) (*bat.BAT, *bat.BAT, error) {
+	outs, err := h.run("join", []*bat.BAT{l, r}, 3*(batBytes(l)+batBytes(r)), func(e *core.Engine) ([]*bat.BAT, error) {
+		a, b, err := e.Join(l, r)
+		return []*bat.BAT{a, b}, err
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return outs[0], outs[1], nil
+}
+
+// ThetaJoin routes the nested-loop join.
+func (h *Engine) ThetaJoin(l, r *bat.BAT, cmp ops.Cmp) (*bat.BAT, *bat.BAT, error) {
+	outs, err := h.run("thetajoin", []*bat.BAT{l, r}, batBytes(l)*int64(r.Len()+1), func(e *core.Engine) ([]*bat.BAT, error) {
+		a, b, err := e.ThetaJoin(l, r, cmp)
+		return []*bat.BAT{a, b}, err
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return outs[0], outs[1], nil
+}
+
+// SemiJoin routes the existence join.
+func (h *Engine) SemiJoin(l, r *bat.BAT) (*bat.BAT, error) {
+	outs, err := h.run("semijoin", []*bat.BAT{l, r}, 2*(batBytes(l)+batBytes(r)), func(e *core.Engine) ([]*bat.BAT, error) {
+		a, err := e.SemiJoin(l, r)
+		return []*bat.BAT{a}, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return outs[0], nil
+}
+
+// AntiJoin routes the negated existence join.
+func (h *Engine) AntiJoin(l, r *bat.BAT) (*bat.BAT, error) {
+	outs, err := h.run("antijoin", []*bat.BAT{l, r}, 2*(batBytes(l)+batBytes(r)), func(e *core.Engine) ([]*bat.BAT, error) {
+		a, err := e.AntiJoin(l, r)
+		return []*bat.BAT{a}, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return outs[0], nil
+}
+
+// BuildHash builds the table on the cheaper device; the handle pins later
+// probes to that device.
+func (h *Engine) BuildHash(col *bat.BAT) (ops.HashTable, error) {
+	target := h.pick([]*bat.BAT{col}, 4*batBytes(col))
+	if err := h.migrate(target, col); err != nil {
+		return nil, err
+	}
+	ht, err := target.BuildHash(col)
+	if err != nil {
+		fallback := h.other(target)
+		if mErr := h.migrate(fallback, col); mErr != nil {
+			return nil, err
+		}
+		if ht, err = fallback.BuildHash(col); err != nil {
+			return nil, err
+		}
+		target = fallback
+	}
+	h.note("buildhash", target)
+	return &placedTable{HashTable: ht, home: target}, nil
+}
+
+// placedTable pins a hash table to the device that built it.
+type placedTable struct {
+	ops.HashTable
+	home *core.Engine
+}
+
+// HashProbe runs on the device owning the table.
+func (h *Engine) HashProbe(probe *bat.BAT, ht ops.HashTable) (*bat.BAT, *bat.BAT, error) {
+	pt, ok := ht.(*placedTable)
+	if !ok {
+		return nil, nil, fmt.Errorf("hybrid: foreign hash table %T", ht)
+	}
+	if err := h.migrate(pt.home, probe); err != nil {
+		return nil, nil, err
+	}
+	l, r, err := pt.home.HashProbe(probe, pt.HashTable)
+	if err != nil {
+		return nil, nil, err
+	}
+	h.note("hashprobe", pt.home)
+	h.adopt(pt.home, l, r)
+	return l, r, nil
+}
+
+// Group routes the grouping.
+func (h *Engine) Group(col, grp *bat.BAT, ngrp int) (*bat.BAT, int, error) {
+	var out *bat.BAT
+	var n int
+	_, err := h.run("group", []*bat.BAT{col, grp}, 6*batBytes(col), func(e *core.Engine) ([]*bat.BAT, error) {
+		g, ng, err := e.Group(col, grp, ngrp)
+		out, n = g, ng
+		return []*bat.BAT{g}, err
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return out, n, nil
+}
+
+// Aggr routes the aggregation.
+func (h *Engine) Aggr(kind ops.Agg, vals, groups *bat.BAT, ngroups int) (*bat.BAT, error) {
+	outs, err := h.run(kind.String(), []*bat.BAT{vals, groups}, batBytes(vals)+batBytes(groups), func(e *core.Engine) ([]*bat.BAT, error) {
+		r, err := e.Aggr(kind, vals, groups, ngroups)
+		return []*bat.BAT{r}, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return outs[0], nil
+}
+
+// Sort routes the radix sort (multi-pass: heavy traffic).
+func (h *Engine) Sort(col *bat.BAT) (*bat.BAT, *bat.BAT, error) {
+	outs, err := h.run("sort", []*bat.BAT{col}, 10*batBytes(col), func(e *core.Engine) ([]*bat.BAT, error) {
+		s, o, err := e.Sort(col)
+		return []*bat.BAT{s, o}, err
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return outs[0], outs[1], nil
+}
+
+// Binop routes the arithmetic map.
+func (h *Engine) Binop(op ops.Bin, a, b *bat.BAT) (*bat.BAT, error) {
+	outs, err := h.run("binop", []*bat.BAT{a, b}, batBytes(a)*3, func(e *core.Engine) ([]*bat.BAT, error) {
+		r, err := e.Binop(op, a, b)
+		return []*bat.BAT{r}, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return outs[0], nil
+}
+
+// BinopConst routes the constant arithmetic map.
+func (h *Engine) BinopConst(op ops.Bin, a *bat.BAT, c float64, constFirst bool) (*bat.BAT, error) {
+	outs, err := h.run("binopconst", []*bat.BAT{a}, batBytes(a)*2, func(e *core.Engine) ([]*bat.BAT, error) {
+		r, err := e.BinopConst(op, a, c, constFirst)
+		return []*bat.BAT{r}, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return outs[0], nil
+}
+
+// OIDUnion routes the disjunction combine.
+func (h *Engine) OIDUnion(a, b *bat.BAT) (*bat.BAT, error) {
+	outs, err := h.run("union", []*bat.BAT{a, b}, batBytes(a)+batBytes(b), func(e *core.Engine) ([]*bat.BAT, error) {
+		r, err := e.OIDUnion(a, b)
+		return []*bat.BAT{r}, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return outs[0], nil
+}
+
+// Sync hands a BAT back to the host via its owning device.
+func (h *Engine) Sync(b *bat.BAT) error {
+	if b == nil || !b.OcelotOwned {
+		return nil
+	}
+	h.mu.Lock()
+	own := h.owner[b]
+	delete(h.owner, b)
+	h.mu.Unlock()
+	if own == nil {
+		own = h.cpu
+	}
+	return own.Sync(b)
+}
+
+// Release drops device state on the owning device.
+func (h *Engine) Release(b *bat.BAT) {
+	if b == nil {
+		return
+	}
+	h.mu.Lock()
+	own := h.owner[b]
+	delete(h.owner, b)
+	h.mu.Unlock()
+	if own != nil {
+		own.Release(b)
+		return
+	}
+	h.cpu.Release(b)
+	h.gpu.Release(b)
+}
+
+// Finish drains both devices.
+func (h *Engine) Finish() error {
+	if err := h.cpu.Finish(); err != nil {
+		return err
+	}
+	return h.gpu.Finish()
+}

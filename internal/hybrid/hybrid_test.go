@@ -1,0 +1,330 @@
+package hybrid
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bat"
+	"repro/internal/mem"
+	"repro/internal/ops"
+)
+
+func newEngine(t *testing.T) *Engine {
+	t.Helper()
+	h, err := New(4, 256<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func i32Col(name string, vals []int32) *bat.BAT {
+	s := mem.AllocI32(len(vals))
+	copy(s, vals)
+	return bat.NewI32(name, s)
+}
+
+func randI32(n int, max int32, seed int64) []int32 {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = r.Int31n(max)
+	}
+	return out
+}
+
+func TestCalibratedProfiles(t *testing.T) {
+	h := newEngine(t)
+	cpu, gpu := h.Profiles()
+	if cpu.ScanBandwidth <= 0 || gpu.ScanBandwidth <= 0 {
+		t.Fatalf("profiles not calibrated: %v / %v", cpu, gpu)
+	}
+	if gpu.ScanBandwidth <= cpu.ScanBandwidth {
+		t.Fatalf("simulated GPU (%.1f GB/s) should out-scan the CPU (%.1f GB/s)",
+			gpu.ScanBandwidth/1e9, cpu.ScanBandwidth/1e9)
+	}
+	if cpu.SortRows[8] <= 0 || cpu.SortRows[4] <= 0 {
+		t.Fatal("sort rates missing from profile")
+	}
+	if cpu.String() == "" || gpu.String() == "" {
+		t.Fatal("profile rendering empty")
+	}
+}
+
+func TestPipelineCorrectUnderPlacement(t *testing.T) {
+	h := newEngine(t)
+	vals := randI32(200_000, 1000, 1)
+	col := i32Col("c", vals)
+	other := i32Col("o", randI32(200_000, 50, 2))
+
+	sel, err := h.Select(col, nil, 100, 499, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prj, err := h.Project(sel, other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, n, err := h.Group(prj, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cnt, err := h.Aggr(ops.Count, nil, g, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Sync(cnt); err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, c := range cnt.I32s() {
+		total += int64(c)
+	}
+	want := 0
+	for _, v := range vals {
+		if v >= 100 && v <= 499 {
+			want++
+		}
+	}
+	if total != int64(want) {
+		t.Fatalf("hybrid pipeline counted %d rows, want %d", total, want)
+	}
+	if len(h.Placements()) == 0 {
+		t.Fatal("no placements recorded")
+	}
+}
+
+func TestLargeOpsPreferGPU(t *testing.T) {
+	h := newEngine(t)
+	// 8 MB column: the simulated GPU's bandwidth advantage should win even
+	// with the upload.
+	col := i32Col("big", randI32(2<<20, 1000, 3))
+	sel, err := h.Select(col, nil, 0, 499, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = sel
+	got := h.Placements()["select"]
+	if got["GPU"] == 0 {
+		t.Fatalf("large select not placed on the GPU: %v", got)
+	}
+}
+
+func TestCrossDeviceMigrationThroughSync(t *testing.T) {
+	h := newEngine(t)
+	cpuEng, _ := h.Engines()
+	// Produce an intermediate explicitly on the CPU engine, then consume it
+	// via the hybrid layer: migration must sync it back to the host first.
+	col := i32Col("c", randI32(50_000, 100, 4))
+	sel, err := cpuEng.Select(col, nil, 0, 49, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.mu.Lock()
+	h.owner[sel] = cpuEng
+	h.mu.Unlock()
+
+	prj, err := h.Project(sel, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Sync(prj); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range prj.I32s() {
+		if v < 0 || v > 49 {
+			t.Fatalf("migrated projection has out-of-range value %d", v)
+		}
+	}
+}
+
+func TestGPUFailureFallsBackToCPU(t *testing.T) {
+	// A hybrid with a tiny GPU: big operators must fall back to the CPU
+	// rather than fail.
+	h, err := New(4, 3<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := i32Col("big", randI32(4<<20, 1000, 5)) // 16 MB, exceeds the device
+	sel, err := h.Select(col, nil, 0, 499, true, true)
+	if err != nil {
+		t.Fatalf("hybrid did not fall back: %v", err)
+	}
+	if err := h.Sync(sel); err != nil {
+		t.Fatal(err)
+	}
+	if sel.Len() == 0 {
+		t.Fatal("fallback produced no rows")
+	}
+}
+
+func TestHashTablePinsProbeDevice(t *testing.T) {
+	h := newEngine(t)
+	build := i32Col("b", []int32{5, 7, 9})
+	build.Props.Key = true
+	probe := i32Col("p", randI32(10_000, 12, 6))
+	ht, err := h.BuildHash(build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, r, err := h.HashProbe(probe, ht)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Sync(l); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Sync(r); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < l.Len(); i++ {
+		if probe.I32s()[l.OIDs()[i]] != build.I32s()[r.OIDs()[i]] {
+			t.Fatalf("hybrid probe pair %d mismatched", i)
+		}
+	}
+	ht.Release()
+	if err := h.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReleaseWithoutOwnerIsSafe(t *testing.T) {
+	h := newEngine(t)
+	col := i32Col("c", []int32{1, 2, 3})
+	h.Release(col) // never owned: must be a no-op, not a panic
+	h.Release(nil)
+}
+
+// TestAllOperatorsThroughHybrid drives every routed operator once and
+// validates results against trivially computable expectations.
+func TestAllOperatorsThroughHybrid(t *testing.T) {
+	h := newEngine(t)
+	a := i32Col("a", []int32{1, 5, 3, 7, 2})
+	b := i32Col("b", []int32{2, 4, 3, 9, 1})
+
+	// SelectCmp.
+	lt, err := h.SelectCmp(a, b, ops.Lt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Sync(lt); err != nil {
+		t.Fatal(err)
+	}
+	if lt.Len() != 2 {
+		t.Fatalf("selectcmp = %d rows", lt.Len())
+	}
+
+	// Join (duplicates) and ThetaJoin.
+	l := i32Col("l", []int32{1, 2, 3, 2})
+	r := i32Col("r", []int32{2, 2, 8})
+	jl, jr, err := h.Join(l, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Sync(jl); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Sync(jr); err != nil {
+		t.Fatal(err)
+	}
+	if jl.Len() != 4 { // two 2s in l... l has 2 at pos 1,3; r has two 2s → 4 pairs
+		t.Fatalf("join pairs = %d, want 4", jl.Len())
+	}
+	tl, tr, err := h.ThetaJoin(a, r, ops.Gt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Sync(tl); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Sync(tr); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < tl.Len(); i++ {
+		if !(a.I32s()[tl.OIDs()[i]] > r.I32s()[tr.OIDs()[i]]) {
+			t.Fatal("theta predicate violated")
+		}
+	}
+
+	// Semi/Anti.
+	semi, err := h.SemiJoin(a, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anti, err := h.AntiJoin(a, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Sync(semi); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Sync(anti); err != nil {
+		t.Fatal(err)
+	}
+	if semi.Len()+anti.Len() != a.Len() {
+		t.Fatal("semi+anti must partition the input")
+	}
+
+	// Sort + Binop + BinopConst + OIDUnion.
+	sorted, order, err := h.Sort(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Sync(sorted); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Sync(order); err != nil {
+		t.Fatal(err)
+	}
+	s := sorted.I32s()
+	for i := 1; i < len(s); i++ {
+		if s[i] < s[i-1] {
+			t.Fatal("hybrid sort unsorted")
+		}
+	}
+	mul, err := h.Binop(ops.Mul, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Sync(mul); err != nil {
+		t.Fatal(err)
+	}
+	if mul.I32s()[0] != 2 {
+		t.Fatalf("binop = %v", mul.I32s())
+	}
+	inc, err := h.BinopConst(ops.Add, a, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Sync(inc); err != nil {
+		t.Fatal(err)
+	}
+	if inc.I32s()[0] != 2 {
+		t.Fatalf("binopconst = %v", inc.I32s())
+	}
+	s1, err := h.Select(a, nil, 1, 2, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := h.Select(a, nil, 5, 9, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := h.OIDUnion(s1, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Sync(u); err != nil {
+		t.Fatal(err)
+	}
+	if u.Len() != 4 {
+		t.Fatalf("union = %v", u.OIDs())
+	}
+
+	if h.Name() == "" {
+		t.Fatal("empty name")
+	}
+	if err := h.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,302 @@
+// Package mal is the execution layer Ocelot drops into: the operator-at-a-
+// time evaluation model of MonetDB's MAL (§3.1, §3.4). A query plan is a
+// sequence of operator calls against a Session; the session binds every call
+// to one operator implementation — the drop-in-replacement mechanism of the
+// paper's query rewriter: running the *same plan* under a different
+// configuration only swaps which module the calls route to.
+//
+// The session also implements the rewriter's sync insertion (§3.4): results
+// and scalars leaving the plan are synchronised automatically, handing
+// ownership of Ocelot-owned BATs back to "MonetDB" before host code reads
+// them. An instruction trace is recorded for EXPLAIN-style output, which is
+// how the paper derives its microbenchmark plans (§5.2).
+package mal
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/bat"
+	"repro/internal/ops"
+)
+
+// Instr is one recorded plan instruction.
+type Instr struct {
+	// Module is the operator module the call was routed to (the engine
+	// name), Op the operator.
+	Module, Op string
+	// Args describes the operands, Ret the result, both for display.
+	Args []string
+	Ret  string
+	// Took is the host-observed latency of the call (enqueue time for lazy
+	// engines, execution time for eager ones).
+	Took time.Duration
+}
+
+func (i Instr) String() string {
+	return fmt.Sprintf("%s := %s.%s(%s)", i.Ret, i.Module, i.Op, strings.Join(i.Args, ", "))
+}
+
+// abort carries plan errors through panics so query plans read linearly;
+// RunQuery recovers it.
+type abort struct{ err error }
+
+// Session executes one query plan against one operator configuration.
+type Session struct {
+	o       ops.Operators
+	module  string
+	trace   []Instr
+	owned   []*bat.BAT
+	traceOn bool
+}
+
+// NewSession creates a session bound to an operator implementation.
+func NewSession(o ops.Operators) *Session {
+	return &Session{o: o, module: moduleName(o.Name())}
+}
+
+// moduleName derives the short MAL module label from an engine name.
+func moduleName(engine string) string {
+	switch {
+	case strings.Contains(engine, "Ocelot"):
+		return "ocelot"
+	case strings.Contains(engine, "parallel"):
+		return "batmat" // MonetDB's mitosis/dataflow module
+	default:
+		return "algebra"
+	}
+}
+
+// EnableTrace turns on instruction recording (EXPLAIN).
+func (s *Session) EnableTrace() { s.traceOn = true }
+
+// Trace returns the recorded instructions.
+func (s *Session) Trace() []Instr { return s.trace }
+
+// Operators exposes the bound implementation.
+func (s *Session) Operators() ops.Operators { return s.o }
+
+func (s *Session) fail(op string, err error) {
+	panic(abort{fmt.Errorf("%s.%s: %w", s.module, op, err)})
+}
+
+func (s *Session) record(op string, start time.Time, ret string, args ...string) {
+	if !s.traceOn {
+		return
+	}
+	s.trace = append(s.trace, Instr{
+		Module: s.module, Op: op, Args: args, Ret: ret, Took: time.Since(start),
+	})
+}
+
+// adopt registers an operator result for end-of-plan release.
+func (s *Session) adopt(b *bat.BAT) *bat.BAT {
+	if b != nil {
+		s.owned = append(s.owned, b)
+	}
+	return b
+}
+
+func describe(b *bat.BAT) string {
+	if b == nil {
+		return "nil"
+	}
+	return fmt.Sprintf("%s#%d", b.Name, b.Len())
+}
+
+// Close releases all intermediates produced during the plan.
+func (s *Session) Close() {
+	for _, b := range s.owned {
+		s.o.Release(b)
+	}
+	s.owned = nil
+}
+
+// Select routes algebra.select / ocelot.select.
+func (s *Session) Select(col, cand *bat.BAT, lo, hi float64, loIncl, hiIncl bool) *bat.BAT {
+	start := time.Now()
+	res, err := s.o.Select(col, cand, lo, hi, loIncl, hiIncl)
+	if err != nil {
+		s.fail("select", err)
+	}
+	s.record("select", start, describe(res), describe(col), describe(cand),
+		fmt.Sprintf("%v..%v", lo, hi))
+	return s.adopt(res)
+}
+
+// SelectEq is the equality convenience over Select.
+func (s *Session) SelectEq(col, cand *bat.BAT, v float64) *bat.BAT {
+	return s.Select(col, cand, v, v, true, true)
+}
+
+// SelectCmp routes the column-vs-column selection.
+func (s *Session) SelectCmp(a, b *bat.BAT, cmp ops.Cmp, cand *bat.BAT) *bat.BAT {
+	start := time.Now()
+	res, err := s.o.SelectCmp(a, b, cmp, cand)
+	if err != nil {
+		s.fail("selectcmp", err)
+	}
+	s.record("selectcmp", start, describe(res), describe(a), cmp.String(), describe(b))
+	return s.adopt(res)
+}
+
+// Project routes algebra.leftfetchjoin (§5.2.2).
+func (s *Session) Project(cand, col *bat.BAT) *bat.BAT {
+	start := time.Now()
+	res, err := s.o.Project(cand, col)
+	if err != nil {
+		s.fail("leftfetchjoin", err)
+	}
+	s.record("leftfetchjoin", start, describe(res), describe(cand), describe(col))
+	return s.adopt(res)
+}
+
+// Join routes algebra.join.
+func (s *Session) Join(l, r *bat.BAT) (*bat.BAT, *bat.BAT) {
+	start := time.Now()
+	lres, rres, err := s.o.Join(l, r)
+	if err != nil {
+		s.fail("join", err)
+	}
+	s.record("join", start, describe(lres), describe(l), describe(r))
+	return s.adopt(lres), s.adopt(rres)
+}
+
+// ThetaJoin routes algebra.thetajoin (inequality joins via nested loops).
+func (s *Session) ThetaJoin(l, r *bat.BAT, cmp ops.Cmp) (*bat.BAT, *bat.BAT) {
+	start := time.Now()
+	lres, rres, err := s.o.ThetaJoin(l, r, cmp)
+	if err != nil {
+		s.fail("thetajoin", err)
+	}
+	s.record("thetajoin", start, describe(lres), describe(l), cmp.String(), describe(r))
+	return s.adopt(lres), s.adopt(rres)
+}
+
+// SemiJoin routes algebra.semijoin (EXISTS).
+func (s *Session) SemiJoin(l, r *bat.BAT) *bat.BAT {
+	start := time.Now()
+	res, err := s.o.SemiJoin(l, r)
+	if err != nil {
+		s.fail("semijoin", err)
+	}
+	s.record("semijoin", start, describe(res), describe(l), describe(r))
+	return s.adopt(res)
+}
+
+// AntiJoin routes algebra.antijoin (NOT EXISTS).
+func (s *Session) AntiJoin(l, r *bat.BAT) *bat.BAT {
+	start := time.Now()
+	res, err := s.o.AntiJoin(l, r)
+	if err != nil {
+		s.fail("antijoin", err)
+	}
+	s.record("antijoin", start, describe(res), describe(l), describe(r))
+	return s.adopt(res)
+}
+
+// Group routes group.new / group.derive; grp refines a previous grouping.
+func (s *Session) Group(col, grp *bat.BAT, ngrp int) (*bat.BAT, int) {
+	start := time.Now()
+	res, n, err := s.o.Group(col, grp, ngrp)
+	if err != nil {
+		s.fail("group", err)
+	}
+	s.record("group", start, fmt.Sprintf("%s (%d groups)", describe(res), n),
+		describe(col), describe(grp))
+	return s.adopt(res), n
+}
+
+// Aggr routes aggr.sum/count/min/max/avg.
+func (s *Session) Aggr(kind ops.Agg, vals, groups *bat.BAT, ngroups int) *bat.BAT {
+	start := time.Now()
+	res, err := s.o.Aggr(kind, vals, groups, ngroups)
+	if err != nil {
+		s.fail(kind.String(), err)
+	}
+	s.record(kind.String(), start, describe(res), describe(vals), describe(groups))
+	return s.adopt(res)
+}
+
+// Sort routes algebra.sort, returning the sorted column and the order.
+func (s *Session) Sort(col *bat.BAT) (*bat.BAT, *bat.BAT) {
+	start := time.Now()
+	sorted, order, err := s.o.Sort(col)
+	if err != nil {
+		s.fail("sort", err)
+	}
+	s.record("sort", start, describe(sorted), describe(col))
+	return s.adopt(sorted), s.adopt(order)
+}
+
+// Binop routes batcalc arithmetic.
+func (s *Session) Binop(op ops.Bin, a, b *bat.BAT) *bat.BAT {
+	start := time.Now()
+	res, err := s.o.Binop(op, a, b)
+	if err != nil {
+		s.fail("binop", err)
+	}
+	s.record("binop"+op.String(), start, describe(res), describe(a), describe(b))
+	return s.adopt(res)
+}
+
+// BinopConst routes batcalc arithmetic against a constant.
+func (s *Session) BinopConst(op ops.Bin, a *bat.BAT, c float64, constFirst bool) *bat.BAT {
+	start := time.Now()
+	res, err := s.o.BinopConst(op, a, c, constFirst)
+	if err != nil {
+		s.fail("binopconst", err)
+	}
+	s.record("binopconst"+op.String(), start, describe(res), describe(a), fmt.Sprint(c))
+	return s.adopt(res)
+}
+
+// Union routes the disjunctive candidate combine (Figure 3's ∨).
+func (s *Session) Union(a, b *bat.BAT) *bat.BAT {
+	start := time.Now()
+	res, err := s.o.OIDUnion(a, b)
+	if err != nil {
+		s.fail("union", err)
+	}
+	s.record("union", start, describe(res), describe(a), describe(b))
+	return s.adopt(res)
+}
+
+// Sync is the explicit synchronisation operator of §3.4. The rewriter
+// (Result, ScalarF, ScalarI) inserts it automatically at plan boundaries;
+// plans may also call it directly.
+func (s *Session) Sync(b *bat.BAT) *bat.BAT {
+	start := time.Now()
+	if err := s.o.Sync(b); err != nil {
+		s.fail("sync", err)
+	}
+	s.record("sync", start, describe(b), describe(b))
+	return b
+}
+
+// ScalarF extracts the single float of a 1-row aggregate, syncing first.
+func (s *Session) ScalarF(b *bat.BAT) float64 {
+	s.Sync(b)
+	if b.Len() != 1 {
+		s.fail("scalar", fmt.Errorf("BAT %q has %d rows, want 1", b.Name, b.Len()))
+	}
+	switch b.T {
+	case bat.F32:
+		return float64(b.F32s()[0])
+	case bat.I32:
+		return float64(b.I32s()[0])
+	default:
+		s.fail("scalar", fmt.Errorf("BAT %q has non-numeric type %v", b.Name, b.T))
+		return 0
+	}
+}
+
+// ScalarI extracts the single int32 of a 1-row aggregate, syncing first.
+func (s *Session) ScalarI(b *bat.BAT) int32 {
+	s.Sync(b)
+	if b.Len() != 1 || b.T != bat.I32 {
+		s.fail("scalar", fmt.Errorf("BAT %q is not a 1-row int", b.Name))
+	}
+	return b.I32s()[0]
+}

@@ -1,0 +1,231 @@
+package monet
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bat"
+	"repro/internal/mem"
+	"repro/internal/ops"
+)
+
+// Aggr computes aggregates, scalar (groups == nil, result is a 1-row BAT) or
+// grouped. The sequential path is a single accumulation scan; the MP path
+// accumulates per-fragment partials and merges them — MonetDB's
+// mitosis-parallel aggregation. Per the paper's measurement methodology for
+// parallel MonetDB (§5.2.2, footnote 11), the merge of partials is part of
+// the operator here (it is cheap: ngroups × fragments).
+//
+// Count returns I32; Avg returns F32; Sum/Min/Max return the input type.
+// Averages and float sums accumulate in float64 internally — the hand-tuned
+// engine can afford the wider accumulator, unlike the four-byte-restricted
+// kernels (§3.1) — so cross-engine comparisons use a small tolerance.
+func (e *Engine) Aggr(kind ops.Agg, vals, groups *bat.BAT, ngroups int) (*bat.BAT, error) {
+	if err := checkOwnership(vals, groups); err != nil {
+		return nil, err
+	}
+	if groups == nil {
+		ngroups = 1
+	} else if ngroups <= 0 {
+		return nil, fmt.Errorf("monet: grouped aggregate with ngroups=%d", ngroups)
+	}
+	if vals == nil && kind != ops.Count {
+		return nil, fmt.Errorf("monet: %v aggregate requires a value column", kind)
+	}
+	if vals != nil && groups != nil && vals.Len() != groups.Len() {
+		return nil, fmt.Errorf("monet: aggregate misaligned: %d values, %d group ids",
+			vals.Len(), groups.Len())
+	}
+
+	var gids []int32
+	n := 0
+	if groups != nil {
+		gids = gidsI32(groups)
+		n = groups.Len()
+	} else if vals != nil {
+		n = vals.Len()
+	}
+	gid := func(i int) int32 {
+		if gids == nil {
+			return 0
+		}
+		return gids[i]
+	}
+
+	switch kind {
+	case ops.Count:
+		parts := e.parts(n)
+		partial := make([][]int32, len(parts))
+		e.parfor(n, func(p, lo, hi int) {
+			acc := make([]int32, ngroups)
+			for i := lo; i < hi; i++ {
+				acc[gid(i)]++
+			}
+			partial[p] = acc
+		})
+		out := mem.AllocI32(ngroups)
+		for _, acc := range partial {
+			for g, c := range acc {
+				out[g] += c
+			}
+		}
+		return bat.NewI32("count", out), nil
+
+	case ops.Sum, ops.Avg:
+		parts := e.parts(n)
+		sums := make([][]float64, len(parts))
+		counts := make([][]int64, len(parts))
+		valF, valI, err := numericViews(vals)
+		if err != nil {
+			return nil, err
+		}
+		e.parfor(n, func(p, lo, hi int) {
+			s := make([]float64, ngroups)
+			c := make([]int64, ngroups)
+			if valF != nil {
+				for i := lo; i < hi; i++ {
+					g := gid(i)
+					s[g] += float64(valF[i])
+					c[g]++
+				}
+			} else {
+				for i := lo; i < hi; i++ {
+					g := gid(i)
+					s[g] += float64(valI[i])
+					c[g]++
+				}
+			}
+			sums[p] = s
+			counts[p] = c
+		})
+		totalS := make([]float64, ngroups)
+		totalC := make([]int64, ngroups)
+		for p := range sums {
+			for g := 0; g < ngroups; g++ {
+				totalS[g] += sums[p][g]
+				totalC[g] += counts[p][g]
+			}
+		}
+		if kind == ops.Avg {
+			out := mem.AllocF32(ngroups)
+			for g := 0; g < ngroups; g++ {
+				if totalC[g] > 0 {
+					out[g] = float32(totalS[g] / float64(totalC[g]))
+				}
+			}
+			return bat.NewF32("avg", out), nil
+		}
+		if vals.T == bat.I32 {
+			out := mem.AllocI32(ngroups)
+			for g := 0; g < ngroups; g++ {
+				out[g] = int32(totalS[g])
+			}
+			return bat.NewI32("sum", out), nil
+		}
+		out := mem.AllocF32(ngroups)
+		for g := 0; g < ngroups; g++ {
+			out[g] = float32(totalS[g])
+		}
+		return bat.NewF32("sum", out), nil
+
+	case ops.Min, ops.Max:
+		return e.minMax(kind, vals, gid, n, ngroups)
+
+	default:
+		return nil, fmt.Errorf("monet: unknown aggregate %v", kind)
+	}
+}
+
+func (e *Engine) minMax(kind ops.Agg, vals *bat.BAT, gid func(int) int32, n, ngroups int) (*bat.BAT, error) {
+	isMin := kind == ops.Min
+	switch vals.T {
+	case bat.I32:
+		src := vals.I32s()
+		parts := e.parts(n)
+		partial := make([][]int32, len(parts))
+		e.parfor(n, func(p, lo, hi int) {
+			acc := make([]int32, ngroups)
+			for g := range acc {
+				if isMin {
+					acc[g] = math.MaxInt32
+				} else {
+					acc[g] = math.MinInt32
+				}
+			}
+			for i := lo; i < hi; i++ {
+				g := gid(i)
+				if isMin && src[i] < acc[g] || !isMin && src[i] > acc[g] {
+					acc[g] = src[i]
+				}
+			}
+			partial[p] = acc
+		})
+		out := mem.AllocI32(ngroups)
+		for g := range out {
+			if isMin {
+				out[g] = math.MaxInt32
+			} else {
+				out[g] = math.MinInt32
+			}
+		}
+		for _, acc := range partial {
+			for g, v := range acc {
+				if isMin && v < out[g] || !isMin && v > out[g] {
+					out[g] = v
+				}
+			}
+		}
+		return bat.NewI32(kind.String(), out), nil
+	case bat.F32:
+		src := vals.F32s()
+		parts := e.parts(n)
+		partial := make([][]float32, len(parts))
+		e.parfor(n, func(p, lo, hi int) {
+			acc := make([]float32, ngroups)
+			for g := range acc {
+				if isMin {
+					acc[g] = float32(math.Inf(1))
+				} else {
+					acc[g] = float32(math.Inf(-1))
+				}
+			}
+			for i := lo; i < hi; i++ {
+				g := gid(i)
+				if isMin && src[i] < acc[g] || !isMin && src[i] > acc[g] {
+					acc[g] = src[i]
+				}
+			}
+			partial[p] = acc
+		})
+		out := mem.AllocF32(ngroups)
+		for g := range out {
+			if isMin {
+				out[g] = float32(math.Inf(1))
+			} else {
+				out[g] = float32(math.Inf(-1))
+			}
+		}
+		for _, acc := range partial {
+			for g, v := range acc {
+				if isMin && v < out[g] || !isMin && v > out[g] {
+					out[g] = v
+				}
+			}
+		}
+		return bat.NewF32(kind.String(), out), nil
+	default:
+		return nil, fmt.Errorf("monet: min/max on %v column", vals.T)
+	}
+}
+
+// numericViews returns exactly one non-nil typed view of a numeric column.
+func numericViews(b *bat.BAT) ([]float32, []int32, error) {
+	switch b.T {
+	case bat.F32:
+		return b.F32s(), nil, nil
+	case bat.I32:
+		return nil, b.I32s(), nil
+	default:
+		return nil, nil, fmt.Errorf("monet: aggregate over %v column %q", b.T, b.Name)
+	}
+}

@@ -1,0 +1,141 @@
+package monet
+
+import (
+	"fmt"
+
+	"repro/internal/bat"
+	"repro/internal/mem"
+	"repro/internal/ops"
+)
+
+// Binop computes a ⟨op⟩ b element-wise. Mixed I32/F32 inputs promote to F32,
+// matching SQL arithmetic over the paper's two supported types.
+func (e *Engine) Binop(op ops.Bin, a, b *bat.BAT) (*bat.BAT, error) {
+	if err := checkOwnership(a, b); err != nil {
+		return nil, err
+	}
+	if a.Len() != b.Len() {
+		return nil, fmt.Errorf("monet: binop on misaligned columns %q(%d)/%q(%d)",
+			a.Name, a.Len(), b.Name, b.Len())
+	}
+	n := a.Len()
+	name := fmt.Sprintf("(%s%s%s)", a.Name, op, b.Name)
+
+	if a.T == bat.I32 && b.T == bat.I32 {
+		av, bv := a.I32s(), b.I32s()
+		out := mem.AllocI32(n)
+		e.parfor(n, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				out[i] = applyI32(op, av[i], bv[i])
+			}
+		})
+		return bat.NewI32(name, out), nil
+	}
+	af, err := asF32(a)
+	if err != nil {
+		return nil, err
+	}
+	bf, err := asF32(b)
+	if err != nil {
+		return nil, err
+	}
+	out := mem.AllocF32(n)
+	e.parfor(n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = applyF32(op, af[i], bf[i])
+		}
+	})
+	return bat.NewF32(name, out), nil
+}
+
+// BinopConst computes a ⟨op⟩ c element-wise (or c ⟨op⟩ a when constFirst),
+// e.g. (1 - l_discount) as BinopConst(Sub, discount, 1, true).
+func (e *Engine) BinopConst(op ops.Bin, a *bat.BAT, c float64, constFirst bool) (*bat.BAT, error) {
+	if err := checkOwnership(a); err != nil {
+		return nil, err
+	}
+	n := a.Len()
+	name := fmt.Sprintf("(%s%s const)", a.Name, op)
+
+	if a.T == bat.I32 && c == float64(int32(c)) {
+		av := a.I32s()
+		cv := int32(c)
+		out := mem.AllocI32(n)
+		e.parfor(n, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if constFirst {
+					out[i] = applyI32(op, cv, av[i])
+				} else {
+					out[i] = applyI32(op, av[i], cv)
+				}
+			}
+		})
+		return bat.NewI32(name, out), nil
+	}
+	af, err := asF32(a)
+	if err != nil {
+		return nil, err
+	}
+	cf := float32(c)
+	out := mem.AllocF32(n)
+	e.parfor(n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if constFirst {
+				out[i] = applyF32(op, cf, af[i])
+			} else {
+				out[i] = applyF32(op, af[i], cf)
+			}
+		}
+	})
+	return bat.NewF32(name, out), nil
+}
+
+func applyI32(op ops.Bin, x, y int32) int32 {
+	switch op {
+	case ops.Add:
+		return x + y
+	case ops.SubOp:
+		return x - y
+	case ops.Mul:
+		return x * y
+	case ops.Div:
+		if y == 0 {
+			return 0
+		}
+		return x / y
+	default:
+		panic("monet: unknown binop")
+	}
+}
+
+func applyF32(op ops.Bin, x, y float32) float32 {
+	switch op {
+	case ops.Add:
+		return x + y
+	case ops.SubOp:
+		return x - y
+	case ops.Mul:
+		return x * y
+	case ops.Div:
+		return x / y
+	default:
+		panic("monet: unknown binop")
+	}
+}
+
+// asF32 views or converts a column as float32 values.
+func asF32(b *bat.BAT) ([]float32, error) {
+	switch b.T {
+	case bat.F32:
+		return b.F32s(), nil
+	case bat.I32:
+		src := b.I32s()
+		out := mem.AllocF32(len(src))
+		for i, v := range src {
+			out[i] = float32(v)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("monet: arithmetic on %v column %q", b.T, b.Name)
+	}
+}

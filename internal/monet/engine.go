@@ -1,0 +1,218 @@
+// Package monet implements the hand-tuned MonetDB baseline operators the
+// paper evaluates Ocelot against (§5.1): the *sequential* configuration (MS)
+// and the *parallel* configuration (MP), which reproduces MonetDB's
+// mitosis + dataflow intra-operator parallelism [Ivanova et al., ADBIS 2012]
+// — inputs are horizontally partitioned, operator instances run concurrently
+// on the fragments, and results are packed back together.
+//
+// These operators are deliberately hardware-conscious: they are written
+// directly against the host CPU (tight per-type loops, sequential scans,
+// thread-count-sized partitions) and execute eagerly, exactly like the
+// MonetDB kernels they stand in for. Sync is therefore a no-op.
+package monet
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/bat"
+	"repro/internal/mem"
+)
+
+// Engine is one MonetDB operator configuration. threads == 1 is the
+// sequential baseline (MS); threads > 1 is the mitosis/dataflow parallel
+// configuration (MP).
+type Engine struct {
+	threads int
+	name    string
+}
+
+// NewSequential returns the MS configuration: every operator runs on a
+// single core.
+func NewSequential() *Engine {
+	return &Engine{threads: 1, name: "MonetDB sequential (MS)"}
+}
+
+// NewParallel returns the MP configuration with the given degree of
+// parallelism (<=0 selects the number of CPUs).
+func NewParallel(threads int) *Engine {
+	if threads <= 0 {
+		threads = runtime.NumCPU()
+	}
+	return &Engine{threads: threads, name: fmt.Sprintf("MonetDB parallel (MP, %d threads)", threads)}
+}
+
+// Name implements ops.Operators.
+func (e *Engine) Name() string { return e.name }
+
+// Threads returns the engine's degree of parallelism.
+func (e *Engine) Threads() int { return e.threads }
+
+// Sync implements ops.Operators; MonetDB executes eagerly so results are
+// always host-visible.
+func (e *Engine) Sync(b *bat.BAT) error {
+	if b != nil && b.OcelotOwned {
+		return fmt.Errorf("monet: BAT %q is owned by Ocelot; results are undefined without a sync (§3.4)", b.Name)
+	}
+	return nil
+}
+
+// Release implements ops.Operators; the Go runtime reclaims eager results.
+func (e *Engine) Release(b *bat.BAT) {}
+
+// parts returns the mitosis fragment boundaries for n rows: e.threads
+// near-equal slices (fewer when n is small). Always at least one part so
+// loops run once even for n == 0.
+func (e *Engine) parts(n int) [][2]int {
+	p := e.threads
+	if p > n {
+		p = n
+	}
+	if p < 1 {
+		p = 1
+	}
+	out := make([][2]int, p)
+	chunk := (n + p - 1) / p
+	for i := 0; i < p; i++ {
+		lo := i * chunk
+		hi := lo + chunk
+		if lo > n {
+			lo = n
+		}
+		if hi > n {
+			hi = n
+		}
+		out[i] = [2]int{lo, hi}
+	}
+	return out
+}
+
+// parfor runs f over the mitosis fragments of n rows: sequentially for MS,
+// on concurrent goroutines for MP (the dataflow layer).
+func (e *Engine) parfor(n int, f func(part int, lo, hi int)) {
+	parts := e.parts(n)
+	if e.threads == 1 || len(parts) == 1 {
+		for i, p := range parts {
+			f(i, p[0], p[1])
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for i, p := range parts {
+		wg.Add(1)
+		go func(i, lo, hi int) {
+			defer wg.Done()
+			f(i, lo, hi)
+		}(i, p[0], p[1])
+	}
+	wg.Wait()
+}
+
+// checkOwnership rejects Ocelot-owned inputs: operating on them without a
+// sync yields undefined results per the paper's ownership rules (§3.4). The
+// MAL layer's rewriter inserts syncs so this only fires on misuse.
+func checkOwnership(bats ...*bat.BAT) error {
+	for _, b := range bats {
+		if b != nil && b.OcelotOwned {
+			return fmt.Errorf("monet: input BAT %q is owned by Ocelot (missing sync)", b.Name)
+		}
+	}
+	return nil
+}
+
+// i32Bounds converts float64 range bounds into an inclusive int32 interval.
+// The second return is false when the interval is empty.
+func i32Bounds(lo, hi float64, loIncl, hiIncl bool) (int32, int32, bool) {
+	l := math.Ceil(lo)
+	if l == lo && !loIncl {
+		l++
+	}
+	h := math.Floor(hi)
+	if h == hi && !hiIncl {
+		h--
+	}
+	if l > h {
+		return 0, 0, false
+	}
+	if l < math.MinInt32 {
+		l = math.MinInt32
+	}
+	if h > math.MaxInt32 {
+		h = math.MaxInt32
+	}
+	return int32(l), int32(h), true
+}
+
+// f32Bounds converts float64 bounds to the float32 comparisons all engines
+// share: values are compared in float32 after converting the bounds once.
+func f32Bounds(lo, hi float64) (float32, float32) {
+	l := float32(math.Max(lo, -math.MaxFloat32))
+	h := float32(math.Min(hi, math.MaxFloat32))
+	if math.IsInf(lo, -1) {
+		l = float32(math.Inf(-1))
+	}
+	if math.IsInf(hi, 1) {
+		h = float32(math.Inf(1))
+	}
+	return l, h
+}
+
+// candLen returns the number of candidate rows: cand may be nil (all rows of
+// col), Void (a dense range) or an OID list.
+func candLen(col, cand *bat.BAT) int {
+	if cand == nil {
+		return col.Len()
+	}
+	return cand.Len()
+}
+
+// candOID returns the input row id of candidate position i.
+func candOID(cand *bat.BAT, seq uint32, i int) uint32 {
+	if cand == nil {
+		return seq + uint32(i)
+	}
+	return cand.OIDAt(i)
+}
+
+// candIsDense reports whether the candidate list is a dense range, enabling
+// the tight scan loops.
+func candIsDense(cand *bat.BAT) bool {
+	return cand == nil || cand.T == bat.Void
+}
+
+// candSeq returns the first oid of a dense candidate list.
+func candSeq(cand *bat.BAT) uint32 {
+	if cand == nil {
+		return 0
+	}
+	return cand.Seq
+}
+
+// posU32 views a positions column (OID candidate list or an I32 id column
+// such as a grouping result — MonetDB group ids are oids into the group
+// table) as raw positions.
+func posU32(b *bat.BAT) []uint32 {
+	switch b.T {
+	case bat.OID:
+		return b.OIDs()
+	case bat.I32:
+		return mem.U32(b.Bytes())[:b.Len():b.Len()]
+	default:
+		panic(fmt.Sprintf("monet: BAT %q (%v) is not a positions column", b.Name, b.T))
+	}
+}
+
+// gidsI32 views a group-id column (I32, or OID when a dense positions
+// column doubles as the grouping) as int32 ids.
+func gidsI32(b *bat.BAT) []int32 {
+	switch b.T {
+	case bat.I32:
+		return b.I32s()
+	case bat.OID:
+		return mem.I32(b.Bytes())[:b.Len():b.Len()]
+	default:
+		panic(fmt.Sprintf("monet: BAT %q (%v) is not a group-id column", b.Name, b.T))
+	}
+}

@@ -1,0 +1,123 @@
+package monet
+
+import (
+	"fmt"
+
+	"repro/internal/bat"
+	"repro/internal/mem"
+	"repro/internal/ops"
+)
+
+// hashTable is MonetDB's classic bucket-chained hash structure: heads maps a
+// bucket to the first build row, next chains build rows that share a bucket.
+// It is built sequentially — the behaviour the paper contrasts with Ocelot's
+// parallel hashing in §5.2.4 ("the sequential hash table creation used by
+// MonetDB").
+type hashTable struct {
+	keys  []uint32 // bit patterns of the build column's values
+	heads []int32  // bucket → first build row, -1 when empty
+	next  []int32  // build row → next row in the same bucket, -1 at end
+	mask  uint32
+}
+
+// BuildRows implements ops.HashTable.
+func (h *hashTable) BuildRows() int { return len(h.keys) }
+
+// Release implements ops.HashTable.
+func (h *hashTable) Release() { h.keys, h.heads, h.next = nil, nil, nil }
+
+// hashU32 is a Fibonacci multiplicative hash; the golden-ratio constant
+// spreads consecutive keys across buckets.
+func hashU32(k, mask uint32) uint32 {
+	return (k * 2654435761) & mask
+}
+
+// keyBits views any four-byte column as raw 32-bit keys; equality of values
+// coincides with equality of bit patterns for the data the engines process
+// (no NaNs, no -0.0 in generated data).
+func keyBits(b *bat.BAT) ([]uint32, error) {
+	switch b.T {
+	case bat.I32, bat.F32, bat.OID:
+		u := mem.U32(b.Bytes())
+		if u == nil {
+			return []uint32{}, nil
+		}
+		return u[:b.Len()], nil
+	default:
+		return nil, fmt.Errorf("monet: cannot hash %v column %q", b.T, b.Name)
+	}
+}
+
+// BuildHash builds the bucket-chained table over col (the operation measured
+// in Fig. 5e/f). The build is sequential by design.
+func (e *Engine) BuildHash(col *bat.BAT) (ops.HashTable, error) {
+	if err := checkOwnership(col); err != nil {
+		return nil, err
+	}
+	keys, err := keyBits(col)
+	if err != nil {
+		return nil, err
+	}
+	n := len(keys)
+	nbuckets := 1
+	for nbuckets < n {
+		nbuckets <<= 1
+	}
+	if nbuckets < 8 {
+		nbuckets = 8
+	}
+	h := &hashTable{
+		keys:  keys,
+		heads: make([]int32, nbuckets),
+		next:  make([]int32, n),
+		mask:  uint32(nbuckets - 1),
+	}
+	for i := range h.heads {
+		h.heads[i] = -1
+	}
+	for i := 0; i < n; i++ {
+		b := hashU32(keys[i], h.mask)
+		h.next[i] = h.heads[b]
+		h.heads[b] = int32(i)
+	}
+	return h, nil
+}
+
+// HashProbe probes ht with probe's values; the probe phase parallelises
+// cleanly under mitosis (per-fragment result lists packed in order).
+func (e *Engine) HashProbe(probe *bat.BAT, ht ops.HashTable) (pres, bres *bat.BAT, err error) {
+	h, ok := ht.(*hashTable)
+	if !ok {
+		return nil, nil, fmt.Errorf("monet: foreign hash table %T", ht)
+	}
+	if err := checkOwnership(probe); err != nil {
+		return nil, nil, err
+	}
+	keys, err := keyBits(probe)
+	if err != nil {
+		return nil, nil, err
+	}
+	n := len(keys)
+	lchunks := make([][]uint32, len(e.parts(n)))
+	rchunks := make([][]uint32, len(e.parts(n)))
+	e.parfor(n, func(p, lo, hi int) {
+		lout := make([]uint32, 0, hi-lo)
+		rout := make([]uint32, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			k := keys[i]
+			for j := h.heads[hashU32(k, h.mask)]; j >= 0; j = h.next[j] {
+				if h.keys[j] == k {
+					lout = append(lout, uint32(i))
+					rout = append(rout, uint32(j))
+				}
+			}
+		}
+		lchunks[p] = lout
+		rchunks[p] = rout
+	})
+	l := packCand(probe.Name, lchunks)
+	l.Props.Key = false // a probe row may match several build rows
+	r := packCand("build", rchunks)
+	r.Props.Sorted, r.Props.Key = false, false
+	return l, r, nil
+}

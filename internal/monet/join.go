@@ -1,0 +1,117 @@
+package monet
+
+import (
+	"fmt"
+
+	"repro/internal/bat"
+	"repro/internal/ops"
+)
+
+// Join equi-joins the values of l and r: it builds the bucket-chained hash
+// table on the right input (sequentially, as MonetDB does) and probes with
+// the left (in parallel under MP). The result is a pair of aligned candidate
+// lists: positions into l and positions into r for every matching pair,
+// ordered by left position.
+func (e *Engine) Join(l, r *bat.BAT) (*bat.BAT, *bat.BAT, error) {
+	ht, err := e.BuildHash(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer ht.Release()
+	return e.HashProbe(l, ht)
+}
+
+// ThetaJoin evaluates an inequality join with nested loops, the left side
+// partitioned under mitosis. Output pairs are ordered by left position.
+func (e *Engine) ThetaJoin(l, r *bat.BAT, cmp ops.Cmp) (*bat.BAT, *bat.BAT, error) {
+	if err := checkOwnership(l, r); err != nil {
+		return nil, nil, err
+	}
+	if l.T != r.T {
+		return nil, nil, fmt.Errorf("monet: theta join type mismatch %v vs %v", l.T, r.T)
+	}
+	pred, err := thetaPred(l, r, cmp)
+	if err != nil {
+		return nil, nil, err
+	}
+	nl, nr := l.Len(), r.Len()
+	lchunks := make([][]uint32, len(e.parts(nl)))
+	rchunks := make([][]uint32, len(e.parts(nl)))
+	e.parfor(nl, func(p, lo, hi int) {
+		var lout, rout []uint32
+		for i := lo; i < hi; i++ {
+			for j := 0; j < nr; j++ {
+				if pred(i, j) {
+					lout = append(lout, uint32(i))
+					rout = append(rout, uint32(j))
+				}
+			}
+		}
+		lchunks[p] = lout
+		rchunks[p] = rout
+	})
+	lres := packCand(l.Name, lchunks)
+	lres.Props.Key = false
+	rres := packCand(r.Name, rchunks)
+	rres.Props.Sorted, rres.Props.Key = false, false
+	return lres, rres, nil
+}
+
+// thetaPred builds the typed predicate closure of a theta join.
+func thetaPred(l, r *bat.BAT, cmp ops.Cmp) (func(i, j int) bool, error) {
+	switch l.T {
+	case bat.I32:
+		lv, rv := l.I32s(), r.I32s()
+		return func(i, j int) bool { return cmpI32(lv[i], rv[j], cmp) }, nil
+	case bat.F32:
+		lv, rv := l.F32s(), r.F32s()
+		return func(i, j int) bool { return cmpF32(lv[i], rv[j], cmp) }, nil
+	default:
+		return nil, fmt.Errorf("monet: theta join on %v columns", l.T)
+	}
+}
+
+// SemiJoin returns the positions of l whose value occurs in r (EXISTS),
+// each left position at most once, ascending.
+func (e *Engine) SemiJoin(l, r *bat.BAT) (*bat.BAT, error) {
+	return e.existenceJoin(l, r, true)
+}
+
+// AntiJoin returns the positions of l whose value does not occur in r
+// (NOT EXISTS), ascending.
+func (e *Engine) AntiJoin(l, r *bat.BAT) (*bat.BAT, error) {
+	return e.existenceJoin(l, r, false)
+}
+
+func (e *Engine) existenceJoin(l, r *bat.BAT, want bool) (*bat.BAT, error) {
+	ht, err := e.BuildHash(r)
+	if err != nil {
+		return nil, err
+	}
+	defer ht.Release()
+	h := ht.(*hashTable)
+	keys, err := keyBits(l)
+	if err != nil {
+		return nil, err
+	}
+	n := len(keys)
+	chunks := make([][]uint32, len(e.parts(n)))
+	e.parfor(n, func(p, lo, hi int) {
+		out := make([]uint32, 0, (hi-lo)/2+8)
+		for i := lo; i < hi; i++ {
+			k := keys[i]
+			found := false
+			for j := h.heads[hashU32(k, h.mask)]; j >= 0; j = h.next[j] {
+				if h.keys[j] == k {
+					found = true
+					break
+				}
+			}
+			if found == want {
+				out = append(out, uint32(i))
+			}
+		}
+		chunks[p] = out
+	})
+	return packCand(l.Name, chunks), nil
+}

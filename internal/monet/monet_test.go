@@ -1,0 +1,767 @@
+package monet
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bat"
+	"repro/internal/mem"
+	"repro/internal/ops"
+)
+
+func engines() []*Engine {
+	return []*Engine{NewSequential(), NewParallel(4)}
+}
+
+func i32Col(name string, vals []int32) *bat.BAT {
+	s := mem.AllocI32(len(vals))
+	copy(s, vals)
+	return bat.NewI32(name, s)
+}
+
+func f32Col(name string, vals []float32) *bat.BAT {
+	s := mem.AllocF32(len(vals))
+	copy(s, vals)
+	return bat.NewF32(name, s)
+}
+
+func randI32(n int, max int32, seed int64) []int32 {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = r.Int31n(max)
+	}
+	return out
+}
+
+func oracleSelect(vals []int32, lo, hi int32) []uint32 {
+	var out []uint32
+	for i, v := range vals {
+		if v >= lo && v <= hi {
+			out = append(out, uint32(i))
+		}
+	}
+	return out
+}
+
+func TestSelectI32AgainstOracle(t *testing.T) {
+	vals := randI32(10007, 1000, 1)
+	col := i32Col("c", vals)
+	want := oracleSelect(vals, 100, 499)
+	for _, e := range engines() {
+		got, err := e.Select(col, nil, 100, 499, true, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oids := got.OIDs()
+		if len(oids) != len(want) {
+			t.Fatalf("%s: %d results, want %d", e.Name(), len(oids), len(want))
+		}
+		for i := range want {
+			if oids[i] != want[i] {
+				t.Fatalf("%s: result[%d] = %d, want %d", e.Name(), i, oids[i], want[i])
+			}
+		}
+		if !got.Props.Sorted {
+			t.Fatalf("%s: selection result must be sorted", e.Name())
+		}
+	}
+}
+
+func TestSelectBoundsInclusivity(t *testing.T) {
+	col := i32Col("c", []int32{1, 2, 3, 4, 5})
+	e := NewSequential()
+	cases := []struct {
+		lo, hi         float64
+		loIncl, hiIncl bool
+		want           int
+	}{
+		{2, 4, true, true, 3},
+		{2, 4, false, true, 2},
+		{2, 4, true, false, 2},
+		{2, 4, false, false, 1},
+		{math.Inf(-1), 3, true, true, 3},
+		{3, math.Inf(1), false, true, 2},
+		{4, 2, true, true, 0},       // empty interval
+		{2.5, 3.5, false, false, 1}, // fractional bounds on ints
+	}
+	for _, c := range cases {
+		got, err := e.Select(col, nil, c.lo, c.hi, c.loIncl, c.hiIncl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Len() != c.want {
+			t.Fatalf("select (%v,%v,%v,%v): %d results, want %d",
+				c.lo, c.hi, c.loIncl, c.hiIncl, got.Len(), c.want)
+		}
+	}
+}
+
+func TestSelectWithCandidates(t *testing.T) {
+	vals := randI32(5000, 100, 2)
+	col := i32Col("c", vals)
+	for _, e := range engines() {
+		first, err := e.Select(col, nil, 0, 49, true, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		second, err := e.Select(col, first, 25, 74, true, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := oracleSelect(vals, 25, 49)
+		oids := second.OIDs()
+		if len(oids) != len(want) {
+			t.Fatalf("%s: chained select = %d rows, want %d", e.Name(), len(oids), len(want))
+		}
+		for i := range want {
+			if oids[i] != want[i] {
+				t.Fatalf("%s: chained select mismatch at %d", e.Name(), i)
+			}
+		}
+	}
+}
+
+func TestSelectF32(t *testing.T) {
+	vals := []float32{0.04, 0.05, 0.06, 0.07, 0.08}
+	col := f32Col("disc", vals)
+	for _, e := range engines() {
+		got, err := e.Select(col, nil, 0.05, 0.07, true, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Len() != 3 {
+			t.Fatalf("%s: f32 between = %d rows, want 3", e.Name(), got.Len())
+		}
+	}
+}
+
+func TestSelectVoidCandRange(t *testing.T) {
+	vals := randI32(1000, 10, 3)
+	col := i32Col("c", vals)
+	cand := bat.NewVoid("cand", 100, 200) // rows [100,300)
+	e := NewParallel(4)
+	got, err := e.Select(col, cand, 5, 5, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range got.OIDs() {
+		if o < 100 || o >= 300 {
+			t.Fatalf("oid %d outside candidate range", o)
+		}
+		if vals[o] != 5 {
+			t.Fatalf("oid %d does not satisfy predicate", o)
+		}
+	}
+	want := 0
+	for i := 100; i < 300; i++ {
+		if vals[i] == 5 {
+			want++
+		}
+	}
+	if got.Len() != want {
+		t.Fatalf("got %d rows, want %d", got.Len(), want)
+	}
+}
+
+func TestSelectCmp(t *testing.T) {
+	a := i32Col("a", []int32{1, 5, 3, 7, 2})
+	b := i32Col("b", []int32{2, 4, 3, 9, 1})
+	for _, e := range engines() {
+		lt, err := e.SelectCmp(a, b, ops.Lt, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantLt := []uint32{0, 3}
+		if lt.Len() != len(wantLt) || lt.OIDs()[0] != 0 || lt.OIDs()[1] != 3 {
+			t.Fatalf("%s: a<b = %v, want %v", e.Name(), lt.OIDs(), wantLt)
+		}
+		eq, err := e.SelectCmp(a, b, ops.Eq, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if eq.Len() != 1 || eq.OIDs()[0] != 2 {
+			t.Fatalf("%s: a==b = %v", e.Name(), eq.OIDs())
+		}
+	}
+}
+
+func TestSelectEquivalentAcrossEngines(t *testing.T) {
+	f := func(raw []int32, lo8, hi8 uint8) bool {
+		vals := make([]int32, len(raw))
+		for i, v := range raw {
+			vals[i] = v % 256
+		}
+		col := i32Col("p", vals)
+		lo, hi := int32(lo8), int32(hi8)
+		ms, err1 := NewSequential().Select(col, nil, float64(lo), float64(hi), true, true)
+		mp, err2 := NewParallel(3).Select(col, nil, float64(lo), float64(hi), true, true)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if ms.Len() != mp.Len() {
+			return false
+		}
+		a, b := ms.OIDs(), mp.OIDs()
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProject(t *testing.T) {
+	vals := []float32{10, 20, 30, 40, 50}
+	col := f32Col("c", vals)
+	cand := bat.NewOID("cand", []uint32{4, 0, 2})
+	for _, e := range engines() {
+		got, err := e.Project(cand, col)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []float32{50, 10, 30}
+		for i, w := range want {
+			if got.F32s()[i] != w {
+				t.Fatalf("%s: project[%d] = %v, want %v", e.Name(), i, got.F32s()[i], w)
+			}
+		}
+	}
+}
+
+func TestProjectDenseAndVoidColumn(t *testing.T) {
+	e := NewSequential()
+	col := i32Col("c", []int32{5, 6, 7, 8})
+	got, err := e.Project(bat.NewVoid("cand", 1, 2), col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 || got.I32s()[0] != 6 || got.I32s()[1] != 7 {
+		t.Fatalf("dense project = %v", got.I32s())
+	}
+	// Projecting a Void column through oids shifts them by Seq.
+	voidCol := bat.NewVoid("v", 100, 50)
+	got2, err := e.Project(bat.NewOID("cand", []uint32{3, 7}), voidCol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.OIDs()[0] != 103 || got2.OIDs()[1] != 107 {
+		t.Fatalf("void project = %v", got2.OIDs())
+	}
+	// Out-of-range dense projection must error, not panic.
+	if _, err := e.Project(bat.NewVoid("cand", 3, 5), col); err == nil {
+		t.Fatal("out-of-range dense projection must error")
+	}
+}
+
+func TestJoinAgainstNestedLoopOracle(t *testing.T) {
+	l := i32Col("l", []int32{1, 2, 3, 2, 9})
+	r := i32Col("r", []int32{2, 3, 2, 8})
+	type pair struct{ lp, rp uint32 }
+	var want []pair
+	for i, lv := range l.I32s() {
+		for j, rv := range r.I32s() {
+			if lv == rv {
+				want = append(want, pair{uint32(i), uint32(j)})
+			}
+		}
+	}
+	for _, e := range engines() {
+		lo, ro, err := e.Join(l, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lo.Len() != len(want) || ro.Len() != len(want) {
+			t.Fatalf("%s: join produced %d pairs, want %d", e.Name(), lo.Len(), len(want))
+		}
+		got := make([]pair, lo.Len())
+		for i := range got {
+			got[i] = pair{lo.OIDs()[i], ro.OIDs()[i]}
+		}
+		sort.Slice(got, func(i, j int) bool {
+			if got[i].lp != got[j].lp {
+				return got[i].lp < got[j].lp
+			}
+			return got[i].rp < got[j].rp
+		})
+		sort.Slice(want, func(i, j int) bool {
+			if want[i].lp != want[j].lp {
+				return want[i].lp < want[j].lp
+			}
+			return want[i].rp < want[j].rp
+		})
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: pair %d = %v, want %v", e.Name(), i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestJoinPropertyRandom(t *testing.T) {
+	f := func(lraw, rraw []uint8) bool {
+		lv := make([]int32, len(lraw))
+		for i, v := range lraw {
+			lv[i] = int32(v % 16)
+		}
+		rv := make([]int32, len(rraw))
+		for i, v := range rraw {
+			rv[i] = int32(v % 16)
+		}
+		l, r := i32Col("l", lv), i32Col("r", rv)
+		count := 0
+		for _, a := range lv {
+			for _, b := range rv {
+				if a == b {
+					count++
+				}
+			}
+		}
+		for _, e := range engines() {
+			lo, ro, err := e.Join(l, r)
+			if err != nil || lo.Len() != count || ro.Len() != count {
+				return false
+			}
+			for i := 0; i < lo.Len(); i++ {
+				if lv[lo.OIDs()[i]] != rv[ro.OIDs()[i]] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSemiAndAntiJoin(t *testing.T) {
+	l := i32Col("l", []int32{1, 2, 3, 2, 9})
+	r := i32Col("r", []int32{2, 2, 8})
+	for _, e := range engines() {
+		semi, err := e.SemiJoin(l, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if semi.Len() != 2 || semi.OIDs()[0] != 1 || semi.OIDs()[1] != 3 {
+			t.Fatalf("%s: semijoin = %v", e.Name(), semi.OIDs())
+		}
+		anti, err := e.AntiJoin(l, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if anti.Len() != 3 {
+			t.Fatalf("%s: antijoin = %v", e.Name(), anti.OIDs())
+		}
+		// Semi ∪ anti must partition l's positions.
+		union, err := e.OIDUnion(semi, anti)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if union.Len() != l.Len() {
+			t.Fatalf("%s: semi+anti do not partition input", e.Name())
+		}
+	}
+}
+
+func TestBuildHashAndProbe(t *testing.T) {
+	build := i32Col("b", []int32{5, 7, 5, 9})
+	probe := i32Col("p", []int32{5, 9, 1})
+	for _, e := range engines() {
+		ht, err := e.BuildHash(build)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ht.BuildRows() != 4 {
+			t.Fatalf("%s: build rows = %d", e.Name(), ht.BuildRows())
+		}
+		p, b, err := e.HashProbe(probe, ht)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// probe 5 matches build 0,2; probe 9 matches build 3.
+		if p.Len() != 3 {
+			t.Fatalf("%s: probe matches = %d, want 3", e.Name(), p.Len())
+		}
+		for i := 0; i < p.Len(); i++ {
+			if probe.I32s()[p.OIDs()[i]] != build.I32s()[b.OIDs()[i]] {
+				t.Fatalf("%s: probe pair %d values differ", e.Name(), i)
+			}
+		}
+		ht.Release()
+	}
+}
+
+func TestGroupSingleColumn(t *testing.T) {
+	vals := []int32{7, 3, 7, 7, 3, 1}
+	col := i32Col("c", vals)
+	for _, e := range engines() {
+		g, n, err := e.Group(col, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != 3 {
+			t.Fatalf("%s: ngroups = %d, want 3", e.Name(), n)
+		}
+		ids := g.I32s()
+		// First-appearance numbering: 7→0, 3→1, 1→2.
+		want := []int32{0, 1, 0, 0, 1, 2}
+		for i := range want {
+			if ids[i] != want[i] {
+				t.Fatalf("%s: ids = %v, want %v", e.Name(), ids, want)
+			}
+		}
+	}
+}
+
+func TestGroupRefinement(t *testing.T) {
+	a := i32Col("a", []int32{1, 1, 2, 2, 1})
+	b := i32Col("b", []int32{9, 8, 9, 9, 9})
+	for _, e := range engines() {
+		g1, n1, err := e.Group(a, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g2, n2, err := e.Group(b, g1, n1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n2 != 3 { // (1,9), (1,8), (2,9)
+			t.Fatalf("%s: refined ngroups = %d, want 3", e.Name(), n2)
+		}
+		ids := g2.I32s()
+		if ids[0] != ids[4] || ids[2] != ids[3] || ids[0] == ids[1] || ids[0] == ids[2] {
+			t.Fatalf("%s: refined ids = %v", e.Name(), ids)
+		}
+	}
+}
+
+func TestGroupParallelMatchesSequentialNumbering(t *testing.T) {
+	vals := randI32(20000, 500, 4)
+	col := i32Col("c", vals)
+	gs, ns, err := NewSequential().Group(col, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp, np, err := NewParallel(7).Group(col, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns != np {
+		t.Fatalf("ngroups differ: %d vs %d", ns, np)
+	}
+	a, b := gs.I32s(), gp.I32s()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("group ids differ at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestAggrScalar(t *testing.T) {
+	col := f32Col("v", []float32{1, 2, 3, 4})
+	for _, e := range engines() {
+		sum, err := e.Aggr(ops.Sum, col, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sum.F32s()[0] != 10 {
+			t.Fatalf("%s: sum = %v", e.Name(), sum.F32s()[0])
+		}
+		mn, _ := e.Aggr(ops.Min, col, nil, 0)
+		mx, _ := e.Aggr(ops.Max, col, nil, 0)
+		if mn.F32s()[0] != 1 || mx.F32s()[0] != 4 {
+			t.Fatalf("%s: min/max = %v/%v", e.Name(), mn.F32s()[0], mx.F32s()[0])
+		}
+		avg, _ := e.Aggr(ops.Avg, col, nil, 0)
+		if avg.F32s()[0] != 2.5 {
+			t.Fatalf("%s: avg = %v", e.Name(), avg.F32s()[0])
+		}
+		cnt, _ := e.Aggr(ops.Count, col, nil, 0)
+		if cnt.I32s()[0] != 4 {
+			t.Fatalf("%s: count = %v", e.Name(), cnt.I32s()[0])
+		}
+	}
+}
+
+func TestAggrGrouped(t *testing.T) {
+	vals := f32Col("v", []float32{10, 20, 30, 40, 50})
+	groups := i32Col("g", []int32{0, 1, 0, 1, 2})
+	for _, e := range engines() {
+		sum, err := e.Aggr(ops.Sum, vals, groups, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []float32{40, 60, 50}
+		for g, w := range want {
+			if sum.F32s()[g] != w {
+				t.Fatalf("%s: sum[%d] = %v, want %v", e.Name(), g, sum.F32s()[g], w)
+			}
+		}
+		cnt, _ := e.Aggr(ops.Count, nil, groups, 3)
+		if cnt.I32s()[0] != 2 || cnt.I32s()[1] != 2 || cnt.I32s()[2] != 1 {
+			t.Fatalf("%s: counts = %v", e.Name(), cnt.I32s())
+		}
+		mn, _ := e.Aggr(ops.Min, vals, groups, 3)
+		if mn.F32s()[0] != 10 || mn.F32s()[1] != 20 || mn.F32s()[2] != 50 {
+			t.Fatalf("%s: mins = %v", e.Name(), mn.F32s())
+		}
+	}
+}
+
+func TestAggrMinMaxI32Grouped(t *testing.T) {
+	vals := i32Col("v", []int32{5, -3, 8, 1})
+	groups := i32Col("g", []int32{0, 0, 1, 1})
+	for _, e := range engines() {
+		mx, err := e.Aggr(ops.Max, vals, groups, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mx.I32s()[0] != 5 || mx.I32s()[1] != 8 {
+			t.Fatalf("%s: max = %v", e.Name(), mx.I32s())
+		}
+	}
+}
+
+func TestAggrErrors(t *testing.T) {
+	e := NewSequential()
+	if _, err := e.Aggr(ops.Sum, nil, nil, 0); err == nil {
+		t.Fatal("sum without values must error")
+	}
+	vals := f32Col("v", []float32{1})
+	groups := i32Col("g", []int32{0, 1})
+	if _, err := e.Aggr(ops.Sum, vals, groups, 2); err == nil {
+		t.Fatal("misaligned grouped aggregate must error")
+	}
+	if _, err := e.Aggr(ops.Sum, vals, i32Col("g", []int32{0}), 0); err == nil {
+		t.Fatal("grouped aggregate with ngroups=0 must error")
+	}
+}
+
+func TestSortI32(t *testing.T) {
+	vals := randI32(30011, 1<<20, 5)
+	col := i32Col("c", vals)
+	for _, e := range engines() {
+		sorted, order, err := e.Sort(col)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := sorted.I32s()
+		for i := 1; i < len(s); i++ {
+			if s[i] < s[i-1] {
+				t.Fatalf("%s: not sorted at %d", e.Name(), i)
+			}
+		}
+		// order must be a permutation reproducing sorted.
+		seen := make([]bool, len(vals))
+		for i, o := range order.OIDs() {
+			if seen[o] {
+				t.Fatalf("%s: order is not a permutation", e.Name())
+			}
+			seen[o] = true
+			if vals[o] != s[i] {
+				t.Fatalf("%s: order does not reproduce sorted column", e.Name())
+			}
+		}
+	}
+}
+
+func TestSortPropertyPermutation(t *testing.T) {
+	f := func(raw []int32) bool {
+		col := i32Col("p", append([]int32(nil), raw...))
+		for _, e := range engines() {
+			sorted, order, err := e.Sort(col)
+			if err != nil {
+				return false
+			}
+			if sorted.Len() != len(raw) || order.Len() != len(raw) {
+				return false
+			}
+			s := sorted.I32s()
+			for i := 1; i < len(s); i++ {
+				if s[i] < s[i-1] {
+					return false
+				}
+			}
+			var sum, want int64
+			for _, v := range raw {
+				want += int64(v)
+			}
+			for _, v := range s {
+				sum += int64(v)
+			}
+			if sum != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortStability(t *testing.T) {
+	// Equal keys keep input order (tie-break on position).
+	col := i32Col("c", []int32{3, 1, 3, 1})
+	for _, e := range engines() {
+		_, order, err := e.Sort(col)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []uint32{1, 3, 0, 2}
+		for i, w := range want {
+			if order.OIDs()[i] != w {
+				t.Fatalf("%s: order = %v, want %v", e.Name(), order.OIDs(), want)
+			}
+		}
+	}
+}
+
+func TestBinop(t *testing.T) {
+	a := f32Col("a", []float32{1, 2, 3})
+	b := f32Col("b", []float32{4, 5, 6})
+	for _, e := range engines() {
+		mul, err := e.Binop(ops.Mul, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mul.F32s()[2] != 18 {
+			t.Fatalf("%s: mul = %v", e.Name(), mul.F32s())
+		}
+		sub, _ := e.BinopConst(ops.SubOp, a, 1, true) // 1 - a
+		if sub.F32s()[0] != 0 || sub.F32s()[2] != -2 {
+			t.Fatalf("%s: 1-a = %v", e.Name(), sub.F32s())
+		}
+	}
+}
+
+func TestBinopMixedTypesPromote(t *testing.T) {
+	a := i32Col("a", []int32{10, 20})
+	b := f32Col("b", []float32{0.5, 0.25})
+	e := NewSequential()
+	got, err := e.Binop(ops.Mul, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.T != bat.F32 || got.F32s()[0] != 5 || got.F32s()[1] != 5 {
+		t.Fatalf("mixed mul = %v (%v)", got.F32s(), got.T)
+	}
+}
+
+func TestBinopI32DivByConst(t *testing.T) {
+	dates := i32Col("d", []int32{19940215, 19951231})
+	e := NewParallel(2)
+	years, err := e.BinopConst(ops.Div, dates, 10000, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if years.T != bat.I32 || years.I32s()[0] != 1994 || years.I32s()[1] != 1995 {
+		t.Fatalf("year extraction = %v", years.I32s())
+	}
+}
+
+func TestBinopErrors(t *testing.T) {
+	e := NewSequential()
+	if _, err := e.Binop(ops.Add, i32Col("a", []int32{1}), i32Col("b", []int32{1, 2})); err == nil {
+		t.Fatal("misaligned binop must error")
+	}
+	void := bat.NewVoid("v", 0, 2)
+	if _, err := e.Binop(ops.Add, void, void); err == nil {
+		t.Fatal("binop on void must error")
+	}
+}
+
+func TestOIDUnion(t *testing.T) {
+	a := bat.NewOID("a", []uint32{1, 3, 5})
+	b := bat.NewOID("b", []uint32{2, 3, 9})
+	for _, e := range engines() {
+		u, err := e.OIDUnion(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []uint32{1, 2, 3, 5, 9}
+		if u.Len() != len(want) {
+			t.Fatalf("%s: union = %v", e.Name(), u.OIDs())
+		}
+		for i, w := range want {
+			if u.OIDs()[i] != w {
+				t.Fatalf("%s: union = %v, want %v", e.Name(), u.OIDs(), want)
+			}
+		}
+	}
+}
+
+func TestOwnershipEnforced(t *testing.T) {
+	e := NewSequential()
+	col := i32Col("owned", []int32{1, 2, 3})
+	col.OcelotOwned = true
+	if _, err := e.Select(col, nil, 0, 10, true, true); err == nil {
+		t.Fatal("select on Ocelot-owned BAT must fail without sync (§3.4)")
+	}
+	if err := e.Sync(col); err == nil {
+		t.Fatal("monet Sync cannot adopt an Ocelot-owned BAT")
+	}
+	col.OcelotOwned = false
+	if err := e.Sync(col); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineNamesAndThreads(t *testing.T) {
+	if NewSequential().Threads() != 1 {
+		t.Fatal("sequential engine must have 1 thread")
+	}
+	if NewParallel(0).Threads() < 1 {
+		t.Fatal("parallel engine must default to >=1 threads")
+	}
+	if NewSequential().Name() == NewParallel(2).Name() {
+		t.Fatal("engine names must differ")
+	}
+}
+
+func TestThetaJoinAgainstOracle(t *testing.T) {
+	lv := []int32{1, 5, 3, 7}
+	rv := []int32{2, 4, 6}
+	for _, e := range engines() {
+		lo, ro, err := e.ThetaJoin(i32Col("l", lv), i32Col("r", rv), ops.Le)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0
+		for _, a := range lv {
+			for _, b := range rv {
+				if a <= b {
+					want++
+				}
+			}
+		}
+		if lo.Len() != want {
+			t.Fatalf("%s: theta pairs = %d, want %d", e.Name(), lo.Len(), want)
+		}
+		for i := 0; i < lo.Len(); i++ {
+			if !(lv[lo.OIDs()[i]] <= rv[ro.OIDs()[i]]) {
+				t.Fatalf("%s: pair %d violates predicate", e.Name(), i)
+			}
+		}
+	}
+	// Float flavour and error paths.
+	e := NewSequential()
+	flo, fro, err := e.ThetaJoin(f32Col("l", []float32{1.5, 2.5}), f32Col("r", []float32{2.0}), ops.Lt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flo.Len() != 1 || fro.Len() != 1 {
+		t.Fatalf("float theta join = %d pairs", flo.Len())
+	}
+	if _, _, err := e.ThetaJoin(i32Col("l", []int32{1}), f32Col("r", []float32{1}), ops.Lt); err == nil {
+		t.Fatal("type mismatch must error")
+	}
+}

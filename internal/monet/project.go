@@ -1,0 +1,101 @@
+package monet
+
+import (
+	"fmt"
+
+	"repro/internal/bat"
+	"repro/internal/mem"
+)
+
+// Project implements MonetDB's leftfetchjoin (§5.2.2): for every candidate
+// oid it fetches the column value at that position. "Since the tuple IDs
+// directly identify the join partner, it can be implemented by directly
+// fetching the projected values from the column." The result is aligned
+// with cand.
+func (e *Engine) Project(cand, col *bat.BAT) (*bat.BAT, error) {
+	if err := checkOwnership(cand, col); err != nil {
+		return nil, err
+	}
+	n := candLen(col, cand)
+	name := col.Name + "_prj"
+
+	if candIsDense(cand) {
+		seq := candSeq(cand)
+		if int(seq)+n > col.Len() {
+			return nil, fmt.Errorf("monet: dense projection [%d,%d) out of range of %q (%d rows)",
+				seq, int(seq)+n, col.Name, col.Len())
+		}
+		return e.denseProject(name, col, seq, n)
+	}
+
+	cs := posU32(cand)
+	switch col.T {
+	case bat.I32:
+		vals := col.I32s()
+		out := mem.AllocI32(n)
+		e.parfor(n, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				out[i] = vals[cs[i]]
+			}
+		})
+		return bat.NewI32(name, out), nil
+	case bat.F32:
+		vals := col.F32s()
+		out := mem.AllocF32(n)
+		e.parfor(n, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				out[i] = vals[cs[i]]
+			}
+		})
+		return bat.NewF32(name, out), nil
+	case bat.OID:
+		vals := col.OIDs()
+		out := mem.AllocU32(n)
+		e.parfor(n, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				out[i] = vals[cs[i]]
+			}
+		})
+		return bat.NewOID(name, out), nil
+	case bat.Void:
+		// Fetching from a dense column yields Seq+oid: a plain shift.
+		out := mem.AllocU32(n)
+		seq := col.Seq
+		e.parfor(n, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				out[i] = seq + cs[i]
+			}
+		})
+		return bat.NewOID(name, out), nil
+	default:
+		return nil, fmt.Errorf("monet: project on %v column %q", col.T, col.Name)
+	}
+}
+
+// denseProject copies a contiguous slice of col — the cheapest projection.
+func (e *Engine) denseProject(name string, col *bat.BAT, seq uint32, n int) (*bat.BAT, error) {
+	switch col.T {
+	case bat.I32:
+		out := mem.AllocI32(n)
+		copy(out, col.I32s()[seq:int(seq)+n])
+		res := bat.NewI32(name, out)
+		res.Props = col.Props
+		return res, nil
+	case bat.F32:
+		out := mem.AllocF32(n)
+		copy(out, col.F32s()[seq:int(seq)+n])
+		res := bat.NewF32(name, out)
+		res.Props = col.Props
+		return res, nil
+	case bat.OID:
+		out := mem.AllocU32(n)
+		copy(out, col.OIDs()[seq:int(seq)+n])
+		res := bat.NewOID(name, out)
+		res.Props = col.Props
+		return res, nil
+	case bat.Void:
+		return bat.NewVoid(name, col.Seq+seq, n), nil
+	default:
+		return nil, fmt.Errorf("monet: project on %v column %q", col.T, col.Name)
+	}
+}

@@ -1,0 +1,232 @@
+package monet
+
+import (
+	"fmt"
+
+	"repro/internal/bat"
+	"repro/internal/mem"
+	"repro/internal/ops"
+)
+
+// Select implements MonetDB's algebra.select: it scans the candidate rows of
+// col and materialises the list of qualifying oids (§5.2.1 — this oid
+// materialisation is exactly the cost the paper contrasts with Ocelot's
+// bitmap results). The output is an ascending OID candidate list. Under MP
+// each mitosis fragment produces its slice of the result independently and
+// the fragments are packed in order.
+func (e *Engine) Select(col, cand *bat.BAT, lo, hi float64, loIncl, hiIncl bool) (*bat.BAT, error) {
+	if err := checkOwnership(col, cand); err != nil {
+		return nil, err
+	}
+	n := candLen(col, cand)
+	chunks := make([][]uint32, len(e.parts(n)))
+
+	switch col.T {
+	case bat.I32:
+		vals := col.I32s()
+		l, h, nonEmpty := i32Bounds(lo, hi, loIncl, hiIncl)
+		if !nonEmpty {
+			return emptyCand(col.Name), nil
+		}
+		if candIsDense(cand) {
+			seq := candSeq(cand)
+			e.parfor(n, func(p, plo, phi int) {
+				out := make([]uint32, 0, (phi-plo)/4+8)
+				for i := plo; i < phi; i++ {
+					if v := vals[seq+uint32(i)]; v >= l && v <= h {
+						out = append(out, seq+uint32(i))
+					}
+				}
+				chunks[p] = out
+			})
+		} else {
+			cs := cand.OIDs()
+			e.parfor(n, func(p, plo, phi int) {
+				out := make([]uint32, 0, (phi-plo)/4+8)
+				for i := plo; i < phi; i++ {
+					oid := cs[i]
+					if v := vals[oid]; v >= l && v <= h {
+						out = append(out, oid)
+					}
+				}
+				chunks[p] = out
+			})
+		}
+	case bat.F32:
+		vals := col.F32s()
+		l, h := f32Bounds(lo, hi)
+		if candIsDense(cand) {
+			seq := candSeq(cand)
+			e.parfor(n, func(p, plo, phi int) {
+				out := make([]uint32, 0, (phi-plo)/4+8)
+				for i := plo; i < phi; i++ {
+					v := vals[seq+uint32(i)]
+					if (v > l || (loIncl && v == l)) && (v < h || (hiIncl && v == h)) {
+						out = append(out, seq+uint32(i))
+					}
+				}
+				chunks[p] = out
+			})
+		} else {
+			cs := cand.OIDs()
+			e.parfor(n, func(p, plo, phi int) {
+				out := make([]uint32, 0, (phi-plo)/4+8)
+				for i := plo; i < phi; i++ {
+					oid := cs[i]
+					v := vals[oid]
+					if (v > l || (loIncl && v == l)) && (v < h || (hiIncl && v == h)) {
+						out = append(out, oid)
+					}
+				}
+				chunks[p] = out
+			})
+		}
+	default:
+		return nil, fmt.Errorf("monet: select on %v column %q", col.T, col.Name)
+	}
+	return packCand(col.Name, chunks), nil
+}
+
+// SelectCmp implements column-vs-column selections (e.g. Q12's
+// l_commitdate < l_receiptdate): it returns the candidate oids where
+// a[oid] cmp b[oid] holds.
+func (e *Engine) SelectCmp(a, b *bat.BAT, cmp ops.Cmp, cand *bat.BAT) (*bat.BAT, error) {
+	if err := checkOwnership(a, b, cand); err != nil {
+		return nil, err
+	}
+	if a.Len() != b.Len() {
+		return nil, fmt.Errorf("monet: selectcmp on misaligned columns %q(%d)/%q(%d)",
+			a.Name, a.Len(), b.Name, b.Len())
+	}
+	if a.T != b.T {
+		return nil, fmt.Errorf("monet: selectcmp type mismatch %v vs %v", a.T, b.T)
+	}
+	n := candLen(a, cand)
+	chunks := make([][]uint32, len(e.parts(n)))
+
+	oid := func(i int) uint32 { return candOID(cand, 0, i) }
+	switch a.T {
+	case bat.I32:
+		av, bv := a.I32s(), b.I32s()
+		e.parfor(n, func(p, plo, phi int) {
+			out := make([]uint32, 0, (phi-plo)/4+8)
+			for i := plo; i < phi; i++ {
+				o := oid(i)
+				if cmpI32(av[o], bv[o], cmp) {
+					out = append(out, o)
+				}
+			}
+			chunks[p] = out
+		})
+	case bat.F32:
+		av, bv := a.F32s(), b.F32s()
+		e.parfor(n, func(p, plo, phi int) {
+			out := make([]uint32, 0, (phi-plo)/4+8)
+			for i := plo; i < phi; i++ {
+				o := oid(i)
+				if cmpF32(av[o], bv[o], cmp) {
+					out = append(out, o)
+				}
+			}
+			chunks[p] = out
+		})
+	default:
+		return nil, fmt.Errorf("monet: selectcmp on %v columns", a.T)
+	}
+	return packCand(a.Name, chunks), nil
+}
+
+func cmpI32(x, y int32, c ops.Cmp) bool {
+	switch c {
+	case ops.Lt:
+		return x < y
+	case ops.Le:
+		return x <= y
+	case ops.Gt:
+		return x > y
+	case ops.Ge:
+		return x >= y
+	case ops.Eq:
+		return x == y
+	default:
+		return x != y
+	}
+}
+
+func cmpF32(x, y float32, c ops.Cmp) bool {
+	switch c {
+	case ops.Lt:
+		return x < y
+	case ops.Le:
+		return x <= y
+	case ops.Gt:
+		return x > y
+	case ops.Ge:
+		return x >= y
+	case ops.Eq:
+		return x == y
+	default:
+		return x != y
+	}
+}
+
+// OIDUnion merges two ascending candidate lists, deduplicating — the
+// disjunction combine (∨ in Figure 3).
+func (e *Engine) OIDUnion(a, b *bat.BAT) (*bat.BAT, error) {
+	if err := checkOwnership(a, b); err != nil {
+		return nil, err
+	}
+	as, bs := a.MaterializeOIDs(), b.MaterializeOIDs()
+	out := mem.AllocU32(len(as) + len(bs))
+	i, j, k := 0, 0, 0
+	for i < len(as) && j < len(bs) {
+		switch {
+		case as[i] < bs[j]:
+			out[k] = as[i]
+			i++
+		case as[i] > bs[j]:
+			out[k] = bs[j]
+			j++
+		default:
+			out[k] = as[i]
+			i++
+			j++
+		}
+		k++
+	}
+	for ; i < len(as); i++ {
+		out[k] = as[i]
+		k++
+	}
+	for ; j < len(bs); j++ {
+		out[k] = bs[j]
+		k++
+	}
+	res := bat.NewOID("union", out[:k])
+	res.Props.Sorted, res.Props.Key = true, true
+	return res, nil
+}
+
+// emptyCand returns an empty candidate list.
+func emptyCand(name string) *bat.BAT {
+	b := bat.New(name+"_sel", bat.OID, 0)
+	b.Props.Sorted, b.Props.Key = true, true
+	return b
+}
+
+// packCand concatenates per-fragment oid chunks (MonetDB's mat.pack) into
+// one ascending candidate list.
+func packCand(name string, chunks [][]uint32) *bat.BAT {
+	total := 0
+	for _, c := range chunks {
+		total += len(c)
+	}
+	out := mem.AllocU32(total)
+	k := 0
+	for _, c := range chunks {
+		k += copy(out[k:], c)
+	}
+	res := bat.NewOID(name+"_sel", out)
+	res.Props.Sorted, res.Props.Key = true, true
+	return res
+}

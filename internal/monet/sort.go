@@ -1,0 +1,131 @@
+package monet
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bat"
+	"repro/internal/mem"
+)
+
+// Sort orders col ascending and returns the sorted column plus the order
+// permutation (usable with Project to align other columns). MonetDB's sort
+// "is based on quick- and mergesort" (§5.2.7): the sequential path is a
+// quicksort (argsort); the MP path quicksorts the mitosis fragments
+// concurrently and then merges them pairwise — a parallel mergesort.
+func (e *Engine) Sort(col *bat.BAT) (*bat.BAT, *bat.BAT, error) {
+	if err := checkOwnership(col); err != nil {
+		return nil, nil, err
+	}
+	n := col.Len()
+	perm := mem.AllocU32(n)
+	for i := range perm {
+		perm[i] = uint32(i)
+	}
+
+	var less func(a, b uint32) bool
+	switch col.T {
+	case bat.I32:
+		v := col.I32s()
+		less = func(a, b uint32) bool {
+			if v[a] != v[b] {
+				return v[a] < v[b]
+			}
+			return a < b // stable tie-break on position
+		}
+	case bat.F32:
+		v := col.F32s()
+		less = func(a, b uint32) bool {
+			if v[a] != v[b] {
+				return v[a] < v[b]
+			}
+			return a < b
+		}
+	case bat.OID:
+		v := col.OIDs()
+		less = func(a, b uint32) bool {
+			if v[a] != v[b] {
+				return v[a] < v[b]
+			}
+			return a < b
+		}
+	case bat.Void:
+		// Already sorted by definition.
+		sorted := bat.NewVoid(col.Name+"_sorted", col.Seq, n)
+		order := bat.NewVoid(col.Name+"_order", 0, n)
+		return sorted, order, nil
+	default:
+		return nil, nil, fmt.Errorf("monet: sort on %v column %q", col.T, col.Name)
+	}
+
+	if e.threads == 1 {
+		sort.Slice(perm, func(i, j int) bool { return less(perm[i], perm[j]) })
+	} else {
+		parts := e.parts(n)
+		e.parfor(n, func(_, lo, hi int) {
+			chunk := perm[lo:hi]
+			sort.Slice(chunk, func(i, j int) bool { return less(chunk[i], chunk[j]) })
+		})
+		// Pairwise merge passes until a single sorted run remains.
+		runs := make([][2]int, len(parts))
+		for i, p := range parts {
+			runs[i] = p
+		}
+		buf := mem.AllocU32(n)
+		for len(runs) > 1 {
+			var nextRuns [][2]int
+			var wg = make(chan struct{}, len(runs)/2+1)
+			active := 0
+			for i := 0; i+1 < len(runs); i += 2 {
+				a, b := runs[i], runs[i+1]
+				nextRuns = append(nextRuns, [2]int{a[0], b[1]})
+				active++
+				go func(a, b [2]int) {
+					mergeRuns(perm, buf, a, b, less)
+					wg <- struct{}{}
+				}(a, b)
+			}
+			if len(runs)%2 == 1 {
+				nextRuns = append(nextRuns, runs[len(runs)-1])
+			}
+			for i := 0; i < active; i++ {
+				<-wg
+			}
+			runs = nextRuns
+		}
+	}
+
+	order := bat.NewOID(col.Name+"_order", perm)
+	sorted, err := e.Project(order, col)
+	if err != nil {
+		return nil, nil, err
+	}
+	sorted.Name = col.Name + "_sorted"
+	sorted.Props.Sorted = true
+	return sorted, order, nil
+}
+
+// mergeRuns merges the adjacent sorted runs a and b of perm in place, using
+// buf as scratch.
+func mergeRuns(perm, buf []uint32, a, b [2]int, less func(x, y uint32) bool) {
+	i, j, k := a[0], b[0], a[0]
+	for i < a[1] && j < b[1] {
+		if less(perm[j], perm[i]) {
+			buf[k] = perm[j]
+			j++
+		} else {
+			buf[k] = perm[i]
+			i++
+		}
+		k++
+	}
+	for ; i < a[1]; i++ {
+		buf[k] = perm[i]
+		k++
+	}
+	for ; j < b[1]; j++ {
+		buf[k] = perm[j]
+		k++
+	}
+	copy(perm[a[0]:b[1]], buf[a[0]:b[1]])
+}

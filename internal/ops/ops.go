@@ -1,0 +1,203 @@
+// Package ops defines the engine-neutral operator contract shared by the
+// hand-tuned MonetDB baselines (internal/monet) and the hardware-oblivious
+// Ocelot engine (internal/core). It is the Go rendering of the paper's
+// drop-in-replacement design (§3.1): the MAL execution layer binds a query
+// plan to one Operators implementation, and the Ocelot query rewriter simply
+// swaps which implementation the plan's calls route to.
+//
+// The operator set covers what the paper's prototype supports (§3.1):
+// selection, projection, join, grouping and aggregation over four-byte
+// integer and floating-point columns, plus sorting and the arithmetic map
+// operations the TPC-H workload needs.
+package ops
+
+import (
+	"fmt"
+
+	"repro/internal/bat"
+)
+
+// Agg enumerates aggregate functions.
+type Agg int
+
+const (
+	Sum Agg = iota
+	Count
+	Min
+	Max
+	Avg
+)
+
+// String returns the SQL name of the aggregate.
+func (a Agg) String() string {
+	switch a {
+	case Sum:
+		return "sum"
+	case Count:
+		return "count"
+	case Min:
+		return "min"
+	case Max:
+		return "max"
+	case Avg:
+		return "avg"
+	default:
+		return fmt.Sprintf("Agg(%d)", int(a))
+	}
+}
+
+// Bin enumerates binary arithmetic map operations.
+type Bin int
+
+const (
+	Add Bin = iota
+	SubOp
+	Mul
+	Div
+)
+
+// String returns the operator symbol.
+func (b Bin) String() string {
+	switch b {
+	case Add:
+		return "+"
+	case SubOp:
+		return "-"
+	case Mul:
+		return "*"
+	case Div:
+		return "/"
+	default:
+		return fmt.Sprintf("Bin(%d)", int(b))
+	}
+}
+
+// Cmp enumerates comparison operators for column-vs-column selections.
+type Cmp int
+
+const (
+	Lt Cmp = iota
+	Le
+	Gt
+	Ge
+	Eq
+	Ne
+)
+
+// String returns the operator symbol.
+func (c Cmp) String() string {
+	switch c {
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	case Gt:
+		return ">"
+	case Ge:
+		return ">="
+	case Eq:
+		return "=="
+	case Ne:
+		return "!="
+	default:
+		return fmt.Sprintf("Cmp(%d)", int(c))
+	}
+}
+
+// HashTable is an opaque handle to a built hash lookup table. The Ocelot
+// Memory Manager caches hash tables of base columns (§5.2.6: "we maintain a
+// cache of all built hash tables of base tables").
+type HashTable interface {
+	// BuildRows returns the number of rows the table was built over.
+	BuildRows() int
+	// Release drops the table's resources.
+	Release()
+}
+
+// Operators is the operator set one engine configuration provides. All
+// column arguments are BATs; "cand" arguments are candidate lists (OID or
+// Void BATs) restricting which rows of col participate — nil means all rows.
+// Selections return candidate lists; projections return value columns
+// aligned with their candidate input.
+//
+// Engines with deferred (lazy) execution return BATs whose heaps may not yet
+// be host-visible; Sync must be called before host code reads them (§3.4's
+// ownership rule). The MonetDB baselines execute eagerly and Sync is a no-op.
+type Operators interface {
+	// Name identifies the configuration ("MonetDB sequential", "Ocelot[GPU]").
+	Name() string
+
+	// Select returns the oids of rows in cand where lo ⋞ col[oid] ⋞ hi,
+	// with bound inclusivity given by loIncl/hiIncl. Bounds are passed as
+	// float64 and converted to the column type (both Ocelot types fit).
+	// Use -inf/+inf bounds for half-open ranges.
+	Select(col, cand *bat.BAT, lo, hi float64, loIncl, hiIncl bool) (*bat.BAT, error)
+
+	// SelectCmp returns the oids in cand where a[oid] ⟨cmp⟩ b[oid] holds;
+	// a and b must be aligned columns of the same length.
+	SelectCmp(a, b *bat.BAT, cmp Cmp, cand *bat.BAT) (*bat.BAT, error)
+
+	// Project fetches col values at the positions in cand (MonetDB's
+	// leftfetchjoin, §5.2.2). A Void cand makes it a slice/copy.
+	Project(cand, col *bat.BAT) (*bat.BAT, error)
+
+	// Join equi-joins the values of l and r and returns aligned candidate
+	// lists (positions into l, positions into r) for every match pair.
+	Join(l, r *bat.BAT) (lres, rres *bat.BAT, err error)
+
+	// ThetaJoin joins l and r under an inequality predicate
+	// (l[i] ⟨cmp⟩ r[j]) via nested loops — the paper's fallback for
+	// non-equi joins (§4.1.5). Quadratic; intended for small inputs.
+	ThetaJoin(l, r *bat.BAT, cmp Cmp) (lres, rres *bat.BAT, err error)
+
+	// SemiJoin returns the positions of l whose value has at least one
+	// match in r (EXISTS).
+	SemiJoin(l, r *bat.BAT) (*bat.BAT, error)
+
+	// AntiJoin returns the positions of l whose value has no match in r
+	// (NOT EXISTS).
+	AntiJoin(l, r *bat.BAT) (*bat.BAT, error)
+
+	// BuildHash builds a hash lookup table over col's values (Fig. 5e/f).
+	BuildHash(col *bat.BAT) (HashTable, error)
+
+	// HashProbe probes ht with probe's values and returns aligned candidate
+	// lists (positions into probe, positions into the build column). This
+	// is the probe phase measured in Fig. 5i (build time excluded).
+	HashProbe(probe *bat.BAT, ht HashTable) (pres, bres *bat.BAT, err error)
+
+	// Group assigns dense group ids to col's values, refining a previous
+	// grouping (grp, ngrp) when grp is non-nil — the paper's recursive
+	// multi-column grouping (§4.1.6). Returns the id column and the number
+	// of groups.
+	Group(col, grp *bat.BAT, ngrp int) (*bat.BAT, int, error)
+
+	// Aggr computes the aggregate of vals per group (groups/ngroups), or a
+	// single scalar (1-row BAT) when groups is nil. vals may be nil for
+	// Count.
+	Aggr(kind Agg, vals, groups *bat.BAT, ngroups int) (*bat.BAT, error)
+
+	// Sort orders col ascending and returns the sorted column plus the
+	// order (a candidate list that maps output position → input position,
+	// usable with Project to align other columns).
+	Sort(col *bat.BAT) (sorted, order *bat.BAT, err error)
+
+	// Binop computes a ⟨op⟩ b element-wise; mixed I32/F32 inputs promote to
+	// F32.
+	Binop(op Bin, a, b *bat.BAT) (*bat.BAT, error)
+
+	// BinopConst computes a ⟨op⟩ c (or c ⟨op⟩ a when constFirst) per element.
+	BinopConst(op Bin, a *bat.BAT, c float64, constFirst bool) (*bat.BAT, error)
+
+	// OIDUnion merges two sorted candidate lists, deduplicating — the ∨
+	// combine of disjunctive predicates (Figure 3's union).
+	OIDUnion(a, b *bat.BAT) (*bat.BAT, error)
+
+	// Sync makes b host-visible and hands ownership back to MonetDB
+	// (§3.4). No-op for eager engines.
+	Sync(b *bat.BAT) error
+
+	// Release hints that an intermediate BAT is dead, letting the engine
+	// free device resources early.
+	Release(b *bat.BAT)
+}

@@ -1,0 +1,99 @@
+package tpch
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/bat"
+)
+
+// CSV export of a generated instance: one file per table, dictionary codes
+// decoded back to their strings and yyyymmdd dates rendered ISO-style, so
+// the data can be loaded into an external system for cross-validation.
+// Join-index position columns are internal and skipped.
+
+// dictColumns maps exported columns to their dictionary (where one exists).
+var dictColumns = map[string]string{
+	"r_name": "r_name", "n_name": "n_name",
+	"c_mktsegment":  "c_mktsegment",
+	"o_orderstatus": "o_orderstatus", "o_orderpriority": "o_orderpriority",
+	"l_returnflag": "l_returnflag", "l_linestatus": "l_linestatus",
+	"l_shipinstruct": "l_shipinstruct", "l_shipmode": "l_shipmode",
+	"p_brand": "p_brand", "p_type": "p_type", "p_container": "p_container",
+}
+
+// dateColumns render as yyyy-mm-dd.
+var dateColumns = map[string]bool{
+	"o_orderdate": true, "l_shipdate": true, "l_commitdate": true,
+	"l_receiptdate": true,
+}
+
+// WriteCSV exports every table into dir as <table>.csv with a header row.
+func (db *DB) WriteCSV(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, t := range db.Tables() {
+		f, err := os.Create(filepath.Join(dir, t.Name+".csv"))
+		if err != nil {
+			return err
+		}
+		if err := db.writeTableCSV(f, t); err != nil {
+			_ = f.Close()
+			return fmt.Errorf("exporting %s: %w", t.Name, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (db *DB) writeTableCSV(w io.Writer, t *bat.Table) error {
+	cw := csv.NewWriter(w)
+	var cols []string
+	for _, c := range t.Order {
+		if strings.HasSuffix(c, "pos") {
+			continue // internal join indexes
+		}
+		cols = append(cols, c)
+	}
+	if err := cw.Write(cols); err != nil {
+		return err
+	}
+	row := make([]string, len(cols))
+	for i := 0; i < t.Rows(); i++ {
+		for j, c := range cols {
+			row[j] = db.renderCell(t.Cols[c], c, i)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func (db *DB) renderCell(b *bat.BAT, col string, i int) string {
+	switch b.T {
+	case bat.F32:
+		return strconv.FormatFloat(float64(b.F32s()[i]), 'f', 2, 32)
+	case bat.OID:
+		return strconv.FormatUint(uint64(b.OIDs()[i]), 10)
+	case bat.Void:
+		return strconv.FormatUint(uint64(b.OIDAt(i)), 10)
+	}
+	v := b.I32s()[i]
+	if dict, ok := dictColumns[col]; ok {
+		return db.Decode(dict, v)
+	}
+	if dateColumns[col] {
+		return fmt.Sprintf("%04d-%02d-%02d", v/10000, v/100%100, v%100)
+	}
+	return strconv.FormatInt(int64(v), 10)
+}

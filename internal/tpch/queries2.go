@@ -1,0 +1,288 @@
+package tpch
+
+import (
+	"repro/internal/bat"
+	"repro/internal/mal"
+	"repro/internal/ops"
+)
+
+// q8 — National market share: ECONOMY ANODIZED STEEL parts sold into the
+// AMERICA region during 1995-1996; BRAZIL's share of the volume per year.
+// Years without any BRAZIL volume would drop out of the final join; at the
+// generated selectivities both years always carry BRAZIL volume.
+func q8(s *mal.Session, db *DB) *mal.Result {
+	R, N, S, C, P, O, L := db.Region, db.Nation, db.Supplier, db.Customer, db.Part, db.Orders, db.Lineitem
+
+	psel := s.SelectEq(P.Col("p_type"), nil, db.Code("p_type", "ECONOMY ANODIZED STEEL"))
+	lsem := s.SemiJoin(L.Col("l_partpos"), psel)
+
+	liOdate := s.Project(L.Col("l_orderpos"), O.Col("o_orderdate"))
+	s1 := s.Select(liOdate, lsem, float64(Ymd(1995, 1, 1)), float64(Ymd(1996, 12, 31)), true, true)
+
+	// Region of the order's customer.
+	rsel := s.SelectEq(R.Col("r_name"), nil, db.Code("r_name", "AMERICA"))
+	amNations := s.Project(s.SemiJoin(N.Col("n_regionpos"), rsel), N.Col("n_name"))
+	oCnat := s.Project(s.Project(O.Col("o_custpos"), C.Col("c_nationpos")), N.Col("n_name"))
+	liCnat := s.Project(L.Col("l_orderpos"), oCnat)
+	cnatF := s.Project(s1, liCnat)
+	inAm := s.SemiJoin(cnatF, amNations)
+	lpos := s.Project(inAm, s1)
+
+	vol := revenue(s, db, lpos)
+	year := s.BinopConst(ops.Div, s.Project(lpos, liOdate), 10000, false)
+	snat := s.Project(lpos, s.Project(L.Col("l_supppos"), S.Col("s_nationpos")))
+	snatName := s.Project(snat, N.Col("n_name"))
+
+	g, n := s.Group(year, nil, 0)
+	years := s.Aggr(ops.Min, year, g, n)
+	total := s.Aggr(ops.Sum, vol, g, n)
+
+	brSel := s.SelectEq(snatName, nil, db.Code("n_name", "BRAZIL"))
+	brVol := s.Project(brSel, vol)
+	brYear := s.Project(brSel, year)
+	g2, n2 := s.Group(brYear, nil, 0)
+	brYears := s.Aggr(ops.Min, brYear, g2, n2)
+	brTotal := s.Aggr(ops.Sum, brVol, g2, n2)
+
+	lj, rj := s.Join(years, brYears)
+	share := s.Binop(ops.Div, s.Project(rj, brTotal), s.Project(lj, total))
+	outYears := s.Project(lj, years)
+	sorted := sortBy(s, outYears, outYears, share)
+	return s.Result([]string{"o_year", "mkt_share"}, sorted...)
+}
+
+// q10 — Returned item reporting: customers who returned items from orders
+// placed in 1993-Q4; revenue per customer. Modification: LIMIT removed;
+// ordered by revenue.
+func q10(s *mal.Session, db *DB) *mal.Result {
+	N, C, O, L := db.Nation, db.Customer, db.Orders, db.Lineitem
+
+	osel := s.Select(O.Col("o_orderdate"), nil,
+		float64(Ymd(1993, 10, 1)), float64(Ymd(1994, 1, 1)), true, false)
+	lsem := s.SemiJoin(L.Col("l_orderpos"), osel)
+	rsel := s.SelectEq(L.Col("l_returnflag"), lsem, db.Code("l_returnflag", "R"))
+
+	liCust := s.Project(L.Col("l_orderpos"), O.Col("o_custkey"))
+	cust := s.Project(rsel, liCust)
+	rev := revenue(s, db, rsel)
+
+	g, n := s.Group(cust, nil, 0)
+	keys := s.Aggr(ops.Min, cust, g, n)
+	sums := s.Aggr(ops.Sum, rev, g, n)
+
+	// custkey is dense and 1-based: key-1 is the customer position, which
+	// recovers the non-grouped output columns.
+	cpos := s.BinopConst(ops.SubOp, keys, 1, false)
+	acct := s.Project(cpos, C.Col("c_acctbal"))
+	nation := s.Project(s.Project(cpos, C.Col("c_nationpos")), N.Col("n_name"))
+
+	sorted := sortBy(s, sums, keys, sums, acct, nation)
+	return s.Result([]string{"c_custkey", "revenue", "c_acctbal", "n_name"}, sorted...)
+}
+
+// q11 — Important stock identification: GERMANY's partsupp value per part,
+// HAVING value > 0.0001/SF of the national total.
+func q11(s *mal.Session, db *DB) *mal.Result {
+	N, S, PS := db.Nation, db.Supplier, db.PartSupp
+
+	nsel := s.SelectEq(N.Col("n_name"), nil, db.Code("n_name", "GERMANY"))
+	ssem := s.SemiJoin(S.Col("s_nationpos"), nsel)
+	pssem := s.SemiJoin(PS.Col("ps_supppos"), ssem)
+
+	cost := s.Project(pssem, PS.Col("ps_supplycost"))
+	qty := s.Project(pssem, PS.Col("ps_availqty"))
+	value := s.Binop(ops.Mul, cost, qty)
+	pk := s.Project(pssem, PS.Col("ps_partkey"))
+
+	g, n := s.Group(pk, nil, 0)
+	sums := s.Aggr(ops.Sum, value, g, n)
+	keys := s.Aggr(ops.Min, pk, g, n)
+
+	total := s.ScalarF(s.Aggr(ops.Sum, value, nil, 0))
+	frac := 0.0001 / db.SF
+	if db.SF < 0.02 {
+		// Tiny scaled instances have too few partsupps per nation for the
+		// spec fraction to filter anything; keep the experiment shaped.
+		frac = 0.0001
+	}
+	threshold := total * frac
+
+	hsel := s.Select(sums, nil, threshold, inf, false, true)
+	outKeys := s.Project(hsel, keys)
+	outVals := s.Project(hsel, sums)
+	sorted := sortBy(s, outVals, outKeys, outVals)
+	return s.Result([]string{"ps_partkey", "value"}, sorted...)
+}
+
+// q12 — Shipping modes and order priority: late 1994 receipts shipped by
+// MAIL or SHIP; per mode, how many high- vs. low-priority orders. Modes
+// without any high-priority line would drop from the final join; generated
+// priorities are uniform so both counts are always present.
+func q12(s *mal.Session, db *DB) *mal.Result {
+	O, L := db.Orders, db.Lineitem
+
+	s1 := s.Select(L.Col("l_receiptdate"), nil,
+		float64(Ymd(1994, 1, 1)), float64(Ymd(1995, 1, 1)), true, false)
+	s2 := s.SelectCmp(L.Col("l_commitdate"), L.Col("l_receiptdate"), ops.Lt, s1)
+	s3 := s.SelectCmp(L.Col("l_shipdate"), L.Col("l_commitdate"), ops.Lt, s2)
+	m1 := s.SelectEq(L.Col("l_shipmode"), s3, db.Code("l_shipmode", "MAIL"))
+	m2 := s.SelectEq(L.Col("l_shipmode"), s3, db.Code("l_shipmode", "SHIP"))
+	u := s.Union(m1, m2)
+
+	mode := s.Project(u, L.Col("l_shipmode"))
+	prio := s.Project(u, s.Project(L.Col("l_orderpos"), O.Col("o_orderpriority")))
+
+	g, n := s.Group(mode, nil, 0)
+	modeKey := s.Aggr(ops.Min, mode, g, n)
+	totalCnt := s.Aggr(ops.Count, nil, g, n)
+
+	// 1-URGENT and 2-HIGH are dictionary codes 0 and 1.
+	hsel := s.Select(prio, nil, 0, 1, true, true)
+	hmode := s.Project(hsel, mode)
+	g2, n2 := s.Group(hmode, nil, 0)
+	hKey := s.Aggr(ops.Min, hmode, g2, n2)
+	hCnt := s.Aggr(ops.Count, nil, g2, n2)
+
+	lj, rj := s.Join(modeKey, hKey)
+	high := s.Project(rj, hCnt)
+	total := s.Project(lj, totalCnt)
+	low := s.Binop(ops.SubOp, total, high)
+	outMode := s.Project(lj, modeKey)
+
+	sorted := sortBy(s, outMode, outMode, high, low)
+	return s.Result([]string{"l_shipmode", "high_line_count", "low_line_count"}, sorted...)
+}
+
+// q15 — Top supplier: revenue per supplier for 1996-Q1 shipments (the
+// paper's revenue view), then the suppliers achieving the maximum.
+func q15(s *mal.Session, db *DB) *mal.Result {
+	L := db.Lineitem
+	sel := s.Select(L.Col("l_shipdate"), nil,
+		float64(Ymd(1996, 1, 1)), float64(Ymd(1996, 4, 1)), true, false)
+	sk := s.Project(sel, L.Col("l_suppkey"))
+	rev := revenue(s, db, sel)
+
+	g, n := s.Group(sk, nil, 0)
+	sums := s.Aggr(ops.Sum, rev, g, n)
+	keys := s.Aggr(ops.Min, sk, g, n)
+
+	maxRev := s.ScalarF(s.Aggr(ops.Max, sums, nil, 0))
+	msel := s.SelectEq(sums, nil, maxRev)
+	return s.Result([]string{"s_suppkey", "total_revenue"},
+		s.Project(msel, keys), s.Project(msel, sums))
+}
+
+// q17 — Small-quantity-order revenue: Brand#23 MED BOX parts; lineitems
+// with quantity below 20% of the part's average quantity; yearly-average
+// lost revenue (sum/7).
+func q17(s *mal.Session, db *DB) *mal.Result {
+	P, L := db.Part, db.Lineitem
+
+	p1 := s.SelectEq(P.Col("p_brand"), nil, db.Code("p_brand", "Brand#23"))
+	p2 := s.SelectEq(P.Col("p_container"), p1, db.Code("p_container", "MED BOX"))
+	lsem := s.SemiJoin(L.Col("l_partpos"), p2)
+
+	lpart := s.Project(lsem, L.Col("l_partpos"))
+	lqty := s.Project(lsem, L.Col("l_quantity"))
+	g, n := s.Group(lpart, nil, 0)
+	avgQty := s.Aggr(ops.Avg, lqty, g, n)
+	threshold := s.BinopConst(ops.Mul, avgQty, 0.2, false)
+
+	// Per-row threshold: group ids index the per-group thresholds.
+	thRow := s.Project(g, threshold)
+	qsel := s.SelectCmp(lqty, thRow, ops.Lt, nil)
+	price := s.Project(qsel, s.Project(lsem, L.Col("l_extendedprice")))
+	total := s.Aggr(ops.Sum, price, nil, 0)
+	return s.Result([]string{"avg_yearly"}, s.BinopConst(ops.Div, total, 7, false))
+}
+
+// q19 — Discounted revenue: three OR-ed conjunctive predicate groups over
+// part and lineitem — the workload's showcase for combining selection
+// bitmaps with AND/OR bit operations (§4.1.1, Figure 3).
+func q19(s *mal.Session, db *DB) *mal.Result {
+	P, L := db.Part, db.Lineitem
+
+	// Common conjuncts: shipmode IN (AIR, AIR REG) — our dictionary's
+	// closest codes are AIR and REG AIR — and DELIVER IN PERSON.
+	m1 := s.SelectEq(L.Col("l_shipmode"), nil, db.Code("l_shipmode", "AIR"))
+	m2 := s.SelectEq(L.Col("l_shipmode"), nil, db.Code("l_shipmode", "REG AIR"))
+	modes := s.Union(m1, m2)
+	base := s.SelectEq(L.Col("l_shipinstruct"), modes, db.Code("l_shipinstruct", "DELIVER IN PERSON"))
+
+	liBrand := s.Project(L.Col("l_partpos"), P.Col("p_brand"))
+	liSize := s.Project(L.Col("l_partpos"), P.Col("p_size"))
+	liCont := s.Project(L.Col("l_partpos"), P.Col("p_container"))
+
+	groupSel := func(brand string, containers []string, qlo, qhi, szHi float64) *bat.BAT {
+		b := s.SelectEq(liBrand, base, db.Code("p_brand", brand))
+		cu := s.SelectEq(liCont, b, db.Code("p_container", containers[0]))
+		for _, c := range containers[1:] {
+			cu = s.Union(cu, s.SelectEq(liCont, b, db.Code("p_container", c)))
+		}
+		q := s.Select(L.Col("l_quantity"), cu, qlo, qhi, true, true)
+		return s.Select(liSize, q, 1, szHi, true, true)
+	}
+
+	g1 := groupSel("Brand#12", []string{"SM CASE", "SM BOX", "SM PACK", "SM PKG"}, 1, 11, 5)
+	g2 := groupSel("Brand#23", []string{"MED BAG", "MED BOX", "MED PKG", "MED PACK"}, 10, 20, 10)
+	g3 := groupSel("Brand#34", []string{"LG CASE", "LG BOX", "LG PACK", "LG PKG"}, 20, 30, 15)
+
+	u := s.Union(s.Union(g1, g2), g3)
+	rev := revenue(s, db, u)
+	return s.Result([]string{"revenue"}, s.Aggr(ops.Sum, rev, nil, 0))
+}
+
+// q21 — Suppliers who kept orders waiting: SAUDI ARABIA suppliers with a
+// late line in a finalised multi-supplier order where no *other* supplier
+// was late. The EXISTS/NOT EXISTS pair is evaluated through per-order and
+// per-(order,supplier) lineitem counts:
+//
+//	EXISTS l2 (same order, other supplier)        ⇔ N(order) > N(order,supp)
+//	NOT EXISTS l3 (late, same order, other supp)  ⇔ L(order) = L(order,supp)
+//
+// Modifications: s_name sort clause and LIMIT removed; ordered by numwait.
+// This is the workload's hash-join stress test (§5.3.1).
+func q21(s *mal.Session, db *DB) *mal.Result {
+	N, S, O, L := db.Nation, db.Supplier, db.Orders, db.Lineitem
+	nOrders := db.Orders.Rows()
+	opos := L.Col("l_orderpos")
+
+	// Per-order and per-(order,supplier) lineitem counts; the dense order
+	// positions double as group ids.
+	nPerOrder := s.Aggr(ops.Count, nil, opos, nOrders)
+	gos, nos := s.Group(L.Col("l_suppkey"), opos, nOrders)
+	nPerOrderSupp := s.Aggr(ops.Count, nil, gos, nos)
+
+	late := s.SelectCmp(L.Col("l_receiptdate"), L.Col("l_commitdate"), ops.Gt, nil)
+	lPerOrder := s.Aggr(ops.Count, nil, s.Project(late, opos), nOrders)
+	lPerOrderSupp := s.Aggr(ops.Count, nil, s.Project(late, gos), nos)
+
+	// l1: late lines of SAUDI ARABIA suppliers in finalised orders.
+	liSnat := s.Project(s.Project(L.Col("l_supppos"), S.Col("s_nationpos")), N.Col("n_name"))
+	s1 := s.SelectEq(liSnat, late, db.Code("n_name", "SAUDI ARABIA"))
+	fOrders := s.SelectEq(O.Col("o_orderstatus"), nil, db.Code("o_orderstatus", "F"))
+	osem := s.SemiJoin(s.Project(s1, opos), fOrders)
+	l1 := s.Project(osem, s1)
+
+	// Per-l1-row counts via the id columns.
+	noFull := s.Project(opos, nPerOrder)
+	nosFull := s.Project(gos, nPerOrderSupp)
+	loFull := s.Project(opos, lPerOrder)
+	losFull := s.Project(gos, lPerOrderSupp)
+
+	no1 := s.Project(l1, noFull)
+	nos1 := s.Project(l1, nosFull)
+	exists2 := s.SelectCmp(nos1, no1, ops.Lt, nil)
+
+	lo2 := s.Project(exists2, s.Project(l1, loFull))
+	los2 := s.Project(exists2, s.Project(l1, losFull))
+	notExists3 := s.SelectCmp(lo2, los2, ops.Eq, nil)
+
+	lf := s.Project(notExists3, s.Project(exists2, l1))
+	sk := s.Project(lf, L.Col("l_suppkey"))
+	g, n := s.Group(sk, nil, 0)
+	keys := s.Aggr(ops.Min, sk, g, n)
+	counts := s.Aggr(ops.Count, nil, g, n)
+	sorted := sortBy(s, counts, keys, counts)
+	return s.Result([]string{"s_suppkey", "numwait"}, sorted...)
+}

@@ -16,6 +16,7 @@ import (
 	"testing"
 
 	"repro/internal/bat"
+	"repro/internal/cl"
 	"repro/internal/mal"
 	"repro/internal/mem"
 	"repro/internal/ops"
@@ -329,6 +330,54 @@ func BenchmarkFig7dQ1Scaling(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkLaunchOverhead measures the runtime's per-launch dispatch cost —
+// the framework overhead of §5.3.2 / Figure 7(d) — by running N tiny
+// dependent kernels end-to-end on the CPU driver: each launch does almost no
+// work, so ns/op is dominated by enqueue, dependency resolution, work-group
+// scheduling and completion. The "local" variant adds work-group local
+// memory so the scratch-reuse path is exercised too.
+func BenchmarkLaunchOverhead(b *testing.B) {
+	run := func(b *testing.B, l cl.Launch) {
+		dev := cl.NewCPUDevice(0)
+		ctx := cl.NewContext(dev)
+		q := cl.NewQueue(ctx)
+		buf, err := ctx.CreateBuffer(4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := buf.I32()
+		fn := func(t *cl.Thread) {
+			if t.Global == 0 {
+				s[0]++
+			}
+		}
+		// Warm up the executor before timing.
+		if err := q.EnqueueKernel(fn, l).Wait(); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		var ev *cl.Event
+		for i := 0; i < b.N; i++ {
+			launch := l
+			launch.Wait = []*cl.Event{ev}
+			ev = q.EnqueueKernel(fn, launch)
+		}
+		if err := ev.Wait(); err != nil {
+			b.Fatal(err)
+		}
+		if err := q.Finish(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("chain", func(b *testing.B) {
+		run(b, cl.Launch{Name: "tiny"})
+	})
+	b.Run("chain-local", func(b *testing.B) {
+		run(b, cl.Launch{Name: "tiny_local", LocalWords: 256})
+	})
 }
 
 func ftoa(f float64) string {

@@ -208,6 +208,18 @@ func engineFor(c mal.Config, opt Options) ops.Operators {
 	})
 }
 
+// retire drains a configuration's resources after its measurements: Ocelot
+// engines hold a persistent per-device worker pool and a scratch free-list,
+// and a sweep builds one engine per data point, so draining eagerly keeps
+// the harness from carrying parked workers until their idle timeout — or
+// pinning retained scratch bytes through the storage layer's free listener.
+func retire(o ops.Operators) {
+	if eng, ok := o.(*core.Engine); ok {
+		eng.Device().Close()
+		eng.Memory().FlushScratch()
+	}
+}
+
 // releaseAll drops intermediates an operation produced.
 func releaseAll(o ops.Operators, bats ...*bat.BAT) {
 	for _, b := range bats {

@@ -32,6 +32,7 @@ func sweepBySize(id, title string, opt Options,
 		for _, cfg := range opt.Configs {
 			o := engineFor(cfg, opt)
 			d, err := Measure(o, opt.Runs, func() error { return op(o, inputs) })
+			retire(o)
 			if err != nil {
 				if errors.Is(err, cl.ErrOutOfDeviceMemory) {
 					// The GPU line "ends midway" (§5.2): leave NaN.
@@ -85,6 +86,7 @@ func Fig5b(opt Options) *Report {
 				releaseAll(o, res)
 				return err
 			})
+			retire(o)
 			if err != nil {
 				continue
 			}
@@ -220,6 +222,7 @@ func Fig5i(opt Options) *Report {
 				return err
 			})
 			ht.Release()
+			retire(o)
 			if err != nil {
 				if errors.Is(err, cl.ErrOutOfDeviceMemory) {
 					continue
@@ -263,6 +266,7 @@ func sweepByDistinct(id, title string, opt Options, op func(o ops.Operators, col
 		for _, cfg := range opt.Configs {
 			o := engineFor(cfg, opt)
 			dur, err := Measure(o, opt.Runs, func() error { return op(o, col) })
+			retire(o)
 			if err != nil {
 				if !errors.Is(err, cl.ErrOutOfDeviceMemory) {
 					r.Notes = append(r.Notes, fmt.Sprintf("%v at %d distinct: %v", cfg, d, err))

@@ -85,6 +85,26 @@ func (c *Context) CreateBufferFromHost(host []byte) (*Buffer, error) {
 	return b, nil
 }
 
+// CreateBufferRecycling is CreateBuffer over a recycled backing array: the
+// device capacity is charged as usual and the buffer behaves identically,
+// but the bytes come from the caller's free-list (which must own them
+// exclusively — no captured views may still be in use) instead of a fresh
+// allocation. Unlike CreateBuffer the contents are UNDEFINED — stale data
+// from the previous use, exactly like a freshly created cl_mem in real
+// OpenCL. Callers must fully initialise whatever they read (explicitly
+// zeroing multi-megabyte scratch per operation would cost more memory
+// bandwidth than the recycling saves). The Memory Manager's scratch
+// free-list uses this to stop round-tripping transient operator scratch
+// through the allocator and garbage collector.
+func (c *Context) CreateBufferRecycling(data []byte) (*Buffer, error) {
+	if err := c.dev.reserve(int64(len(data))); err != nil {
+		return nil, err
+	}
+	b := &Buffer{ctx: c, size: int64(len(data)), data: data}
+	c.track(b)
+	return b, nil
+}
+
 func (c *Context) track(b *Buffer) {
 	c.mu.Lock()
 	c.buffers[b] = struct{}{}

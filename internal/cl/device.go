@@ -124,6 +124,11 @@ type Device struct {
 	// roughly constant per-query cost they extrapolate in Figure 7(d).
 	LaunchPause time.Duration
 
+	// exec is the device's persistent worker pool (see pool.go), created
+	// lazily on first use and drained by Close or worker idle timeouts.
+	execMu sync.Mutex
+	exec   *executor
+
 	mu        sync.Mutex
 	allocated int64 // live buffer bytes
 	peakAlloc int64

@@ -14,8 +14,16 @@ type Event struct {
 	name string
 	done chan struct{}
 
-	mu  sync.Mutex
-	err error
+	mu        sync.Mutex
+	err       error
+	completed bool
+	// waiter0/waiters are commands whose wait-list includes this event;
+	// completion decrements each one's pending-dependency counter (see
+	// pool.go). This is what lets the scheduler fire commands without
+	// parking a goroutine per enqueue. The single-waiter case — a linear
+	// kernel chain — stays allocation-free via the inline slot.
+	waiter0 *command
+	waiters []*command
 
 	// Virtual schedule on the device timeline, in nanoseconds since device
 	// creation. For simulated devices these are assigned at enqueue time by
@@ -30,6 +38,7 @@ type Event struct {
 func CompletedEvent(err error) *Event {
 	e := &Event{name: "completed", done: make(chan struct{})}
 	e.err = err
+	e.completed = true
 	close(e.done)
 	return e
 }
@@ -98,11 +107,50 @@ func (e *Event) Duration() time.Duration {
 	return time.Duration(e.vEnd - e.vStart)
 }
 
-func (e *Event) complete(err error) {
+// subscribe registers a command to be notified on completion; it reports
+// false — without registering — when the event has already completed (the
+// caller then accounts for the dependency synchronously).
+func (e *Event) subscribe(c *command) bool {
+	e.mu.Lock()
+	if e.completed {
+		e.mu.Unlock()
+		return false
+	}
+	if e.waiter0 == nil {
+		e.waiter0 = c
+	} else {
+		e.waiters = append(e.waiters, c)
+	}
+	e.mu.Unlock()
+	return true
+}
+
+// complete marks the operation finished and notifies subscribed commands.
+// It returns the commands that became runnable — one directly (for the
+// caller to chain into without spawning) plus any others — so a linear
+// kernel chain completes with no allocation at all.
+func (e *Event) complete(err error) (next *command, more []*command) {
 	e.mu.Lock()
 	e.err = err
+	e.completed = true
+	w0, ws := e.waiter0, e.waiters
+	e.waiter0, e.waiters = nil, nil
 	e.mu.Unlock()
 	close(e.done)
+	if w0 != nil && w0.depDone(err) {
+		next = w0
+	}
+	for _, c := range ws {
+		if !c.depDone(err) {
+			continue
+		}
+		if next == nil {
+			next = c
+		} else {
+			more = append(more, c)
+		}
+	}
+	return next, more
 }
 
 // WaitAll waits for every event and returns the first error encountered.
@@ -114,19 +162,6 @@ func WaitAll(events ...*Event) error {
 		}
 	}
 	return first
-}
-
-// waitDeps blocks until all dependencies complete, returning the first error.
-func waitDeps(deps []*Event) error {
-	for _, d := range deps {
-		if d == nil {
-			continue
-		}
-		if err := d.Wait(); err != nil {
-			return err
-		}
-	}
-	return nil
 }
 
 // depsReady returns the latest virtual end time across the dependencies.

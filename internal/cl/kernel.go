@@ -3,6 +3,7 @@ package cl
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/mem"
 )
@@ -161,11 +162,110 @@ func (t *Thread) LocalI32() []int32 { return mem.I32(mem.BytesOfU32(t.localMem))
 // LocalF32 returns the group's local memory viewed as []float32.
 func (t *Thread) LocalF32() []float32 { return mem.F32(mem.BytesOfU32(t.localMem)) }
 
+// launchRun is the shared state of one in-flight launch: the launching
+// goroutine and any recruited pool workers pull group indices from next
+// until the launch is exhausted, and the last finished group signals
+// completion. This replaces the seed's goroutine-per-work-group model with
+// a constant number of persistent workers (see pool.go).
+type launchRun struct {
+	dev           *Device
+	fn            KernelFunc
+	name          string
+	localWords    int
+	barriers      bool
+	groups, local int
+	gsz           int
+
+	next     atomic.Int32
+	done     atomic.Int32
+	finished chan struct{}
+
+	errOnce sync.Once
+	err     error
+}
+
+func (r *launchRun) record(v any) {
+	r.errOnce.Do(func() { r.err = fmt.Errorf("cl: kernel %q panicked: %v", r.name, v) })
+}
+
+func (r *launchRun) runInPool(x *executor) { r.help(x) }
+
+// help pulls and executes work-groups until none remain. Each helper that
+// sees further groups outstanding recruits one more parked worker (a wave
+// wake-up: 1 → 2 → 4 …), so a tiny launch runs entirely on the launching
+// goroutine at almost no dispatch cost while a large one saturates the pool.
+func (r *launchRun) help(x *executor) {
+	for {
+		g := int(r.next.Add(1)) - 1
+		if g >= r.groups {
+			return
+		}
+		if r.groups-g > 1 {
+			x.offer(r)
+		}
+		r.runGroup(x, g)
+	}
+}
+
+// runGroup executes one work-group in the current goroutine. Work-items run
+// sequentially unless the kernel needs barriers; barrier groups keep one
+// dedicated goroutine per work-item — they must run concurrently to meet at
+// the barrier — but the group as a whole occupies a single pool slot.
+func (r *launchRun) runGroup(x *executor, g int) {
+	defer func() {
+		if v := recover(); v != nil {
+			r.record(v)
+		}
+		if r.done.Add(1) == int32(r.groups) {
+			close(r.finished)
+		}
+	}()
+	var lmem []uint32
+	if r.localWords > 0 {
+		lmem = x.getLocal(r.localWords)
+		defer x.putLocal(lmem)
+	}
+	if !r.barriers {
+		t := Thread{
+			Group: g, GlobalSize: r.gsz, LocalSize: r.local,
+			NumGroups: r.groups, Const: r.dev.Const, localMem: lmem,
+		}
+		for li := 0; li < r.local; li++ {
+			t.Local = li
+			t.Global = g*r.local + li
+			r.fn(&t)
+		}
+		return
+	}
+	bar := newBarrier(r.local)
+	var wg sync.WaitGroup
+	for li := 0; li < r.local; li++ {
+		wg.Add(1)
+		go func(li int) {
+			defer wg.Done()
+			defer func() {
+				if v := recover(); v != nil {
+					bar.breakNow()
+					if v != errBarrierBroken {
+						r.record(v)
+					}
+				}
+			}()
+			r.fn(&Thread{
+				Global: g*r.local + li, Local: li, Group: g,
+				GlobalSize: r.gsz, LocalSize: r.local, NumGroups: r.groups,
+				Const: r.dev.Const, bar: bar, localMem: lmem,
+			})
+		}(li)
+	}
+	wg.Wait()
+}
+
 // runLaunch executes the kernel functionally on the host: work-groups run
-// concurrently (this is where the CPU driver's real parallelism comes from);
-// within a group, items run sequentially unless the kernel needs barriers.
-// A panic in any work-item aborts the launch and is reported as an error.
-func runLaunch(dev *Device, fn KernelFunc, l Launch) (err error) {
+// concurrently on the device's persistent worker pool (this is where the
+// CPU driver's real parallelism comes from). A panic in any work-item
+// aborts the launch and is reported as an error.
+func runLaunch(dev *Device, fn KernelFunc, l Launch) error {
 	groups, local := l.Groups, l.Local
 	if groups <= 0 || local <= 0 {
 		dg, dl := DefaultLaunch(dev)
@@ -176,64 +276,45 @@ func runLaunch(dev *Device, fn KernelFunc, l Launch) (err error) {
 			local = dl
 		}
 	}
-	gsz := groups * local
-
-	var (
-		wg      sync.WaitGroup
-		errOnce sync.Once
-		firstEr error
-	)
-	record := func(v any) {
-		errOnce.Do(func() { firstEr = fmt.Errorf("cl: kernel %q panicked: %v", l.Name, v) })
+	if groups == 1 && !l.Barriers {
+		return runOneGroup(dev, fn, l, local)
 	}
-
-	for g := 0; g < groups; g++ {
-		var lmem []uint32
-		if l.LocalWords > 0 {
-			lmem = make([]uint32, l.LocalWords)
-		}
-		if !l.Barriers {
-			wg.Add(1)
-			go func(g int, lmem []uint32) {
-				defer wg.Done()
-				defer func() {
-					if v := recover(); v != nil {
-						record(v)
-					}
-				}()
-				t := Thread{
-					Group: g, GlobalSize: gsz, LocalSize: local,
-					NumGroups: groups, Const: dev.Const, localMem: lmem,
-				}
-				for li := 0; li < local; li++ {
-					t.Local = li
-					t.Global = g*local + li
-					fn(&t)
-				}
-			}(g, lmem)
-			continue
-		}
-		bar := newBarrier(local)
-		for li := 0; li < local; li++ {
-			wg.Add(1)
-			go func(g, li int, lmem []uint32, bar *barrier) {
-				defer wg.Done()
-				defer func() {
-					if v := recover(); v != nil {
-						bar.breakNow()
-						if v != errBarrierBroken {
-							record(v)
-						}
-					}
-				}()
-				fn(&Thread{
-					Global: g*local + li, Local: li, Group: g,
-					GlobalSize: gsz, LocalSize: local, NumGroups: groups,
-					Const: dev.Const, bar: bar, localMem: lmem,
-				})
-			}(g, li, lmem, bar)
-		}
+	r := &launchRun{
+		dev: dev, fn: fn, name: l.Name,
+		localWords: l.LocalWords, barriers: l.Barriers,
+		groups: groups, local: local, gsz: groups * local,
+		finished: make(chan struct{}),
 	}
-	wg.Wait()
-	return firstEr
+	r.help(dev.executor())
+	<-r.finished
+	return r.err
+}
+
+// runOneGroup executes a single-group barrier-free launch entirely inline:
+// no shared cursor, no completion channel, no worker hand-off. This is the
+// dominant geometry on few-core devices, where per-launch dispatch cost
+// matters most (§5.3.2). Barrier launches need per-item goroutines anyway,
+// so they take the shared launchRun path even for one group.
+func runOneGroup(dev *Device, fn KernelFunc, l Launch, local int) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = fmt.Errorf("cl: kernel %q panicked: %v", l.Name, v)
+		}
+	}()
+	x := dev.executor()
+	var lmem []uint32
+	if l.LocalWords > 0 {
+		lmem = x.getLocal(l.LocalWords)
+		defer x.putLocal(lmem)
+	}
+	t := Thread{
+		GlobalSize: local, LocalSize: local, NumGroups: 1,
+		Const: dev.Const, localMem: lmem,
+	}
+	for li := 0; li < local; li++ {
+		t.Local = li
+		t.Global = li
+		fn(&t)
+	}
+	return nil
 }

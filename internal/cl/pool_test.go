@@ -1,0 +1,205 @@
+package cl
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestQueuePendingStaysBounded is the regression guard for the seed's
+// unbounded Queue.pending growth: completed commands must be dropped eagerly
+// by the scheduler, not accumulated until the next Finish. Across 10k
+// enqueues the tracking set may only ever hold commands actually in flight.
+func TestQueuePendingStaysBounded(t *testing.T) {
+	q := NewQueue(NewContext(NewCPUDevice(2)))
+	var ev *Event
+	const total, batch = 10000, 100
+	for i := 0; i < total; i++ {
+		ev = q.EnqueueHost("tick", func() error { return nil }, []*Event{ev})
+		if (i+1)%batch == 0 {
+			if err := ev.Wait(); err != nil {
+				t.Fatal(err)
+			}
+			// Everything enqueued so far has completed; allow a little slack
+			// for forget() racing the Wait wake-up.
+			if n := q.PendingCommands(); n > 16 {
+				t.Fatalf("after %d enqueues: %d commands still tracked, want ~0", i+1, n)
+			}
+		}
+	}
+	if err := q.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if n := q.PendingCommands(); n != 0 {
+		t.Fatalf("after Finish: %d commands tracked, want 0", n)
+	}
+}
+
+// TestPoolReusesLocalMemory asserts the executor's local-memory free-list is
+// hit across launches instead of allocating a fresh slice per work-group.
+func TestPoolReusesLocalMemory(t *testing.T) {
+	dev := NewCPUDevice(2)
+	q := NewQueue(NewContext(dev))
+	for i := 0; i < 8; i++ {
+		ev := q.EnqueueKernel(func(th *Thread) {
+			lm := th.LocalU32()
+			if th.Local == 0 {
+				// Local memory is shared within the group; only the first
+				// item (items run sequentially without Barriers) sees it
+				// in its freshly zeroed state.
+				for j := range lm {
+					if lm[j] != 0 {
+						t.Errorf("local memory not zeroed at word %d", j)
+						return
+					}
+				}
+			}
+			lm[th.Local] = uint32(th.Global) + 1
+		}, Launch{Name: "localtouch", LocalWords: 64})
+		if err := ev.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := dev.executor().localReuses.Load(); n == 0 {
+		t.Fatal("local-memory free-list was never hit across 8 launches")
+	}
+}
+
+// TestPoolWorkersDrainOnCloseAndRestart: Close drains the worker pool, and
+// the pool restarts lazily so the device stays usable afterwards.
+func TestPoolWorkersDrainOnCloseAndRestart(t *testing.T) {
+	dev := NewCPUDevice(4)
+	ctx := NewContext(dev)
+	q := NewQueue(ctx)
+	buf, err := ctx.CreateBuffer(64 * 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := buf.I32()
+	launch := Launch{Name: "fan", Groups: 8, Local: 8}
+	if err := q.EnqueueKernel(func(th *Thread) {
+		AtomicAddI32(&s[th.Global%64], 1)
+	}, launch).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	x := dev.executor()
+	if n := x.liveWorkers(); n == 0 {
+		t.Fatal("multi-group launch recruited no pool workers")
+	}
+	dev.Close()
+	if n := x.liveWorkers(); n != 0 {
+		t.Fatalf("%d workers alive after Close, want 0", n)
+	}
+	// The device restarts its pool lazily and keeps working.
+	if err := q.EnqueueKernel(func(th *Thread) {
+		AtomicAddI32(&s[th.Global%64], 1)
+	}, launch).Wait(); err != nil {
+		t.Fatalf("launch after Close: %v", err)
+	}
+	if s[0] != 2 {
+		t.Fatalf("work lost across Close: s[0] = %d, want 2", s[0])
+	}
+	dev.Close()
+}
+
+// TestPoolWorkersRetireWhenIdle: with no work, the lazily started workers
+// exit on their own after the idle timeout — an idle device holds no
+// goroutines even without an explicit Close.
+func TestPoolWorkersRetireWhenIdle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("waits out the worker idle timeout")
+	}
+	dev := NewCPUDevice(4)
+	q := NewQueue(NewContext(dev))
+	if err := q.EnqueueKernel(func(*Thread) {}, Launch{Name: "fan", Groups: 8, Local: 4}).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	x := dev.executor()
+	deadline := time.Now().Add(workerIdleTimeout + 5*time.Second)
+	for x.liveWorkers() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("%d workers still alive well past the idle timeout", x.liveWorkers())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestPanicInPooledGroupPropagates: a panic in one work-group of a pooled
+// multi-group launch fails the launch, other groups still run, and the
+// failure propagates to dependent commands as a dependency error.
+func TestPanicInPooledGroupPropagates(t *testing.T) {
+	dev := NewCPUDevice(4)
+	ctx := NewContext(dev)
+	q := NewQueue(ctx)
+	buf, _ := ctx.CreateBuffer(4)
+	s := buf.I32()
+	bad := q.EnqueueKernel(func(th *Thread) {
+		if th.Group == 3 && th.Local == 0 {
+			panic("group 3 exploded")
+		}
+		if th.Local == 0 {
+			AtomicAddI32(&s[0], 1)
+		}
+	}, Launch{Name: "partial", Groups: 8, Local: 4})
+	err := bad.Wait()
+	if err == nil || !strings.Contains(err.Error(), "group 3 exploded") {
+		t.Fatalf("want panic error from launch, got %v", err)
+	}
+	if got := s[0]; got != 7 {
+		t.Fatalf("surviving groups ran %d times, want 7", got)
+	}
+	after := q.EnqueueKernel(func(*Thread) { AtomicAddI32(&s[0], 100) },
+		Launch{Name: "dependent", Wait: []*Event{bad}})
+	if err := after.Wait(); err == nil || !strings.Contains(err.Error(), "dependency failed") {
+		t.Fatalf("dependent of failed launch: got %v, want dependency failure", err)
+	}
+	if s[0] != 7 {
+		t.Fatal("dependent command ran despite failed dependency")
+	}
+}
+
+// TestBrokenBarrierAbortsAcrossPooledGroups: a panicking work-item breaks
+// its group's barrier (siblings unwind instead of deadlocking) while other
+// groups of the pooled launch complete their barrier rounds normally.
+func TestBrokenBarrierAbortsAcrossPooledGroups(t *testing.T) {
+	dev := NewCPUDevice(2)
+	ctx := NewContext(dev)
+	q := NewQueue(ctx)
+	buf, _ := ctx.CreateBuffer(4)
+	s := buf.I32()
+	ev := q.EnqueueKernel(func(th *Thread) {
+		if th.Group == 1 && th.Local == 2 {
+			panic("sabotage")
+		}
+		th.Barrier()
+		if th.Local == 0 {
+			AtomicAddI32(&s[0], 1)
+		}
+		th.Barrier()
+	}, Launch{Name: "multi_barrier", Groups: 4, Local: 4, Barriers: true})
+	done := make(chan error, 1)
+	go func() { done <- ev.Wait() }()
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "sabotage") {
+			t.Fatalf("want sabotage panic error, got %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("pooled barrier launch deadlocked after work-item panic")
+	}
+	if got := s[0]; got != 3 {
+		t.Fatalf("%d healthy groups passed their barriers, want 3", got)
+	}
+}
+
+// TestDeviceCloseIdempotentAndConcurrentSafe exercises Close without any
+// prior launch and twice in a row.
+func TestDeviceCloseIdempotentAndConcurrentSafe(t *testing.T) {
+	dev := NewCPUDevice(2)
+	dev.Close()
+	dev.Close()
+	q := NewQueue(NewContext(dev))
+	if err := q.EnqueueKernel(func(*Thread) {}, Launch{Name: "afterclose"}).Wait(); err != nil {
+		t.Fatal(err)
+	}
+}

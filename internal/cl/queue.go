@@ -1,7 +1,6 @@
 package cl
 
 import (
-	"fmt"
 	"sync"
 	"time"
 )
@@ -16,13 +15,18 @@ type Queue struct {
 	ctx *Context
 	dev *Device
 
-	mu      sync.Mutex
-	pending []*Event
+	mu sync.Mutex
+	// pending holds only in-flight commands: completed events are dropped
+	// eagerly by the scheduler (see forget), so the set stays bounded by the
+	// number of commands actually outstanding rather than growing until the
+	// next Finish.
+	pending  map[*Event]struct{}
+	firstErr error
 }
 
 // NewQueue creates a command queue on the context's device.
 func NewQueue(ctx *Context) *Queue {
-	return &Queue{ctx: ctx, dev: ctx.dev}
+	return &Queue{ctx: ctx, dev: ctx.dev, pending: make(map[*Event]struct{})}
 }
 
 // Context returns the queue's context.
@@ -32,13 +36,19 @@ func (q *Queue) Context() *Context { return q.ctx }
 func (q *Queue) Device() *Device { return q.dev }
 
 // Finish blocks until every command enqueued so far has completed and
-// returns the first error among them (clFinish semantics).
+// returns the first error among them (clFinish semantics). Errors of
+// already-completed commands were latched as they finished; a second Finish
+// starts clean.
 func (q *Queue) Finish() error {
 	q.mu.Lock()
-	pending := q.pending
-	q.pending = nil
+	first := q.firstErr
+	q.firstErr = nil
+	pending := make([]*Event, 0, len(q.pending))
+	for ev := range q.pending {
+		pending = append(pending, ev)
+	}
+	clear(q.pending)
 	q.mu.Unlock()
-	var first error
 	for _, ev := range pending {
 		if err := ev.Wait(); err != nil && first == nil {
 			first = err
@@ -47,16 +57,41 @@ func (q *Queue) Finish() error {
 	return first
 }
 
+// PendingCommands reports the number of enqueued-but-unfinished commands
+// (diagnostics and tests; the regression guard for unbounded growth).
+func (q *Queue) PendingCommands() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.pending)
+}
+
 func (q *Queue) remember(ev *Event) {
 	q.mu.Lock()
-	q.pending = append(q.pending, ev)
+	q.pending[ev] = struct{}{}
+	q.mu.Unlock()
+}
+
+// forget drops a completed command from the tracking set, latching its error
+// for the next Finish. Events already claimed by a concurrent Finish are
+// left to that Finish (their error must not resurface afterwards).
+func (q *Queue) forget(ev *Event, err error) {
+	q.mu.Lock()
+	if _, ok := q.pending[ev]; ok {
+		delete(q.pending, ev)
+		if err != nil && q.firstErr == nil {
+			q.firstErr = err
+		}
+	}
 	q.mu.Unlock()
 }
 
 // submit is the shared command machinery: it assigns a virtual schedule
 // (simulated devices know the duration up front from the cost model), then
-// runs work asynchronously once deps complete, measuring real time on real
-// devices.
+// registers the command with the dependency-counting scheduler. The command
+// runs — measuring real time on real devices — as soon as its last
+// dependency completes; with no incomplete dependencies it is fired
+// immediately onto the device's worker pool. No goroutine is parked waiting
+// for dependencies.
 func (q *Queue) submit(name string, deps []*Event, virtDur time.Duration, copyEngine bool, work func() error) *Event {
 	ev := &Event{name: name, done: make(chan struct{})}
 	if q.dev.Simulated {
@@ -64,22 +99,22 @@ func (q *Queue) submit(name string, deps []*Event, virtDur time.Duration, copyEn
 		ev.vStart, ev.vEnd = q.dev.scheduleVirtual(ready, virtDur, copyEngine)
 	}
 	q.remember(ev)
-	go func() {
-		if err := waitDeps(deps); err != nil {
-			ev.complete(fmt.Errorf("%s: dependency failed: %w", name, err))
-			return
+	c := &command{name: name, q: q, ev: ev, work: work}
+	c.pending.Store(1) // enqueue guard: nothing fires before registration ends
+	for _, d := range deps {
+		if d == nil {
+			continue
 		}
-		start := time.Now()
-		err := work()
-		dur := time.Since(start)
-		if !q.dev.Simulated {
-			ev.mu.Lock()
-			ev.realDur = dur
-			ev.mu.Unlock()
-			q.dev.advanceReal(dur)
+		c.pending.Add(1)
+		if !d.subscribe(c) {
+			// Dependency already complete: account for it synchronously.
+			c.noteDepErr(d.Err())
+			c.pending.Add(-1)
 		}
-		ev.complete(err)
-	}()
+	}
+	if c.pending.Add(-1) == 0 {
+		q.dev.executor().fire(c)
+	}
 	return ev
 }
 

@@ -56,7 +56,7 @@ func (e *Engine) aggrScalar(kind ops.Agg, vals *bat.BAT) (*bat.BAT, error) {
 	wantFloat := isFloat || kind == ops.Avg
 	var cast *cl.Buffer
 	if wantFloat && !isFloat {
-		if cast, err = e.mm.Alloc((n + 1) * 4); err != nil {
+		if cast, err = e.mm.AllocScratch((n + 1) * 4); err != nil {
 			return nil, err
 		}
 		cev := kernels.CastI32F32(e.q, cast, valBuf, n, wait)

@@ -106,7 +106,7 @@ func (e *Engine) promote(b *bat.BAT, buf *cl.Buffer, wait []*cl.Event, casts *[]
 		return buf, wait, nil
 	}
 	n := b.Len()
-	cast, err := e.mm.Alloc((n + 1) * 4)
+	cast, err := e.mm.AllocScratch((n + 1) * 4)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -63,19 +63,21 @@ func spineWords(dev *cl.Device) int {
 	return gsz + 2
 }
 
-// spine allocates the partials scratch buffer.
+// spine allocates the partials scratch buffer. Its size is fixed per device,
+// so the scratch free-list serves it with near-perfect reuse.
 func (e *Engine) spine() (*cl.Buffer, error) {
-	return e.mm.Alloc(spineWords(e.dev) * 4)
+	return e.mm.AllocScratch(spineWords(e.dev) * 4)
 }
 
 // releaseAfter schedules buffer releases once ev has completed, keeping the
-// lazy pipeline intact (no host-side waits on the operator path).
+// lazy pipeline intact (no host-side waits on the operator path). The
+// backing bytes are recycled through the Memory Manager's scratch free-list,
+// so ev must postdate every command that reads or writes the buffers — which
+// every call site guarantees by passing the operator's final consumer event.
 func (e *Engine) releaseAfter(ev *cl.Event, bufs ...*cl.Buffer) {
 	e.q.EnqueueHost("release_scratch", func() error {
 		for _, b := range bufs {
-			if b != nil {
-				_ = b.Release()
-			}
+			e.mm.ReleaseScratch(b)
 		}
 		return nil
 	}, []*cl.Event{ev})

@@ -137,13 +137,27 @@ type scratchSet struct {
 	err  error
 }
 
-// alloc allocates words*4 bytes, remembering the buffer; after a failure it
-// returns nil and latches the error.
+// alloc allocates words*4 bytes from the Memory Manager's scratch free-list,
+// remembering the buffer; after a failure it returns nil and latches the
+// error. The contents are UNDEFINED (recycled): kernels must fully write
+// what they read, or the caller uses allocZeroed.
 func (s *scratchSet) alloc(words int) *cl.Buffer {
+	return s.record(func() (*cl.Buffer, error) { return s.mm.AllocScratch(words * 4) })
+}
+
+// allocZeroed allocates words*4 guaranteed-zero bytes, bypassing the
+// free-list (a fresh allocation is zeroed by construction). Used for flag
+// words that kernels only ever raise — zeroing them with an extra Fill
+// kernel would perturb the virtual timeline of simulated devices.
+func (s *scratchSet) allocZeroed(words int) *cl.Buffer {
+	return s.record(func() (*cl.Buffer, error) { return s.mm.Alloc(words * 4) })
+}
+
+func (s *scratchSet) record(alloc func() (*cl.Buffer, error)) *cl.Buffer {
 	if s.err != nil {
 		return nil
 	}
-	b, err := s.mm.Alloc(words * 4)
+	b, err := alloc()
 	if err != nil {
 		s.err = err
 		return nil
@@ -176,7 +190,9 @@ func (e *Engine) tryBuildTable(col *bat.BAT, colBuf, prev *cl.Buffer, n, capacit
 	if prev != nil {
 		keys2 = sc.alloc(capacity)
 	}
-	fail := sc.alloc(1)
+	// The fail flag is only ever *raised* by the insertion kernels, so it
+	// must start zero — a fresh allocation, not recycled scratch.
+	fail := sc.allocZeroed(1)
 	if sc.err != nil {
 		sc.releaseAll()
 		return nil, false, sc.err

@@ -91,7 +91,7 @@ func (e *Engine) probeUnique(l *bat.BAT, lBuf *cl.Buffer, h *devHashTable, n int
 	if err != nil {
 		return nil, nil, err
 	}
-	rpos, err := e.mm.Alloc((n + 1) * 4)
+	rpos, err := e.mm.AllocScratch((n + 1) * 4)
 	if err != nil {
 		_ = bm.Release()
 		return nil, nil, err

@@ -91,22 +91,42 @@ type MemoryManager struct {
 	// in the Memory Manager").
 	hashCache map[*bat.BAT]*devHashTable
 
+	// scratchFree recycles the backing bytes of released transient scratch
+	// buffers (the counts/offsets/spine/total quartet every Join, ThetaJoin,
+	// Group and Aggr call allocates), keyed by exact byte size. Only the
+	// host bytes are kept: the device capacity of a recycled buffer is
+	// released normally and re-reserved on reuse, so capacity accounting —
+	// and the §3.3 pressure protocol — is identical to allocating fresh.
+	scratchMu    sync.Mutex
+	scratchFree  map[int][][]byte
+	scratchBytes int64
+	scratchHits  int64
+	scratchMiss  int64
+
 	// stats
 	evictions int64
 	offloads  int64
 	reloads   int64
 }
 
+// Bounds for the scratch free-list: per-size stack depth and total retained
+// host bytes. Overflow is simply dropped to the garbage collector.
+const (
+	maxScratchFreePerSize = 8
+	maxScratchFreeBytes   = 256 << 20
+)
+
 // NewMemoryManager creates a manager on the given context/queue and
 // registers the storage-layer callback so BAT deletion eagerly drops cache
 // entries (§4.3).
 func NewMemoryManager(ctx *cl.Context, q *cl.Queue) *MemoryManager {
 	m := &MemoryManager{
-		ctx:       ctx,
-		q:         q,
-		dev:       ctx.Device(),
-		entries:   make(map[*bat.BAT]*entry),
-		hashCache: make(map[*bat.BAT]*devHashTable),
+		ctx:         ctx,
+		q:           q,
+		dev:         ctx.Device(),
+		entries:     make(map[*bat.BAT]*entry),
+		hashCache:   make(map[*bat.BAT]*devHashTable),
+		scratchFree: make(map[int][][]byte),
 	}
 	bat.OnFree(m.onBATFree)
 	return m
@@ -181,6 +201,78 @@ func (m *MemoryManager) Alloc(n int) (*cl.Buffer, error) {
 		}
 		return nil, fmt.Errorf("allocating %d bytes: %w", n, err)
 	}
+}
+
+// AllocScratch obtains a transient device buffer of n bytes, reusing the
+// backing bytes of a previously recycled buffer of the same size when one is
+// available. Capacity is charged exactly as Alloc charges it; on a capacity
+// refusal the recycled bytes are dropped and the call falls through to
+// Alloc's pressure protocol.
+//
+// The contents of a recycled buffer are UNDEFINED (OpenCL cl_mem
+// semantics): every kernel consuming scratch must fully write what it later
+// reads, or clear it with kernels.Fill first. Flag words that kernels only
+// ever raise (the hash build's fail word) must come from plain Alloc, which
+// is zeroed by construction.
+func (m *MemoryManager) AllocScratch(n int) (*cl.Buffer, error) {
+	m.scratchMu.Lock()
+	stack := m.scratchFree[n]
+	if len(stack) == 0 {
+		m.scratchMiss++
+		m.scratchMu.Unlock()
+		return m.Alloc(n)
+	}
+	data := stack[len(stack)-1]
+	stack[len(stack)-1] = nil
+	m.scratchFree[n] = stack[:len(stack)-1]
+	m.scratchBytes -= int64(n)
+	m.scratchHits++
+	m.scratchMu.Unlock()
+	buf, err := m.ctx.CreateBufferRecycling(data)
+	if err == nil {
+		return buf, nil
+	}
+	return m.Alloc(n)
+}
+
+// ReleaseScratch releases a scratch buffer and keeps its backing bytes for
+// reuse by AllocScratch. The caller must guarantee no enqueued command still
+// reads or writes the buffer — unlike plain Release, the memory WILL be
+// handed to a future command. Device capacity is returned immediately.
+func (m *MemoryManager) ReleaseScratch(b *cl.Buffer) {
+	if b == nil {
+		return
+	}
+	data := b.Bytes()
+	if b.Release() != nil || b.HostAlias() || len(data) == 0 {
+		return
+	}
+	n := len(data)
+	m.scratchMu.Lock()
+	if len(m.scratchFree[n]) < maxScratchFreePerSize &&
+		m.scratchBytes+int64(n) <= maxScratchFreeBytes {
+		m.scratchFree[n] = append(m.scratchFree[n], data)
+		m.scratchBytes += int64(n)
+	}
+	m.scratchMu.Unlock()
+}
+
+// FlushScratch drops every recycled backing array to the garbage collector.
+// Call it when an engine is retired: the storage layer's OnFree listener
+// keeps the MemoryManager reachable for process lifetime, so a discarded
+// engine would otherwise pin up to maxScratchFreeBytes of host memory.
+func (m *MemoryManager) FlushScratch() {
+	m.scratchMu.Lock()
+	clear(m.scratchFree)
+	m.scratchBytes = 0
+	m.scratchMu.Unlock()
+}
+
+// ScratchStats returns (free-list hits, misses) of AllocScratch.
+func (m *MemoryManager) ScratchStats() (hits, misses int64) {
+	m.scratchMu.Lock()
+	defer m.scratchMu.Unlock()
+	return m.scratchHits, m.scratchMiss
 }
 
 // makeRoom frees one victim and reports whether anything was freed.

@@ -42,7 +42,10 @@ func (e *Engine) Select(col, cand *bat.BAT, lo, hi float64, loIncl, hiIncl bool)
 		if !ok {
 			_ = bm.Release()
 			if candTransient {
-				e.releaseAfter(cl.CompletedEvent(nil), candBm)
+				// The synthesised range bitmap may still be in flight; gate
+				// its release on the producing events so the recycled bytes
+				// cannot be handed out while the kernel writes them.
+				e.releaseAfter(e.q.EnqueueMarker(candWait), candBm)
 			}
 			return e.emptySelection(col.Name)
 		}
@@ -52,6 +55,9 @@ func (e *Engine) Select(col, cand *bat.BAT, lo, hi float64, loIncl, hiIncl bool)
 		ev = kernels.SelectF32(e.q, bm, colBuf, candBm, n, fl, fh, loIncl, hiIncl, wait)
 	default:
 		_ = bm.Release()
+		if candTransient {
+			e.releaseAfter(e.q.EnqueueMarker(candWait), candBm)
+		}
 		return nil, fmt.Errorf("core: select on %v column %q", col.T, col.Name)
 	}
 	if candTransient {
@@ -79,17 +85,27 @@ func (e *Engine) SelectCmp(a, b *bat.BAT, cmp ops.Cmp, cand *bat.BAT) (*bat.BAT,
 	if listCand != nil {
 		return nil, fmt.Errorf("core: selectcmp over materialised candidate lists is not supported; project first")
 	}
+	// On any early error the transient candidate bitmap must still be
+	// released (event-gated: its producer may be in flight).
+	dropCand := func() {
+		if candTransient {
+			e.releaseAfter(e.q.EnqueueMarker(candWait), candBm)
+		}
+	}
 	ab, waitA, err := e.valuesOf(a)
 	if err != nil {
+		dropCand()
 		return nil, err
 	}
 	bb, waitB, err := e.valuesOf(b)
 	if err != nil {
+		dropCand()
 		return nil, err
 	}
 	wait := append(append(waitA, waitB...), candWait...)
 	bm, err := e.mm.Alloc(bitmapWords(n) * 4)
 	if err != nil {
+		dropCand()
 		return nil, err
 	}
 	ev := kernels.SelectCmp(e.q, bm, ab, bb, a.T == bat.F32, cmp, candBm, n, wait)
@@ -169,7 +185,7 @@ func (e *Engine) selectionCandidate(cand *bat.BAT, n int) (bm *cl.Buffer, transi
 		if cand.Seq == 0 && cand.Len() == n {
 			return nil, false, nil, nil, nil
 		}
-		bm, err := e.mm.Alloc(bitmapWords(n) * 4)
+		bm, err := e.mm.AllocScratch(bitmapWords(n) * 4)
 		if err != nil {
 			return nil, false, nil, nil, err
 		}
@@ -200,7 +216,7 @@ func (e *Engine) selectOnList(col *bat.BAT, c *candidate, cand *bat.BAT, lo, hi 
 		return nil, err
 	}
 	m := c.n
-	gathered, err := e.mm.Alloc((m + 1) * 4)
+	gathered, err := e.mm.AllocScratch((m + 1) * 4)
 	if err != nil {
 		return nil, err
 	}
@@ -208,7 +224,7 @@ func (e *Engine) selectOnList(col *bat.BAT, c *candidate, cand *bat.BAT, lo, hi 
 	e.mm.NoteConsumer(col, gev)
 	e.mm.NoteConsumer(cand, gev)
 
-	bm, err := e.mm.Alloc(bitmapWords(m) * 4)
+	bm, err := e.mm.AllocScratch(bitmapWords(m) * 4)
 	if err != nil {
 		_ = gathered.Release()
 		return nil, err
@@ -240,7 +256,7 @@ func (e *Engine) selectOnList(col *bat.BAT, c *candidate, cand *bat.BAT, lo, hi 
 		_ = bm.Release()
 		return nil, err
 	}
-	positions, err := e.mm.Alloc((count + 1) * 4)
+	positions, err := e.mm.AllocScratch((count + 1) * 4)
 	if err != nil {
 		_ = bm.Release()
 		return nil, err
@@ -290,15 +306,17 @@ func (e *Engine) bitmapCount(bm *cl.Buffer, n int, ev *cl.Event) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	total, err := e.mm.Alloc(4)
+	total, err := e.mm.AllocScratch(4)
 	if err != nil {
-		_ = sp.Release()
+		e.mm.ReleaseScratch(sp)
 		return 0, err
 	}
 	cev := kernels.BitmapCount(e.q, bm, sp, total, n, []*cl.Event{ev})
 	count, err := e.readU32(total, []*cl.Event{cev})
-	_ = sp.Release()
-	_ = total.Release()
+	// readU32 waited on cev, so the scratch pair is quiescent and its bytes
+	// can be recycled immediately.
+	e.mm.ReleaseScratch(sp)
+	e.mm.ReleaseScratch(total)
 	if err != nil {
 		return 0, err
 	}

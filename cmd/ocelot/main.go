@@ -1,11 +1,12 @@
-// Command ocelot runs single TPC-H workload queries under any of the four
-// configurations, optionally printing the EXPLAIN-style instruction trace —
-// the same way the paper derives and inspects its plans (§5.2).
+// Command ocelot runs single TPC-H workload queries under any of the
+// configurations, optionally printing the plan before and after the
+// rewriter pass pipeline ran — the same way the paper derives and inspects
+// its plans (§5.2).
 //
 // Usage:
 //
 //	ocelot -q 6                       # Q6 on all four configurations
-//	ocelot -q 1 -config GPU -explain  # one configuration, with the plan
+//	ocelot -q 1 -config GPU -explain  # one configuration, plan before/after rewriting
 //	ocelot -q 21 -sf 0.1 -rows        # show result rows
 package main
 
@@ -88,9 +89,8 @@ func main() {
 		}
 		fmt.Println(line)
 		if *explain {
-			for _, in := range s.Trace() {
-				fmt.Printf("    %s\n", in)
-			}
+			fmt.Print(s.ExplainBefore())
+			fmt.Print(s.Explain())
 			if hyb, ok := o.(*hybrid.Engine); ok {
 				cpuP, gpuP := hyb.Profiles()
 				fmt.Printf("    %s\n    %s\n", cpuP, gpuP)

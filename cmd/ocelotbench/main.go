@@ -8,6 +8,7 @@
 //	ocelotbench -all                       # the whole evaluation
 //	ocelotbench -fig 7b -sf 0.4 -runs 5    # override experiment scale
 //	ocelotbench -fig 5a -sizes 16,32,64    # override the size sweep
+//	ocelotbench -all -json BENCH_PR2.json  # machine-readable trajectory record
 //
 // Sizes default to a laptop-scale rendition of the paper's sweeps; the
 // flags restore any scale the machine can hold. See EXPERIMENTS.md for the
@@ -18,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -40,6 +42,7 @@ func main() {
 		pause   = flag.Duration("cpupause", 0, "per-launch Ocelot-CPU pause emulating the Intel SDK overhead (Fig 7)")
 		configs = flag.String("configs", "", "comma-separated subset of MS,MP,CPU,GPU")
 		seed    = flag.Int64("seed", 42, "data generator seed")
+		jsonOut = flag.String("json", "", "also write machine-readable figure records (median ns/op, bytes alloc) to this file")
 	)
 	flag.Parse()
 
@@ -85,21 +88,32 @@ func main() {
 
 	micro := bench.MicroFigures()
 	ablations := bench.Ablations()
+	var records []bench.FigureJSON
 	for _, f := range figs {
 		start := time.Now()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		before := ms.TotalAlloc
+
+		// Every figure kind renders as text and converts to a trajectory
+		// record the same way.
+		var rep interface {
+			String() string
+			JSON(bytesAlloc int64) bench.FigureJSON
+		}
 		switch {
 		case micro[f] != nil:
-			fmt.Println(micro[f](opt))
+			rep = micro[f](opt)
 		case ablations[f] != nil:
-			fmt.Println(ablations[f](opt))
+			rep = ablations[f](opt)
 		case f == "7a":
-			fmt.Println(bench.Fig7a(topt))
+			rep = bench.Fig7a(topt)
 		case f == "7b":
-			fmt.Println(bench.Fig7b(topt))
+			rep = bench.Fig7b(topt)
 		case f == "7c":
-			fmt.Println(bench.Fig7c(topt))
+			rep = bench.Fig7c(topt)
 		case f == "7d":
-			fmt.Println(bench.Fig7d(topt))
+			rep = bench.Fig7d(topt)
 		default:
 			known := make([]string, 0, len(micro)+len(ablations))
 			for k := range micro {
@@ -111,7 +125,16 @@ func main() {
 			sort.Strings(known)
 			fatalf("unknown figure %q (known: %s 7a 7b 7c 7d)", f, strings.Join(known, " "))
 		}
+		fmt.Println(rep)
+		runtime.ReadMemStats(&ms)
+		records = append(records, rep.JSON(int64(ms.TotalAlloc-before)))
 		fmt.Printf("(%s regenerated in %v)\n\n", f, time.Since(start).Round(time.Millisecond))
+	}
+	if *jsonOut != "" {
+		if err := bench.WriteJSON(*jsonOut, records); err != nil {
+			fatalf("writing %s: %v", *jsonOut, err)
+		}
+		fmt.Printf("wrote %d figure records to %s\n", len(records), *jsonOut)
 	}
 }
 

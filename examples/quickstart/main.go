@@ -60,8 +60,9 @@ func main() {
 	}
 
 	fmt.Printf("engine: %s\n\n%s\n", engine.Name(), res)
-	fmt.Println("plan (EXPLAIN):")
-	for _, instr := range session.Trace() {
-		fmt.Printf("  %s\n", instr)
-	}
+	// The session built a plan IR, ran it through the rewriter pass
+	// pipeline (module binding, CSE/DCE, sync insertion, last-use release)
+	// and interpreted the rewritten plan — show both sides.
+	fmt.Print(session.ExplainBefore())
+	fmt.Print(session.Explain())
 }

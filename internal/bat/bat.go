@@ -231,6 +231,26 @@ func (b *BAT) MaterializeOIDs() []uint32 {
 	return out
 }
 
+// AdoptFrom rebinds b's descriptor and heap to src's, making b an alias of
+// src's tail. The MAL plan executor uses it at sync points: plan code holds
+// placeholder BATs (symbolic plan values), and when a result crosses the
+// plan boundary the placeholder adopts the concrete BAT the engine handed
+// back, so host code reading the placeholder sees the synced data. The
+// fields are copied individually because the descriptor embeds an atomic
+// free flag that must not be duplicated.
+func (b *BAT) AdoptFrom(src *BAT) {
+	if src == nil || b == src {
+		return
+	}
+	b.Name = src.Name
+	b.T = src.T
+	b.Seq = src.Seq
+	b.Props = src.Props
+	b.OcelotOwned = src.OcelotOwned
+	b.count = src.count
+	b.heap = src.heap
+}
+
 // HeapBytes returns the heap size in bytes (what a device buffer for this
 // BAT occupies).
 func (b *BAT) HeapBytes() int64 {

@@ -184,6 +184,147 @@ func TestQuickSortAgrees(t *testing.T) {
 	}
 }
 
+// fourConfigs returns the four evaluated operator configurations (MS, MP,
+// Ocelot-CPU, Ocelot-GPU) as the engine-neutral interface, for edge-case
+// equivalence checks that cross the monet/core boundary.
+func fourConfigs() map[string]ops.Operators {
+	return map[string]ops.Operators{
+		"MS":  monet.NewSequential(),
+		"MP":  monet.NewParallel(4),
+		"CPU": New(cl.NewCPUDevice(4)),
+		"GPU": New(cl.NewGPUDevice(128 << 20)),
+	}
+}
+
+func oidCol(name string, vals []uint32) *bat.BAT {
+	cp := make([]uint32, len(vals))
+	copy(cp, vals)
+	b := bat.NewOID(name, cp)
+	b.Props.Sorted = true
+	return b
+}
+
+// TestOIDUnionEdgeCasesAcrossEngines drives the disjunction combine through
+// every configuration on the candidate-list shapes query plans actually
+// produce: empty candidates on either or both sides, Void (dense) inputs,
+// overlapping ranges, and lists carrying duplicate oids. All four engines
+// must produce identical oid sequences.
+func TestOIDUnionEdgeCasesAcrossEngines(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b func() *bat.BAT
+	}{
+		{"both empty", func() *bat.BAT { return oidCol("a", nil) }, func() *bat.BAT { return oidCol("b", nil) }},
+		{"left empty", func() *bat.BAT { return oidCol("a", nil) }, func() *bat.BAT { return oidCol("b", []uint32{1, 3, 5}) }},
+		{"right empty", func() *bat.BAT { return oidCol("a", []uint32{0, 2}) }, func() *bat.BAT { return oidCol("b", nil) }},
+		{"void vs list", func() *bat.BAT { return bat.NewVoid("a", 2, 4) }, func() *bat.BAT { return oidCol("b", []uint32{0, 3, 9}) }},
+		{"void vs void", func() *bat.BAT { return bat.NewVoid("a", 0, 3) }, func() *bat.BAT { return bat.NewVoid("b", 2, 3) }},
+		{"empty void", func() *bat.BAT { return bat.NewVoid("a", 5, 0) }, func() *bat.BAT { return oidCol("b", []uint32{5}) }},
+		{"overlap", func() *bat.BAT { return oidCol("a", []uint32{1, 2, 3, 7}) }, func() *bat.BAT { return oidCol("b", []uint32{2, 3, 4}) }},
+		{"duplicates within", func() *bat.BAT { return oidCol("a", []uint32{1, 1, 4}) }, func() *bat.BAT { return oidCol("b", []uint32{1, 4, 4}) }},
+		{"identical", func() *bat.BAT { return oidCol("a", []uint32{0, 5, 9}) }, func() *bat.BAT { return oidCol("b", []uint32{0, 5, 9}) }},
+	}
+	for _, tc := range cases {
+		var ref []uint32
+		var refSet bool
+		for label, e := range fourConfigs() {
+			got, err := e.OIDUnion(tc.a(), tc.b())
+			if err != nil {
+				t.Fatalf("%s on %s: %v", tc.name, label, err)
+			}
+			if err := e.Sync(got); err != nil {
+				t.Fatalf("%s on %s: sync: %v", tc.name, label, err)
+			}
+			oids := got.MaterializeOIDs()
+			if !refSet {
+				ref = append([]uint32(nil), oids...)
+				refSet = true
+				continue
+			}
+			if len(oids) != len(ref) {
+				t.Fatalf("%s on %s: %d oids, want %d (%v vs %v)", tc.name, label, len(oids), len(ref), oids, ref)
+			}
+			for i := range ref {
+				if oids[i] != ref[i] {
+					t.Fatalf("%s on %s: oid[%d] = %d, want %d", tc.name, label, i, oids[i], ref[i])
+				}
+			}
+		}
+	}
+}
+
+// TestThetaJoinEdgeCasesAcrossEngines checks the nested-loop join on empty
+// inputs, single rows, duplicate values and both column types, across all
+// four configurations; Void inputs must be rejected consistently, since a
+// Void tail has no values to compare.
+func TestThetaJoinEdgeCasesAcrossEngines(t *testing.T) {
+	type pair struct{ l, r uint32 }
+	canon := func(lo, ro []uint32) []pair {
+		ps := make([]pair, len(lo))
+		for i := range lo {
+			ps[i] = pair{lo[i], ro[i]}
+		}
+		sort.Slice(ps, func(i, j int) bool {
+			if ps[i].l != ps[j].l {
+				return ps[i].l < ps[j].l
+			}
+			return ps[i].r < ps[j].r
+		})
+		return ps
+	}
+	cases := []struct {
+		name string
+		l, r func() *bat.BAT
+		cmp  ops.Cmp
+	}{
+		{"both empty", func() *bat.BAT { return i32Col("l", nil) }, func() *bat.BAT { return i32Col("r", nil) }, ops.Lt},
+		{"left empty", func() *bat.BAT { return i32Col("l", nil) }, func() *bat.BAT { return i32Col("r", []int32{1, 2}) }, ops.Lt},
+		{"right empty", func() *bat.BAT { return i32Col("l", []int32{1, 2}) }, func() *bat.BAT { return i32Col("r", nil) }, ops.Gt},
+		{"duplicates eq", func() *bat.BAT { return i32Col("l", []int32{2, 2, 3}) }, func() *bat.BAT { return i32Col("r", []int32{2, 2}) }, ops.Eq},
+		{"all match", func() *bat.BAT { return i32Col("l", []int32{1, 1}) }, func() *bat.BAT { return i32Col("r", []int32{5, 6, 7}) }, ops.Lt},
+		{"negatives", func() *bat.BAT { return i32Col("l", []int32{-3, 0, 3}) }, func() *bat.BAT { return i32Col("r", []int32{-1}) }, ops.Le},
+		{"floats", func() *bat.BAT { return f32Col("l", []float32{1.5, -2.5}) }, func() *bat.BAT { return f32Col("r", []float32{0, 1.5}) }, ops.Ge},
+	}
+	for _, tc := range cases {
+		var ref []pair
+		var refSet bool
+		for label, e := range fourConfigs() {
+			gl, gr, err := e.ThetaJoin(tc.l(), tc.r(), tc.cmp)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", tc.name, label, err)
+			}
+			if err := e.Sync(gl); err != nil {
+				t.Fatalf("%s on %s: sync l: %v", tc.name, label, err)
+			}
+			if err := e.Sync(gr); err != nil {
+				t.Fatalf("%s on %s: sync r: %v", tc.name, label, err)
+			}
+			got := canon(gl.MaterializeOIDs(), gr.MaterializeOIDs())
+			if !refSet {
+				ref = got
+				refSet = true
+				continue
+			}
+			if len(got) != len(ref) {
+				t.Fatalf("%s on %s: %d pairs, want %d", tc.name, label, len(got), len(ref))
+			}
+			for i := range ref {
+				if got[i] != ref[i] {
+					t.Fatalf("%s on %s: pair %d = %v, want %v", tc.name, label, i, got[i], ref[i])
+				}
+			}
+		}
+	}
+
+	// Void inputs carry no values: every engine must reject them rather
+	// than diverge silently.
+	for label, e := range fourConfigs() {
+		if _, _, err := e.ThetaJoin(bat.NewVoid("l", 0, 3), bat.NewVoid("r", 0, 2), ops.Lt); err == nil {
+			t.Fatalf("%s accepted a theta join over Void inputs", label)
+		}
+	}
+}
+
 func TestQuickAggregatesAgree(t *testing.T) {
 	f := func(raw []int32, mod8 uint8) bool {
 		if len(raw) == 0 {

@@ -36,6 +36,10 @@ func (e *Engine) Name() string {
 	return fmt.Sprintf("Ocelot[%s]", e.dev.Const.Class)
 }
 
+// Module implements ops.Operators: the MAL module the rewriter binds
+// Ocelot-routed instructions to.
+func (e *Engine) Module() string { return "ocelot" }
+
 // Device returns the engine's device.
 func (e *Engine) Device() *cl.Device { return e.dev }
 

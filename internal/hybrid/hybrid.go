@@ -36,6 +36,9 @@ type Engine struct {
 	owner map[*bat.BAT]*core.Engine // engine owning each Ocelot-owned BAT
 	// placement counters (observability for tests and tools)
 	placed map[string]map[string]int
+	// forced is consumed by the next pick: the plan-level placement pass
+	// pins instructions ahead of execution through ForceNext.
+	forced *core.Engine
 }
 
 // New builds the two engines and calibrates their profiles. threads sizes
@@ -63,6 +66,41 @@ func New(threads int, gpuMem int64) (*Engine, error) {
 
 // Name implements ops.Operators.
 func (h *Engine) Name() string { return "Ocelot[hybrid CPU+GPU]" }
+
+// Module implements ops.Operators: both devices run the Ocelot module.
+func (h *Engine) Module() string { return "ocelot" }
+
+// ForceNext pins the next routed operator call to the device whose class
+// label matches ("CPU" or "GPU"); any other label clears the pin. This is
+// the hook the MAL plan-level placement pass drives: it walks the plan DAG
+// with the calibrated profiles and pins every instruction before execution,
+// replacing pick's greedy per-call choice. The pin wins over input-ownership
+// forcing (migrate moves the inputs); the out-of-memory fallback to the
+// other device still applies.
+func (h *Engine) ForceNext(class string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	switch class {
+	case cl.ClassCPU.String():
+		h.forced = h.cpu
+	case cl.ClassGPU.String():
+		h.forced = h.gpu
+	default:
+		h.forced = nil
+	}
+}
+
+// OwnerClass reports which device currently owns b's payload ("CPU"/"GPU"),
+// or "" when b is host-resident — the residency fact the plan-level
+// placement pass needs to cost transfers.
+func (h *Engine) OwnerClass(b *bat.BAT) string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if own := h.owner[b]; own != nil {
+		return own.Device().Const.Class.String()
+	}
+	return ""
+}
 
 // Profiles returns the calibrated device profiles.
 func (h *Engine) Profiles() (cpu, gpu *core.Profile) { return h.cpuProfile, h.gpuProfile }
@@ -113,6 +151,11 @@ func batBytes(b *bat.BAT) int64 {
 // decides). bytes is the operator's streamed volume estimate.
 func (h *Engine) pick(inputs []*bat.BAT, bytes int64) *core.Engine {
 	h.mu.Lock()
+	if pinned := h.forced; pinned != nil {
+		h.forced = nil
+		h.mu.Unlock()
+		return pinned
+	}
 	var forced *core.Engine
 	split := false
 	for _, b := range inputs {

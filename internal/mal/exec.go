@@ -1,0 +1,228 @@
+// The plan executor: interprets a rewritten plan fragment against the bound
+// ops.Operators implementation. Symbolic values (placeholder BATs) resolve
+// to the concrete BATs earlier instructions produced; sync instructions
+// hand results back to the host and fill the placeholders the plan code
+// holds (bat.AdoptFrom); release instructions free device state mid-plan.
+// The EXPLAIN trace is produced here, from the IR, rather than by ad-hoc
+// recording in the fluent API.
+package mal
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bat"
+	"repro/internal/hybrid"
+)
+
+// resolve maps a plan value to the concrete BAT the executor should hand
+// the engine: CSE aliases first, then the environment of produced values;
+// anything else is a base (host) BAT and passes through unchanged.
+func (s *Session) resolve(b *bat.BAT) *bat.BAT {
+	if b == nil {
+		return nil
+	}
+	b = s.canon(b)
+	if c, ok := s.env[b]; ok {
+		return c
+	}
+	if s.isPH[b] {
+		s.fail("exec", fmt.Errorf("plan value %q used before it was produced", b.Name))
+	}
+	return b
+}
+
+// bind records concrete results for an instruction's placeholders and
+// adopts them for end-of-plan release.
+func (s *Session) bind(in *PInstr, concrete ...*bat.BAT) {
+	for i, c := range concrete {
+		if c == nil {
+			continue
+		}
+		s.env[in.Rets[i]] = c
+		s.owned = append(s.owned, c)
+	}
+}
+
+// ngrpOf resolves an instruction's group count: a literal, or the value the
+// producing Group instruction stored in its slot.
+func (s *Session) ngrpOf(in *PInstr) int {
+	if in.NgrpRef < 0 {
+		return in.NgrpLit
+	}
+	slot := s.canonSlot(in.NgrpRef)
+	n := s.slots[slot]
+	if n < 0 {
+		s.fail("exec", fmt.Errorf("group count of slot %d used before it was produced", slot))
+	}
+	return n
+}
+
+// execute interprets a rewritten fragment in order, recording per-
+// instruction host latencies and the EXPLAIN trace.
+func (s *Session) execute(batch []*PInstr) {
+	if len(batch) == 0 {
+		return
+	}
+	if s.firstExec.IsZero() {
+		s.firstExec = time.Now()
+	}
+	hyb, isHyb := s.o.(*hybrid.Engine)
+	for _, in := range batch {
+		if isHyb && in.Device != "" && in.computes() {
+			hyb.ForceNext(in.Device)
+		}
+		start := time.Now()
+		s.step(in)
+		in.Took = time.Since(start)
+		s.done = append(s.done, in)
+		if s.traceOn {
+			s.record(in)
+		}
+	}
+	s.lastExec = time.Now()
+}
+
+// step dispatches one instruction to the bound operator implementation.
+func (s *Session) step(in *PInstr) {
+	arg := func(i int) *bat.BAT { return s.resolve(in.Args[i]) }
+	switch in.Kind {
+	case OpSelect:
+		res, err := s.o.Select(arg(0), arg(1), in.Lo, in.Hi, in.LoIncl, in.HiIncl)
+		if err != nil {
+			s.fail("select", err)
+		}
+		s.bind(in, res)
+	case OpSelectCmp:
+		res, err := s.o.SelectCmp(arg(0), arg(1), in.Cmp, arg(2))
+		if err != nil {
+			s.fail("selectcmp", err)
+		}
+		s.bind(in, res)
+	case OpProject:
+		res, err := s.o.Project(arg(0), arg(1))
+		if err != nil {
+			s.fail("leftfetchjoin", err)
+		}
+		s.bind(in, res)
+	case OpJoin:
+		l, r, err := s.o.Join(arg(0), arg(1))
+		if err != nil {
+			s.fail("join", err)
+		}
+		s.bind(in, l, r)
+	case OpThetaJoin:
+		l, r, err := s.o.ThetaJoin(arg(0), arg(1), in.Cmp)
+		if err != nil {
+			s.fail("thetajoin", err)
+		}
+		s.bind(in, l, r)
+	case OpSemiJoin:
+		res, err := s.o.SemiJoin(arg(0), arg(1))
+		if err != nil {
+			s.fail("semijoin", err)
+		}
+		s.bind(in, res)
+	case OpAntiJoin:
+		res, err := s.o.AntiJoin(arg(0), arg(1))
+		if err != nil {
+			s.fail("antijoin", err)
+		}
+		s.bind(in, res)
+	case OpGroup:
+		res, n, err := s.o.Group(arg(0), arg(1), s.ngrpOf(in))
+		if err != nil {
+			s.fail("group", err)
+		}
+		s.slots[in.NSlot] = n
+		s.bind(in, res)
+	case OpAggr:
+		res, err := s.o.Aggr(in.Agg, arg(0), arg(1), s.ngrpOf(in))
+		if err != nil {
+			s.fail(in.Agg.String(), err)
+		}
+		s.bind(in, res)
+	case OpSort:
+		sorted, order, err := s.o.Sort(arg(0))
+		if err != nil {
+			s.fail("sort", err)
+		}
+		s.bind(in, sorted, order)
+	case OpBinop:
+		res, err := s.o.Binop(in.Bin, arg(0), arg(1))
+		if err != nil {
+			s.fail("binop", err)
+		}
+		s.bind(in, res)
+	case OpBinopConst:
+		res, err := s.o.BinopConst(in.Bin, arg(0), in.C, in.ConstFirst)
+		if err != nil {
+			s.fail("binopconst", err)
+		}
+		s.bind(in, res)
+	case OpUnion:
+		res, err := s.o.OIDUnion(arg(0), arg(1))
+		if err != nil {
+			s.fail("union", err)
+		}
+		s.bind(in, res)
+	case OpSync:
+		conc := arg(0)
+		if err := s.o.Sync(conc); err != nil {
+			s.fail("sync", err)
+		}
+		// Fill the plan-side placeholder so host code reading it sees the
+		// synced data (§3.4's ownership hand-over).
+		in.Args[0].AdoptFrom(conc)
+	case OpRelease:
+		conc := arg(0)
+		s.o.Release(conc)
+		s.released[conc] = true
+	default:
+		s.fail("exec", fmt.Errorf("unknown plan instruction kind %d", int(in.Kind)))
+	}
+}
+
+// describe renders a concrete value for the trace.
+func describe(b *bat.BAT) string {
+	if b == nil {
+		return "nil"
+	}
+	return fmt.Sprintf("%s#%d", b.Name, b.Len())
+}
+
+// record appends the executed instruction to the EXPLAIN trace, with
+// operands resolved to their concrete form.
+func (s *Session) record(in *PInstr) {
+	instr := Instr{Module: in.Module, Op: in.OpName(), Device: in.Device, Took: in.Took}
+	dArg := func(i int) string { return describe(s.resolve(in.Args[i])) }
+	dRet := func(i int) string { return describe(s.resolve(in.Rets[i])) }
+	switch in.Kind {
+	case OpSelect:
+		instr.Args = []string{dArg(0), dArg(1), fmt.Sprintf("%v..%v", in.Lo, in.Hi)}
+		instr.Ret = dRet(0)
+	case OpSelectCmp:
+		instr.Args = []string{dArg(0), in.Cmp.String(), dArg(1)}
+		instr.Ret = dRet(0)
+	case OpThetaJoin:
+		instr.Args = []string{dArg(0), in.Cmp.String(), dArg(1)}
+		instr.Ret = dRet(0)
+	case OpGroup:
+		instr.Args = []string{dArg(0), dArg(1)}
+		instr.Ret = fmt.Sprintf("%s (%d groups)", dRet(0), s.slots[in.NSlot])
+	case OpBinopConst:
+		instr.Args = []string{dArg(0), fmt.Sprint(in.C)}
+		instr.Ret = dRet(0)
+	case OpSync, OpRelease:
+		instr.Args = []string{dArg(0)}
+		instr.Ret = dArg(0)
+	default:
+		for i := range in.Args {
+			instr.Args = append(instr.Args, dArg(i))
+		}
+		if len(in.Rets) > 0 {
+			instr.Ret = dRet(0)
+		}
+	}
+	s.trace = append(s.trace, instr)
+}

@@ -1,0 +1,257 @@
+// Plan-level operator placement for the hybrid configuration (§7): instead
+// of hybrid.Engine.pick's greedy one-call-at-a-time choice, this pass walks
+// the whole plan fragment with the calibrated device profiles
+// (core.Profile), costs transfer-vs-compute over entire operator chains,
+// and pins every instruction to a device before execution. The pin is
+// enforced through hybrid.Engine.ForceNext; the engine's out-of-memory
+// fallback still applies underneath.
+package mal
+
+import (
+	"repro/internal/bat"
+	"repro/internal/cl"
+	"repro/internal/hybrid"
+)
+
+// placement cost constants: per-operator streamed-byte multipliers mirror
+// the greedy cost model the eager hybrid layer used, so the plan-level pass
+// is comparable call-for-call and better only through lookahead.
+const defaultGroupGuess = 64 // estimated groups when the count is symbolic
+
+// estimator carries per-fragment cardinality estimates keyed by canonical
+// plan value.
+type estimator struct {
+	s    *Session
+	rows map[*bat.BAT]float64
+}
+
+// rowsOf estimates a value's cardinality: concrete values report exactly,
+// base BATs report their length, fragment-internal values use the estimate
+// propagated from their producer.
+func (e *estimator) rowsOf(b *bat.BAT) float64 {
+	if b == nil {
+		return 0
+	}
+	b = e.s.canon(b)
+	if c, ok := e.s.env[b]; ok {
+		return float64(c.Len())
+	}
+	if r, ok := e.rows[b]; ok {
+		return r
+	}
+	if e.s.isPH[b] {
+		return 0 // produced by an instruction this pass has not costed yet
+	}
+	return float64(b.Len())
+}
+
+// estimate predicts an instruction's output cardinalities and streamed byte
+// volume (the bandwidth-bound footprint the profiles price).
+func (e *estimator) estimate(in *PInstr) (outRows []float64, streamedBytes float64) {
+	r := func(i int) float64 { return e.rowsOf(in.Args[i]) }
+	switch in.Kind {
+	case OpSelect:
+		n := r(0)
+		if in.Args[1] != nil {
+			n = r(1)
+		}
+		return []float64{n / 3}, 4 * r(0)
+	case OpSelectCmp:
+		n := r(0)
+		if in.Args[2] != nil {
+			n = r(2)
+		}
+		return []float64{n / 3}, 8 * r(0)
+	case OpProject:
+		return []float64{r(0)}, 4 * (r(0) + r(1))
+	case OpJoin:
+		out := r(0)
+		if r(1) > out {
+			out = r(1)
+		}
+		return []float64{out, out}, 3 * 4 * (r(0) + r(1))
+	case OpThetaJoin:
+		out := r(0) * r(1) / 4
+		return []float64{out, out}, 4 * r(0) * (r(1) + 1)
+	case OpSemiJoin, OpAntiJoin:
+		return []float64{r(0) / 2}, 2 * 4 * (r(0) + r(1))
+	case OpGroup:
+		return []float64{r(0)}, 6 * 4 * r(0)
+	case OpAggr:
+		out := float64(defaultGroupGuess)
+		if in.NgrpRef < 0 {
+			if in.NgrpLit > 0 {
+				out = float64(in.NgrpLit)
+			} else {
+				out = 1 // scalar aggregate
+			}
+		}
+		return []float64{out}, 4 * (r(0) + r(1))
+	case OpSort:
+		return []float64{r(0), r(0)}, 10 * 4 * r(0)
+	case OpBinop:
+		return []float64{r(0)}, 3 * 4 * r(0)
+	case OpBinopConst:
+		return []float64{r(0)}, 2 * 4 * r(0)
+	case OpUnion:
+		return []float64{r(0) + r(1)}, 4 * (r(0) + r(1))
+	default:
+		return nil, 0
+	}
+}
+
+// placementPass pins each compute instruction of the fragment to a device.
+// It seeds every pin with the pure compute argmin, then relaxes the DAG a
+// few rounds: each instruction re-chooses its device given where its
+// producers *and* consumers currently sit, so a cheap operator in the
+// middle of a GPU chain stays on the GPU instead of bouncing the
+// intermediate over PCIe — the lookahead the greedy per-call model lacks.
+func (s *Session) placementPass(batch []*PInstr, outputs []*bat.BAT) {
+	h, ok := s.o.(*hybrid.Engine)
+	if !ok {
+		return
+	}
+	cpuProf, gpuProf := h.Profiles()
+	_, gpuEng := h.Engines()
+	link := gpuEng.Device().Perf.TransferBandwidth
+	cpuLabel, gpuLabel := cl.ClassCPU.String(), cl.ClassGPU.String()
+
+	est := &estimator{s: s, rows: map[*bat.BAT]float64{}}
+	type node struct {
+		in        *PInstr
+		cpu, gpu  float64 // compute seconds per device
+		outBytes  float64
+		producers []*bat.BAT // canonical args
+		isOutput  bool
+	}
+	outSet := map[*bat.BAT]bool{}
+	for _, o := range outputs {
+		outSet[s.canon(o)] = true
+	}
+
+	var nodes []*node
+	producerOf := map[*bat.BAT]*node{}
+	for _, in := range batch {
+		if !in.computes() {
+			continue
+		}
+		outRows, streamed := est.estimate(in)
+		var outBytes float64
+		for i, r := range in.Rets {
+			est.rows[r] = outRows[i]
+			outBytes += 4 * outRows[i]
+		}
+		n := &node{
+			in:  in,
+			cpu: seconds(streamed, cpuProf.ScanBandwidth) + cpuProf.LaunchOverhead.Seconds(),
+			gpu: seconds(streamed, gpuProf.ScanBandwidth) + gpuProf.LaunchOverhead.Seconds(),
+		}
+		n.outBytes = outBytes
+		for _, a := range in.Args {
+			if a == nil {
+				continue
+			}
+			n.producers = append(n.producers, s.canon(a))
+		}
+		for _, r := range in.Rets {
+			if outSet[r] {
+				n.isOutput = true
+			}
+			producerOf[r] = n
+		}
+		nodes = append(nodes, n)
+	}
+	if len(nodes) == 0 {
+		return
+	}
+
+	// consumers[i] lists the nodes reading node i's results.
+	consumers := make([][]*node, len(nodes))
+	index := map[*node]int{}
+	for i, n := range nodes {
+		index[n] = i
+	}
+	for _, n := range nodes {
+		for _, a := range n.producers {
+			if p, ok := producerOf[a]; ok && p != n {
+				consumers[index[p]] = append(consumers[index[p]], n)
+			}
+		}
+	}
+
+	// shipSeconds prices moving a value to a device: values produced on the
+	// other device (or host-resident bases headed for the GPU) cross PCIe.
+	pin := make([]bool, len(nodes)) // true = GPU
+	locGPU := func(a *bat.BAT) (onGPU, known bool) {
+		if p, ok := producerOf[a]; ok {
+			return pin[index[p]], true
+		}
+		switch h.OwnerClass(s.resolveForCost(a)) {
+		case gpuLabel:
+			return true, true
+		case cpuLabel:
+			return false, true
+		}
+		return false, true // host-resident base or synced value
+	}
+	shipSeconds := func(a *bat.BAT, toGPU bool) float64 {
+		onGPU, _ := locGPU(a)
+		if onGPU == toGPU {
+			return 0
+		}
+		return seconds(4*est.rowsOf(a), link)
+	}
+
+	// Seed: pure compute argmin.
+	for i, n := range nodes {
+		pin[i] = n.gpu < n.cpu
+	}
+	// Relax: re-choose each pin given current producer and consumer pins.
+	for round := 0; round < 3; round++ {
+		for i, n := range nodes {
+			costOn := func(gpu bool) float64 {
+				c := n.cpu
+				if gpu {
+					c = n.gpu
+				}
+				for _, a := range n.producers {
+					c += shipSeconds(a, gpu)
+				}
+				for _, cons := range consumers[i] {
+					if pin[index[cons]] != gpu {
+						c += seconds(n.outBytes, link)
+					}
+				}
+				if n.isOutput && gpu {
+					c += seconds(n.outBytes, link) // sync-back to the host
+				}
+				return c
+			}
+			pin[i] = costOn(true) < costOn(false)
+		}
+	}
+	for i, n := range nodes {
+		if pin[i] {
+			n.in.Device = gpuLabel
+		} else {
+			n.in.Device = cpuLabel
+		}
+	}
+}
+
+// resolveForCost maps a plan value to what the hybrid engine knows about
+// (the concrete BAT), without failing on not-yet-produced values.
+func (s *Session) resolveForCost(b *bat.BAT) *bat.BAT {
+	b = s.canon(b)
+	if c, ok := s.env[b]; ok {
+		return c
+	}
+	return b
+}
+
+func seconds(bytes, rate float64) float64 {
+	if rate <= 0 {
+		return 0
+	}
+	return bytes / rate
+}

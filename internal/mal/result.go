@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/bat"
 )
@@ -17,13 +18,26 @@ type Result struct {
 	Cols  []*bat.BAT
 }
 
-// Result builds the plan's result set, syncing every column.
+// Result builds the plan's result set. It is the plan's final flush: the
+// columns become the liveness roots of the rewriter's dead-instruction
+// elimination and early-release passes, the sync-insertion pass emits one
+// Sync per column (§3.4), and the rewritten plan runs through the executor.
+// The bound engine is drained afterwards so Session.PlanWall measures the
+// plan end to end — across the final Finish/Sync — rather than just the
+// enqueue side of a lazy engine.
 func (s *Session) Result(names []string, cols ...*bat.BAT) *Result {
 	if len(names) != len(cols) {
 		s.fail("result", fmt.Errorf("%d names for %d columns", len(names), len(cols)))
 	}
 	for _, c := range cols {
-		s.Sync(c)
+		s.markOutput(c)
+	}
+	s.flush(true)
+	if err := Finish(s.o); err != nil {
+		s.fail("finish", err)
+	}
+	if !s.firstExec.IsZero() {
+		s.lastExec = time.Now()
 	}
 	return &Result{Names: names, Cols: cols}
 }
@@ -130,7 +144,9 @@ func (r *Result) String() string {
 }
 
 // RunQuery executes a plan under the given session, translating plan aborts
-// into errors and releasing intermediates.
+// into errors and releasing intermediates. After the plan function returns,
+// any instructions no boundary ever forced (a plan that built work but
+// never synced it) are drained so their errors still surface.
 func RunQuery(s *Session, plan func(*Session) *Result) (res *Result, err error) {
 	defer s.Close()
 	defer func() {
@@ -142,5 +158,7 @@ func RunQuery(s *Session, plan func(*Session) *Result) (res *Result, err error) 
 			panic(v)
 		}
 	}()
-	return plan(s), nil
+	res = plan(s)
+	s.drain()
+	return res, nil
 }

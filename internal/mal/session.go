@@ -1,15 +1,20 @@
 // Package mal is the execution layer Ocelot drops into: the operator-at-a-
-// time evaluation model of MonetDB's MAL (§3.1, §3.4). A query plan is a
-// sequence of operator calls against a Session; the session binds every call
-// to one operator implementation — the drop-in-replacement mechanism of the
-// paper's query rewriter: running the *same plan* under a different
-// configuration only swaps which module the calls route to.
+// time evaluation model of MonetDB's MAL (§3.1, §3.4). A query plan is
+// written once against the fluent Session API, which *builds* an explicit
+// plan IR (ir.go) — a DAG of instructions over symbolic values — instead of
+// dispatching operators eagerly. When a value crosses the plan boundary
+// (Sync, ScalarF/ScalarI, Result), the pending plan is run through the
+// rewriter pass pipeline (passes.go: module binding, common-subexpression
+// elimination, dead-instruction elimination, sync insertion, plan-level
+// hybrid placement, last-use release insertion) and interpreted by the plan
+// executor (exec.go).
 //
-// The session also implements the rewriter's sync insertion (§3.4): results
-// and scalars leaving the plan are synchronised automatically, handing
-// ownership of Ocelot-owned BATs back to "MonetDB" before host code reads
-// them. An instruction trace is recorded for EXPLAIN-style output, which is
-// how the paper derives its microbenchmark plans (§5.2).
+// Binding every instruction to one operator module is the paper's
+// drop-in-replacement mechanism (§3.1): running the *same plan* under a
+// different configuration only swaps which module the instructions route
+// to. Sync and Release instructions are inserted by the rewriter, not by
+// plan code, exactly as §3.4 prescribes; the instruction trace for
+// EXPLAIN-style output is produced from the rewritten IR.
 package mal
 
 import (
@@ -21,58 +26,139 @@ import (
 	"repro/internal/ops"
 )
 
-// Instr is one recorded plan instruction.
+// Instr is one executed plan instruction, rendered for EXPLAIN output.
 type Instr struct {
-	// Module is the operator module the call was routed to (the engine
-	// name), Op the operator.
+	// Module is the operator module the instruction was bound to, Op the
+	// operator.
 	Module, Op string
+	// Device is the hybrid placement pin ("CPU"/"GPU"), empty elsewhere.
+	Device string
 	// Args describes the operands, Ret the result, both for display.
 	Args []string
 	Ret  string
-	// Took is the host-observed latency of the call (enqueue time for lazy
-	// engines, execution time for eager ones).
+	// Took is the host-observed latency of the instruction: enqueue time
+	// for lazy engines, execution time for eager ones (Session.TimingLabel
+	// names which one honestly; Session.PlanWall has the end-to-end time).
 	Took time.Duration
 }
 
 func (i Instr) String() string {
-	return fmt.Sprintf("%s := %s.%s(%s)", i.Ret, i.Module, i.Op, strings.Join(i.Args, ", "))
+	mod := i.Module
+	if i.Device != "" {
+		mod = fmt.Sprintf("%s[%s]", i.Module, i.Device)
+	}
+	return fmt.Sprintf("%s := %s.%s(%s)", i.Ret, mod, i.Op, strings.Join(i.Args, ", "))
 }
 
 // abort carries plan errors through panics so query plans read linearly;
 // RunQuery recovers it.
 type abort struct{ err error }
 
-// Session executes one query plan against one operator configuration.
+// Passes toggles the rewriter pass pipeline (all on by default). Tests and
+// ablation harnesses switch individual passes off to measure their effect.
+type Passes struct {
+	// CSE merges instructions that recompute an identical pure expression.
+	CSE bool
+	// DCE drops instructions whose results never reach a plan output
+	// (applied at the final flush only, when full liveness is known).
+	DCE bool
+	// EarlyRelease inserts Release instructions after each intermediate's
+	// last use, freeing device memory mid-plan instead of at Close.
+	EarlyRelease bool
+	// Placement pins instructions to devices plan-wide under the hybrid
+	// configuration (placement.go), replacing greedy per-call choice.
+	Placement bool
+}
+
+// DefaultPasses enables the full pipeline.
+func DefaultPasses() Passes {
+	return Passes{CSE: true, DCE: true, EarlyRelease: true, Placement: true}
+}
+
+// Session builds and executes one query plan against one operator
+// configuration.
 type Session struct {
-	o       ops.Operators
-	module  string
+	o      ops.Operators
+	module string
+	passes Passes
+
+	// pending is the built-but-unexecuted tail of the plan; raw keeps every
+	// built instruction (before rewriting) for EXPLAIN's before-view.
+	pending []*PInstr
+	raw     []*PInstr
+	done    []*PInstr
+
+	// isPH marks placeholder BATs; alias maps CSE-eliminated placeholders
+	// to their canonical twin; env maps placeholders to the concrete BATs
+	// the executor produced.
+	isPH  map[*bat.BAT]bool
+	alias map[*bat.BAT]*bat.BAT
+	env   map[*bat.BAT]*bat.BAT
+
+	// owned are concrete operator results, released at Close unless an
+	// inserted Release instruction already freed them.
+	owned    []*bat.BAT
+	released map[*bat.BAT]bool
+
+	// cseTab maps expression signatures to their canonical instruction
+	// (kept across flush fragments).
+	cseTab map[string]*PInstr
+
+	// slots hold group counts produced by Group instructions (-1 until
+	// executed); slotAlias mirrors CSE aliasing; slotProducer keeps the
+	// producing instruction for liveness.
+	slots        []int
+	slotAlias    map[int]int
+	slotProducer map[int]*PInstr
+
+	// outputs are the values of the current flush that must be synced to
+	// the host (in marking order).
+	outputs []*bat.BAT
+	outSet  map[*bat.BAT]bool
+
 	trace   []Instr
-	owned   []*bat.BAT
 	traceOn bool
+
+	nextID  int
+	nextTmp int
+
+	firstExec time.Time
+	lastExec  time.Time
 }
 
 // NewSession creates a session bound to an operator implementation.
 func NewSession(o ops.Operators) *Session {
-	return &Session{o: o, module: moduleName(o.Name())}
-}
-
-// moduleName derives the short MAL module label from an engine name.
-func moduleName(engine string) string {
-	switch {
-	case strings.Contains(engine, "Ocelot"):
-		return "ocelot"
-	case strings.Contains(engine, "parallel"):
-		return "batmat" // MonetDB's mitosis/dataflow module
-	default:
-		return "algebra"
+	return &Session{
+		o:            o,
+		module:       o.Module(),
+		passes:       DefaultPasses(),
+		isPH:         map[*bat.BAT]bool{},
+		alias:        map[*bat.BAT]*bat.BAT{},
+		env:          map[*bat.BAT]*bat.BAT{},
+		released:     map[*bat.BAT]bool{},
+		cseTab:       map[string]*PInstr{},
+		slotAlias:    map[int]int{},
+		slotProducer: map[int]*PInstr{},
+		outSet:       map[*bat.BAT]bool{},
 	}
 }
 
-// EnableTrace turns on instruction recording (EXPLAIN).
+// SetPasses overrides the rewriter pass configuration. It must be called
+// before the first operator call of the plan.
+func (s *Session) SetPasses(p Passes) { s.passes = p }
+
+// EnableTrace turns on rendered instruction recording (EXPLAIN); the IR
+// itself (Plan) is always available. Recording stays opt-in so the
+// per-instruction string formatting never rides inside benchmark-timed
+// plan execution.
 func (s *Session) EnableTrace() { s.traceOn = true }
 
-// Trace returns the recorded instructions.
+// Trace returns the executed instructions (the after-rewriting plan);
+// empty unless EnableTrace was called before the plan ran.
 func (s *Session) Trace() []Instr { return s.trace }
+
+// Plan returns the executed IR instructions (tests and tools).
+func (s *Session) Plan() []*PInstr { return s.done }
 
 // Operators exposes the bound implementation.
 func (s *Session) Operators() ops.Operators { return s.o }
@@ -81,48 +167,47 @@ func (s *Session) fail(op string, err error) {
 	panic(abort{fmt.Errorf("%s.%s: %w", s.module, op, err)})
 }
 
-func (s *Session) record(op string, start time.Time, ret string, args ...string) {
-	if !s.traceOn {
+// newPlaceholder mints a symbolic plan value.
+func (s *Session) newPlaceholder() *bat.BAT {
+	s.nextTmp++
+	ph := bat.New(fmt.Sprintf("t%d", s.nextTmp), bat.Void, 0)
+	s.isPH[ph] = true
+	return ph
+}
+
+// add appends a plan instruction with nRets fresh placeholders.
+func (s *Session) add(kind OpKind, nRets int, args []*bat.BAT, set func(*PInstr)) *PInstr {
+	in := &PInstr{ID: s.nextID, Kind: kind, Args: args, NgrpRef: -1, NSlot: -1}
+	s.nextID++
+	for i := 0; i < nRets; i++ {
+		in.Rets = append(in.Rets, s.newPlaceholder())
+	}
+	if set != nil {
+		set(in)
+	}
+	s.pending = append(s.pending, in)
+	s.raw = append(s.raw, in)
+	return in
+}
+
+// markOutput registers b as a plan output of the current fragment: the
+// sync-insertion pass will emit an explicit Sync instruction for it.
+func (s *Session) markOutput(b *bat.BAT) {
+	if b == nil || s.outSet[b] {
 		return
 	}
-	s.trace = append(s.trace, Instr{
-		Module: s.module, Op: op, Args: args, Ret: ret, Took: time.Since(start),
-	})
+	s.outSet[b] = true
+	s.outputs = append(s.outputs, b)
 }
 
-// adopt registers an operator result for end-of-plan release.
-func (s *Session) adopt(b *bat.BAT) *bat.BAT {
-	if b != nil {
-		s.owned = append(s.owned, b)
-	}
-	return b
-}
-
-func describe(b *bat.BAT) string {
-	if b == nil {
-		return "nil"
-	}
-	return fmt.Sprintf("%s#%d", b.Name, b.Len())
-}
-
-// Close releases all intermediates produced during the plan.
-func (s *Session) Close() {
-	for _, b := range s.owned {
-		s.o.Release(b)
-	}
-	s.owned = nil
-}
+// --- fluent plan builders ---
 
 // Select routes algebra.select / ocelot.select.
 func (s *Session) Select(col, cand *bat.BAT, lo, hi float64, loIncl, hiIncl bool) *bat.BAT {
-	start := time.Now()
-	res, err := s.o.Select(col, cand, lo, hi, loIncl, hiIncl)
-	if err != nil {
-		s.fail("select", err)
-	}
-	s.record("select", start, describe(res), describe(col), describe(cand),
-		fmt.Sprintf("%v..%v", lo, hi))
-	return s.adopt(res)
+	in := s.add(OpSelect, 1, []*bat.BAT{col, cand}, func(in *PInstr) {
+		in.Lo, in.Hi, in.LoIncl, in.HiIncl = lo, hi, loIncl, hiIncl
+	})
+	return in.Rets[0]
 }
 
 // SelectEq is the equality convenience over Select.
@@ -132,146 +217,106 @@ func (s *Session) SelectEq(col, cand *bat.BAT, v float64) *bat.BAT {
 
 // SelectCmp routes the column-vs-column selection.
 func (s *Session) SelectCmp(a, b *bat.BAT, cmp ops.Cmp, cand *bat.BAT) *bat.BAT {
-	start := time.Now()
-	res, err := s.o.SelectCmp(a, b, cmp, cand)
-	if err != nil {
-		s.fail("selectcmp", err)
-	}
-	s.record("selectcmp", start, describe(res), describe(a), cmp.String(), describe(b))
-	return s.adopt(res)
+	in := s.add(OpSelectCmp, 1, []*bat.BAT{a, b, cand}, func(in *PInstr) { in.Cmp = cmp })
+	return in.Rets[0]
 }
 
 // Project routes algebra.leftfetchjoin (§5.2.2).
 func (s *Session) Project(cand, col *bat.BAT) *bat.BAT {
-	start := time.Now()
-	res, err := s.o.Project(cand, col)
-	if err != nil {
-		s.fail("leftfetchjoin", err)
-	}
-	s.record("leftfetchjoin", start, describe(res), describe(cand), describe(col))
-	return s.adopt(res)
+	return s.add(OpProject, 1, []*bat.BAT{cand, col}, nil).Rets[0]
 }
 
 // Join routes algebra.join.
 func (s *Session) Join(l, r *bat.BAT) (*bat.BAT, *bat.BAT) {
-	start := time.Now()
-	lres, rres, err := s.o.Join(l, r)
-	if err != nil {
-		s.fail("join", err)
-	}
-	s.record("join", start, describe(lres), describe(l), describe(r))
-	return s.adopt(lres), s.adopt(rres)
+	in := s.add(OpJoin, 2, []*bat.BAT{l, r}, nil)
+	return in.Rets[0], in.Rets[1]
 }
 
 // ThetaJoin routes algebra.thetajoin (inequality joins via nested loops).
 func (s *Session) ThetaJoin(l, r *bat.BAT, cmp ops.Cmp) (*bat.BAT, *bat.BAT) {
-	start := time.Now()
-	lres, rres, err := s.o.ThetaJoin(l, r, cmp)
-	if err != nil {
-		s.fail("thetajoin", err)
-	}
-	s.record("thetajoin", start, describe(lres), describe(l), cmp.String(), describe(r))
-	return s.adopt(lres), s.adopt(rres)
+	in := s.add(OpThetaJoin, 2, []*bat.BAT{l, r}, func(in *PInstr) { in.Cmp = cmp })
+	return in.Rets[0], in.Rets[1]
 }
 
 // SemiJoin routes algebra.semijoin (EXISTS).
 func (s *Session) SemiJoin(l, r *bat.BAT) *bat.BAT {
-	start := time.Now()
-	res, err := s.o.SemiJoin(l, r)
-	if err != nil {
-		s.fail("semijoin", err)
-	}
-	s.record("semijoin", start, describe(res), describe(l), describe(r))
-	return s.adopt(res)
+	return s.add(OpSemiJoin, 1, []*bat.BAT{l, r}, nil).Rets[0]
 }
 
 // AntiJoin routes algebra.antijoin (NOT EXISTS).
 func (s *Session) AntiJoin(l, r *bat.BAT) *bat.BAT {
-	start := time.Now()
-	res, err := s.o.AntiJoin(l, r)
-	if err != nil {
-		s.fail("antijoin", err)
-	}
-	s.record("antijoin", start, describe(res), describe(l), describe(r))
-	return s.adopt(res)
+	return s.add(OpAntiJoin, 1, []*bat.BAT{l, r}, nil).Rets[0]
 }
 
 // Group routes group.new / group.derive; grp refines a previous grouping.
+// The returned count is an opaque handle resolved at execution time: thread
+// it through to later Group/Aggr calls unchanged (plans must not do
+// arithmetic on it).
 func (s *Session) Group(col, grp *bat.BAT, ngrp int) (*bat.BAT, int) {
-	start := time.Now()
-	res, n, err := s.o.Group(col, grp, ngrp)
-	if err != nil {
-		s.fail("group", err)
-	}
-	s.record("group", start, fmt.Sprintf("%s (%d groups)", describe(res), n),
-		describe(col), describe(grp))
-	return s.adopt(res), n
+	slot := len(s.slots)
+	s.slots = append(s.slots, -1)
+	in := s.add(OpGroup, 1, []*bat.BAT{col, grp}, func(in *PInstr) {
+		in.NSlot = slot
+		s.setNgrp(in, ngrp)
+	})
+	s.slotProducer[slot] = in
+	return in.Rets[0], encodeSlot(slot)
 }
 
 // Aggr routes aggr.sum/count/min/max/avg.
 func (s *Session) Aggr(kind ops.Agg, vals, groups *bat.BAT, ngroups int) *bat.BAT {
-	start := time.Now()
-	res, err := s.o.Aggr(kind, vals, groups, ngroups)
-	if err != nil {
-		s.fail(kind.String(), err)
+	in := s.add(OpAggr, 1, []*bat.BAT{vals, groups}, func(in *PInstr) {
+		in.Agg = kind
+		s.setNgrp(in, ngroups)
+	})
+	return in.Rets[0]
+}
+
+// setNgrp records a literal group count or the symbolic slot it will come
+// from.
+func (s *Session) setNgrp(in *PInstr, n int) {
+	if slot := decodeSlot(n); slot >= 0 {
+		in.NgrpRef = slot
+		return
 	}
-	s.record(kind.String(), start, describe(res), describe(vals), describe(groups))
-	return s.adopt(res)
+	in.NgrpLit = n
 }
 
 // Sort routes algebra.sort, returning the sorted column and the order.
 func (s *Session) Sort(col *bat.BAT) (*bat.BAT, *bat.BAT) {
-	start := time.Now()
-	sorted, order, err := s.o.Sort(col)
-	if err != nil {
-		s.fail("sort", err)
-	}
-	s.record("sort", start, describe(sorted), describe(col))
-	return s.adopt(sorted), s.adopt(order)
+	in := s.add(OpSort, 2, []*bat.BAT{col}, nil)
+	return in.Rets[0], in.Rets[1]
 }
 
 // Binop routes batcalc arithmetic.
 func (s *Session) Binop(op ops.Bin, a, b *bat.BAT) *bat.BAT {
-	start := time.Now()
-	res, err := s.o.Binop(op, a, b)
-	if err != nil {
-		s.fail("binop", err)
-	}
-	s.record("binop"+op.String(), start, describe(res), describe(a), describe(b))
-	return s.adopt(res)
+	in := s.add(OpBinop, 1, []*bat.BAT{a, b}, func(in *PInstr) { in.Bin = op })
+	return in.Rets[0]
 }
 
 // BinopConst routes batcalc arithmetic against a constant.
 func (s *Session) BinopConst(op ops.Bin, a *bat.BAT, c float64, constFirst bool) *bat.BAT {
-	start := time.Now()
-	res, err := s.o.BinopConst(op, a, c, constFirst)
-	if err != nil {
-		s.fail("binopconst", err)
-	}
-	s.record("binopconst"+op.String(), start, describe(res), describe(a), fmt.Sprint(c))
-	return s.adopt(res)
+	in := s.add(OpBinopConst, 1, []*bat.BAT{a}, func(in *PInstr) {
+		in.Bin, in.C, in.ConstFirst = op, c, constFirst
+	})
+	return in.Rets[0]
 }
 
 // Union routes the disjunctive candidate combine (Figure 3's ∨).
 func (s *Session) Union(a, b *bat.BAT) *bat.BAT {
-	start := time.Now()
-	res, err := s.o.OIDUnion(a, b)
-	if err != nil {
-		s.fail("union", err)
-	}
-	s.record("union", start, describe(res), describe(a), describe(b))
-	return s.adopt(res)
+	return s.add(OpUnion, 1, []*bat.BAT{a, b}, nil).Rets[0]
 }
 
-// Sync is the explicit synchronisation operator of §3.4. The rewriter
-// (Result, ScalarF, ScalarI) inserts it automatically at plan boundaries;
-// plans may also call it directly.
+// Sync marks b as a plan output and flushes the pending plan through the
+// rewriter and executor; the sync-insertion pass emits the explicit
+// synchronisation instruction of §3.4. On return, b holds host-visible data
+// with ownership handed back to "MonetDB".
 func (s *Session) Sync(b *bat.BAT) *bat.BAT {
-	start := time.Now()
-	if err := s.o.Sync(b); err != nil {
-		s.fail("sync", err)
+	if b == nil {
+		return nil
 	}
-	s.record("sync", start, describe(b), describe(b))
+	s.markOutput(b)
+	s.flush(false)
 	return b
 }
 
@@ -299,4 +344,20 @@ func (s *Session) ScalarI(b *bat.BAT) int32 {
 		s.fail("scalar", fmt.Errorf("BAT %q is not a 1-row int", b.Name))
 	}
 	return b.I32s()[0]
+}
+
+// drain executes any still-pending instructions without output-driven
+// elimination; RunQuery calls it after the plan function returns so that
+// errors in instructions no path ever synced still surface.
+func (s *Session) drain() { s.flush(false) }
+
+// Close releases all intermediates produced during the plan that an
+// inserted Release instruction did not already free.
+func (s *Session) Close() {
+	for _, b := range s.owned {
+		if !s.released[b] {
+			s.o.Release(b)
+		}
+	}
+	s.owned = nil
 }

@@ -27,12 +27,13 @@ import (
 type Engine struct {
 	threads int
 	name    string
+	module  string
 }
 
 // NewSequential returns the MS configuration: every operator runs on a
 // single core.
 func NewSequential() *Engine {
-	return &Engine{threads: 1, name: "MonetDB sequential (MS)"}
+	return &Engine{threads: 1, name: "MonetDB sequential (MS)", module: "algebra"}
 }
 
 // NewParallel returns the MP configuration with the given degree of
@@ -41,11 +42,18 @@ func NewParallel(threads int) *Engine {
 	if threads <= 0 {
 		threads = runtime.NumCPU()
 	}
-	return &Engine{threads: threads, name: fmt.Sprintf("MonetDB parallel (MP, %d threads)", threads)}
+	return &Engine{
+		threads: threads,
+		name:    fmt.Sprintf("MonetDB parallel (MP, %d threads)", threads),
+		module:  "batmat", // MonetDB's mitosis/dataflow module
+	}
 }
 
 // Name implements ops.Operators.
 func (e *Engine) Name() string { return e.name }
+
+// Module implements ops.Operators.
+func (e *Engine) Module() string { return e.module }
 
 // Threads returns the engine's degree of parallelism.
 func (e *Engine) Threads() int { return e.threads }

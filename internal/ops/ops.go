@@ -127,6 +127,11 @@ type Operators interface {
 	// Name identifies the configuration ("MonetDB sequential", "Ocelot[GPU]").
 	Name() string
 
+	// Module is the MAL module label the query rewriter binds this
+	// implementation's calls to ("algebra", "batmat", "ocelot"). The plan
+	// rewriter stamps it on every bound instruction.
+	Module() string
+
 	// Select returns the oids of rows in cand where lo ⋞ col[oid] ⋞ hi,
 	// with bound inclusivity given by loIncl/hiIncl. Bounds are passed as
 	// float64 and converted to the column type (both Ocelot types fit).

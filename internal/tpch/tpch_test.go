@@ -6,6 +6,8 @@ import (
 	"testing"
 
 	"repro/internal/bat"
+	"repro/internal/core"
+	"repro/internal/hybrid"
 	"repro/internal/mal"
 )
 
@@ -342,6 +344,94 @@ func TestWorkloadUnderHybridPlacement(t *testing.T) {
 		if err := got.EqualWithin(ref, 2e-3); err != nil {
 			t.Fatalf("Q%d: hybrid disagrees with MS: %v", q.Num, err)
 		}
+	}
+}
+
+// TestQ1RewriterInsertsSyncAndRelease: the rewritten TPC-H plan must carry
+// the sync instructions of §3.4 for the result columns and early Release
+// instructions for intermediates, visible in EXPLAIN.
+func TestQ1RewriterInsertsSyncAndRelease(t *testing.T) {
+	db := testDB(t)
+	s := mal.NewSession(mal.OcelotGPU.Build(mal.ConfigOptions{GPUMemory: 512 << 20}))
+	s.EnableTrace()
+	if _, err := mal.RunQuery(s, func(s *mal.Session) *mal.Result { return q1(s, db) }); err != nil {
+		t.Fatal(err)
+	}
+	var syncs, releases int
+	for _, in := range s.Trace() {
+		switch in.Op {
+		case "sync":
+			syncs++
+		case "release":
+			releases++
+		}
+	}
+	if syncs != 10 {
+		t.Fatalf("Q1 rewriter inserted %d syncs, want 10 (one per result column)", syncs)
+	}
+	if releases == 0 {
+		t.Fatal("Q1 rewriter inserted no early releases")
+	}
+}
+
+// TestQ1EarlyReleaseLowersPeakFootprint: the §3.3 Memory Manager's device
+// high-water mark on Q1 must drop measurably when intermediates are freed
+// at last use instead of at end of plan.
+func TestQ1EarlyReleaseLowersPeakFootprint(t *testing.T) {
+	db := testDB(t)
+	peak := func(early bool) int64 {
+		o := mal.OcelotGPU.Build(mal.ConfigOptions{GPUMemory: 512 << 20})
+		s := mal.NewSession(o)
+		p := mal.DefaultPasses()
+		p.EarlyRelease = early
+		s.SetPasses(p)
+		if _, err := mal.RunQuery(s, func(s *mal.Session) *mal.Result { return q1(s, db) }); err != nil {
+			t.Fatal(err)
+		}
+		eng := o.(*core.Engine)
+		if err := eng.Finish(); err != nil {
+			t.Fatal(err)
+		}
+		return eng.Device().PeakAllocated()
+	}
+	with, without := peak(true), peak(false)
+	if with >= without {
+		t.Fatalf("early release did not lower Q1 peak footprint: %d >= %d", with, without)
+	}
+	t.Logf("Q1 peak device bytes: early-release %d vs end-of-plan %d (%.1f%% saved)",
+		with, without, 100*float64(without-with)/float64(without))
+}
+
+// TestHybridPlanPlacementOnWorkload: under the hybrid configuration, every
+// compute instruction of a TPC-H plan must carry a plan-level device pin
+// and the engine's recorded placements must match the pins exactly.
+func TestHybridPlanPlacementOnWorkload(t *testing.T) {
+	db := testDB(t)
+	o := mal.Hybrid.Build(mal.ConfigOptions{Threads: 4, GPUMemory: 512 << 20})
+	h := o.(*hybrid.Engine)
+	s := mal.NewSession(o)
+	q := QueryByNum(6)
+	if _, err := mal.RunQuery(s, func(s *mal.Session) *mal.Result { return q.Plan(s, db) }); err != nil {
+		t.Fatal(err)
+	}
+	pinned := 0
+	for _, in := range s.Plan() {
+		if in.Kind == mal.OpSync || in.Kind == mal.OpRelease {
+			continue
+		}
+		if in.Device == "" {
+			t.Fatalf("Q6 instruction %s executed without a plan-level pin", in.OpName())
+		}
+		pinned++
+	}
+	recorded := 0
+	for _, m := range h.Placements() {
+		for _, n := range m {
+			recorded += n
+		}
+	}
+	if pinned != recorded {
+		t.Fatalf("plan pinned %d instructions, engine recorded %d placements", pinned, recorded)
 	}
 }
 

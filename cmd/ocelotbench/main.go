@@ -31,8 +31,9 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "", "figure to regenerate: 5a..5i, 6, 7a..7d")
+		fig     = flag.String("fig", "", "figure(s) to regenerate, comma-separated: 5a..5i, 6, 7a..7d, pc, srv")
 		all     = flag.Bool("all", false, "regenerate every figure")
+		conc    = flag.Int("concurrency", 0, "serve the TPC-H workload with N concurrent clients over one shared engine and print per-query server stats")
 		sizes   = flag.String("sizes", "", "comma-separated size sweep in MB (Fig 5/6)")
 		baseMB  = flag.Int("base", 0, "fixed column size in MB for parameter sweeps")
 		runs    = flag.Int("runs", 0, "measured repetitions per point")
@@ -40,7 +41,7 @@ func main() {
 		gpuMem  = flag.Int64("gpumem", 0, "simulated GPU memory in MiB")
 		sf      = flag.Float64("sf", 0, "TPC-H scale factor override (Fig 7)")
 		pause   = flag.Duration("cpupause", 0, "per-launch Ocelot-CPU pause emulating the Intel SDK overhead (Fig 7)")
-		configs = flag.String("configs", "", "comma-separated subset of MS,MP,CPU,GPU")
+		configs = flag.String("configs", "", "comma-separated subset of MS,MP,CPU,GPU,HYB")
 		seed    = flag.Int64("seed", 42, "data generator seed")
 		jsonOut = flag.String("json", "", "also write machine-readable figure records (median ns/op, bytes alloc) to this file")
 	)
@@ -68,19 +69,43 @@ func main() {
 		for _, c := range strings.Split(*configs, ",") {
 			cfg, ok := byName[strings.ToUpper(strings.TrimSpace(c))]
 			if !ok {
-				fatalf("unknown configuration %q (want MS,MP,CPU,GPU)", c)
+				fatalf("unknown configuration %q (want MS,MP,CPU,GPU,HYB)", c)
 			}
 			opt.Configs = append(opt.Configs, cfg)
 		}
 	}
 	topt := bench.TPCHOptions{Options: opt, SF: *sf}
 
+	if *conc > 0 {
+		// Concurrent-serving mode: the workload through the serve layer.
+		// It prints server stats only — figure selection and the JSON
+		// trajectory record belong to the figure modes.
+		if *fig != "" || *all || *jsonOut != "" {
+			fatalf("-concurrency cannot be combined with -fig/-all/-json")
+		}
+		cfgs := opt.Configs
+		if len(cfgs) == 0 {
+			cfgs = []mal.Config{mal.OcelotCPU}
+		}
+		for _, cfg := range cfgs {
+			start := time.Now()
+			sv, ns, qps := bench.ServeOnce(cfg, topt, *conc, max(*runs, 3))
+			fmt.Printf("# %s, %d concurrent clients: %.1f queries/s (%d ns/query)\n",
+				cfg, *conc, qps, ns)
+			fmt.Println(sv)
+			fmt.Printf("(served in %v)\n\n", time.Since(start).Round(time.Millisecond))
+		}
+		return
+	}
+
 	var figs []string
 	if *all {
 		figs = []string{"5a", "5b", "5c", "5d", "5e", "5f", "5g", "5h", "5i", "6",
-			"7a", "7b", "7c", "7d", "a1", "a2", "a3", "a4"}
+			"7a", "7b", "7c", "7d", "a1", "a2", "a3", "a4", "pc", "srv"}
 	} else if *fig != "" {
-		figs = []string{strings.ToLower(*fig)}
+		for _, f := range strings.Split(*fig, ",") {
+			figs = append(figs, strings.ToLower(strings.TrimSpace(f)))
+		}
 	} else {
 		flag.Usage()
 		os.Exit(2)
@@ -114,6 +139,10 @@ func main() {
 			rep = bench.Fig7c(topt)
 		case f == "7d":
 			rep = bench.Fig7d(topt)
+		case f == "pc":
+			rep = bench.PlanCacheFigure(topt)
+		case f == "srv":
+			rep = bench.ServeFigure(topt)
 		default:
 			known := make([]string, 0, len(micro)+len(ablations))
 			for k := range micro {
@@ -123,7 +152,7 @@ func main() {
 				known = append(known, k)
 			}
 			sort.Strings(known)
-			fatalf("unknown figure %q (known: %s 7a 7b 7c 7d)", f, strings.Join(known, " "))
+			fatalf("unknown figure %q (known: %s 7a 7b 7c 7d pc srv)", f, strings.Join(known, " "))
 		}
 		fmt.Println(rep)
 		runtime.ReadMemStats(&ms)

@@ -1,0 +1,262 @@
+// Serving-layer figures: the plan-cache rebind-and-run experiment and the
+// concurrent-throughput sweep. Neither has a counterpart in the paper —
+// they track the repository's production-serving trajectory (ROADMAP: plan
+// cache, batched/concurrent sessions) the same way the Figure 5/6/7
+// regenerations track the paper's evaluation.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/mal"
+	"repro/internal/serve"
+	"repro/internal/tpch"
+)
+
+// PlanCacheReport records the cold-build vs cache-hit comparison for one
+// TPC-H query: end-to-end wall time and the host-side overhead (wall minus
+// the summed per-instruction operator time) for both paths, per
+// configuration.
+type PlanCacheReport struct {
+	ID, Title string
+	Query     int
+	// Nanos maps "<config> <metric>" to nanoseconds, metrics being
+	// cold_wall, hit_wall, cold_overhead, hit_overhead (medians over runs).
+	Nanos map[string]int64
+	Order []string
+	Notes []string
+}
+
+// String renders the comparison table.
+func (r *PlanCacheReport) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# %s — %s\n", r.ID, r.Title)
+	fmt.Fprintf(&sb, "%-8s %14s %14s %14s %14s\n", "config", "cold wall", "hit wall", "cold overhead", "hit overhead")
+	for _, c := range r.Order {
+		fmt.Fprintf(&sb, "%-8s %14v %14v %14v %14v\n", c,
+			time.Duration(r.Nanos[c+" cold_wall"]),
+			time.Duration(r.Nanos[c+" hit_wall"]),
+			time.Duration(r.Nanos[c+" cold_overhead"]),
+			time.Duration(r.Nanos[c+" hit_overhead"]))
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// JSON converts the report to a trajectory record.
+func (r *PlanCacheReport) JSON(bytesAlloc int64) FigureJSON {
+	out := FigureJSON{ID: r.ID, Title: r.Title, MedianNsPerOp: map[string]int64{}, BytesAlloc: bytesAlloc}
+	for k, v := range r.Nanos {
+		out.MedianNsPerOp[k] = v
+	}
+	return out
+}
+
+func median64(v []int64) int64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := append([]int64(nil), v...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	mid := s[len(s)/2]
+	if len(s)%2 == 0 {
+		mid = (s[len(s)/2-1] + s[len(s)/2]) / 2
+	}
+	return mid
+}
+
+// PlanCacheFigure measures, per configuration, re-running one TPC-H query
+// (Q6 by default) cold — plan function, IR build, full rewriter pipeline —
+// against replaying its cached template with parameters re-bound. The
+// headline number is host-side overhead: wall time minus the summed
+// operator dispatch time, i.e. what the MAL layer itself costs around the
+// operators.
+func PlanCacheFigure(o TPCHOptions) *PlanCacheReport {
+	o = defaultTPCH(o, 0.01)
+	db := tpch.Generate(o.SF, o.Seed)
+	q := tpch.QueryByNum(6)
+	plan := func(s *mal.Session) *mal.Result { return q.Plan(s, db) }
+
+	rep := &PlanCacheReport{
+		ID:    "pc",
+		Title: fmt.Sprintf("plan cache: cold build vs rebind-and-run, TPC-H Q%d, SF %g", q.Num, o.SF),
+		Query: q.Num,
+		Nanos: map[string]int64{},
+		Notes: []string{"overhead = wall - summed operator dispatch time (host-side cost of the MAL layer)"},
+	}
+	for _, cfg := range o.Configs {
+		eng := cfg.Build(mal.ConfigOptions{Threads: o.Threads, GPUMemory: o.GPUMemory})
+		label := cfg.String()
+		rep.Order = append(rep.Order, label)
+
+		var coldWall, coldOver, hitWall, hitOver []int64
+		var tpl *mal.Template
+		for run := 0; run < o.Runs+1; run++ {
+			s := mal.NewSession(eng)
+			start := time.Now()
+			if _, err := mal.RunQuery(s, plan); err != nil {
+				panic(fmt.Sprintf("bench: cold Q%d on %s: %v", q.Num, label, err))
+			}
+			wall := time.Since(start)
+			if run == 0 {
+				tpl = s.Template() // warm-up run also captures the template
+				continue
+			}
+			coldWall = append(coldWall, int64(wall))
+			coldOver = append(coldOver, int64(wall-s.OpTime()))
+		}
+		for run := 0; run < o.Runs; run++ {
+			start := time.Now()
+			_, s, err := tpl.RunOn(eng, nil)
+			if err != nil {
+				panic(fmt.Sprintf("bench: cached Q%d on %s: %v", q.Num, label, err))
+			}
+			wall := time.Since(start)
+			hitWall = append(hitWall, int64(wall))
+			hitOver = append(hitOver, int64(wall-s.OpTime()))
+		}
+		rep.Nanos[label+" cold_wall"] = median64(coldWall)
+		rep.Nanos[label+" hit_wall"] = median64(hitWall)
+		rep.Nanos[label+" cold_overhead"] = median64(coldOver)
+		rep.Nanos[label+" hit_overhead"] = median64(hitOver)
+	}
+	return rep
+}
+
+// ServeReport records workload throughput through the serving layer at
+// several concurrency levels.
+type ServeReport struct {
+	ID, Title string
+	// NsPerQuery maps "<config> N=<n>" to average wall nanoseconds per
+	// completed query; QPS the corresponding queries/second.
+	NsPerQuery map[string]int64
+	QPS        map[string]float64
+	Order      []string
+	Notes      []string
+}
+
+// String renders the throughput table.
+func (r *ServeReport) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# %s — %s\n", r.ID, r.Title)
+	fmt.Fprintf(&sb, "%-14s %14s %12s\n", "series", "ns/query", "queries/s")
+	for _, k := range r.Order {
+		fmt.Fprintf(&sb, "%-14s %14d %12.1f\n", k, r.NsPerQuery[k], r.QPS[k])
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// JSON converts the report to a trajectory record.
+func (r *ServeReport) JSON(bytesAlloc int64) FigureJSON {
+	out := FigureJSON{ID: r.ID, Title: r.Title, MedianNsPerOp: map[string]int64{}, BytesAlloc: bytesAlloc}
+	for k, v := range r.NsPerQuery {
+		out.MedianNsPerOp[k] = v
+	}
+	return out
+}
+
+// ServeConcurrencies is the figure's sweep of client counts.
+var ServeConcurrencies = []int{1, 4, 16}
+
+// ServeFigure drives the full 14-query workload through a serve.Server per
+// configuration at N=1, 4 and 16 concurrent clients (admission cap = client
+// count) and reports sustained queries/second. Every (config, N) cell runs
+// a sequential warm-up pass first so the plan cache and the device caches
+// are hot — the steady-state regime a server lives in.
+func ServeFigure(o TPCHOptions) *ServeReport {
+	o = defaultTPCH(o, 0.01)
+	db := tpch.Generate(o.SF, o.Seed)
+	rep := &ServeReport{
+		ID:         "srv",
+		Title:      fmt.Sprintf("serving throughput: TPC-H workload, SF %g, %d rounds", o.SF, o.Runs),
+		NsPerQuery: map[string]int64{},
+		QPS:        map[string]float64{},
+		Notes:      []string{"N clients against one shared engine, plan cache on, warm-up pass excluded"},
+	}
+	for _, cfg := range o.Configs {
+		for _, n := range ServeConcurrencies {
+			key := fmt.Sprintf("%s N=%d", cfg, n)
+			ns, qps, errs := serveRun(cfg, db, o, n, o.Runs)
+			rep.Order = append(rep.Order, key)
+			rep.NsPerQuery[key] = ns
+			rep.QPS[key] = qps
+			if errs > 0 {
+				rep.Notes = append(rep.Notes, fmt.Sprintf("%s: %d query executions failed", key, errs))
+			}
+		}
+	}
+	return rep
+}
+
+// ServeOnce runs the workload through one server at the given concurrency
+// and returns the server for stats rendering (the -concurrency CLI mode).
+func ServeOnce(cfg mal.Config, o TPCHOptions, clients, rounds int) (*serve.Server, int64, float64) {
+	o = defaultTPCH(o, 0.01)
+	db := tpch.Generate(o.SF, o.Seed)
+	sv, ns, qps := serveWorkload(cfg, db, o, clients, rounds)
+	return sv, ns, qps
+}
+
+func serveRun(cfg mal.Config, db *tpch.DB, o TPCHOptions, clients, rounds int) (int64, float64, int64) {
+	sv, ns, qps := serveWorkload(cfg, db, o, clients, rounds)
+	var errs int64
+	for _, st := range sv.Stats() {
+		errs += st.Errors
+	}
+	return ns, qps, errs
+}
+
+func serveWorkload(cfg mal.Config, db *tpch.DB, o TPCHOptions, clients, rounds int) (*serve.Server, int64, float64) {
+	eng := cfg.Build(mal.ConfigOptions{Threads: o.Threads, GPUMemory: o.GPUMemory})
+	sv := serve.New(eng, serve.Options{MaxConcurrent: clients})
+	queries := tpch.Queries()
+
+	// Query errors (e.g. a workload query that cannot run at a tiny scale
+	// factor) are recorded in the server's per-query stats — the errs
+	// column — rather than aborting the whole run.
+	run := func(q tpch.Query) {
+		name := fmt.Sprintf("Q%d", q.Num)
+		_, _ = sv.Execute(name, nil, func(s *mal.Session) *mal.Result {
+			return q.Plan(s, db)
+		})
+	}
+	// Warm-up: populate the plan cache and the device-side base caches.
+	for _, q := range queries {
+		run(q)
+	}
+
+	jobs := make(chan tpch.Query, len(queries)*rounds)
+	for r := 0; r < rounds; r++ {
+		for _, q := range queries {
+			jobs <- q
+		}
+	}
+	close(jobs)
+	total := len(queries) * rounds
+
+	start := time.Now()
+	done := make(chan struct{})
+	for c := 0; c < clients; c++ {
+		go func() {
+			for q := range jobs {
+				run(q)
+			}
+			done <- struct{}{}
+		}()
+	}
+	for c := 0; c < clients; c++ {
+		<-done
+	}
+	wall := time.Since(start)
+	ns := wall.Nanoseconds() / int64(total)
+	qps := float64(total) / wall.Seconds()
+	return sv, ns, qps
+}

@@ -13,6 +13,11 @@
 // produced; crossing devices goes through an explicit sync, exactly as the
 // ownership rules of §3.4 prescribe. A device failure (out of device
 // memory) falls back to the other device transparently.
+//
+// Plan-level placement pins individual calls through On: the returned view
+// routes exactly one caller's operators to a fixed device without touching
+// any engine-global state, so pinned plans cannot leak placement into each
+// other and concurrent sessions can pin independently.
 package hybrid
 
 import (
@@ -27,7 +32,11 @@ import (
 
 // Engine is the placement layer over two Ocelot engines. It implements
 // ops.Operators, so it slots into the MAL session as a fifth configuration.
+// All state is guarded for concurrent sessions; per-call device pins are
+// carried by the view On returns, never by the engine itself.
 type Engine struct {
+	view // the unpinned ops.Operators facade (cost-model routing)
+
 	cpu, gpu   *core.Engine
 	cpuProfile *core.Profile
 	gpuProfile *core.Profile
@@ -36,9 +45,15 @@ type Engine struct {
 	owner map[*bat.BAT]*core.Engine // engine owning each Ocelot-owned BAT
 	// placement counters (observability for tests and tools)
 	placed map[string]map[string]int
-	// forced is consumed by the next pick: the plan-level placement pass
-	// pins instructions ahead of execution through ForceNext.
-	forced *core.Engine
+}
+
+// view is an ops.Operators facade over the engine with an optional device
+// pin. The zero pin routes through the cost model; On returns pinned views.
+// A view is a value: it holds no mutable state, so concurrent callers each
+// carry their own placement without synchronisation.
+type view struct {
+	h   *Engine
+	pin *core.Engine // nil: cost-model choice
 }
 
 // New builds the two engines and calibrates their profiles. threads sizes
@@ -56,12 +71,14 @@ func New(threads int, gpuMem int64) (*Engine, error) {
 	}
 	cpu.SetProfile(cpuProf)
 	gpu.SetProfile(gpuProf)
-	return &Engine{
+	h := &Engine{
 		cpu: cpu, gpu: gpu,
 		cpuProfile: cpuProf, gpuProfile: gpuProf,
 		owner:  map[*bat.BAT]*core.Engine{},
 		placed: map[string]map[string]int{},
-	}, nil
+	}
+	h.view = view{h: h}
+	return h, nil
 }
 
 // Name implements ops.Operators.
@@ -70,23 +87,23 @@ func (h *Engine) Name() string { return "Ocelot[hybrid CPU+GPU]" }
 // Module implements ops.Operators: both devices run the Ocelot module.
 func (h *Engine) Module() string { return "ocelot" }
 
-// ForceNext pins the next routed operator call to the device whose class
-// label matches ("CPU" or "GPU"); any other label clears the pin. This is
-// the hook the MAL plan-level placement pass drives: it walks the plan DAG
-// with the calibrated profiles and pins every instruction before execution,
-// replacing pick's greedy per-call choice. The pin wins over input-ownership
-// forcing (migrate moves the inputs); the out-of-memory fallback to the
-// other device still applies.
-func (h *Engine) ForceNext(class string) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+// On returns an ops.Operators view whose calls are pinned to the device
+// whose class label matches ("CPU" or "GPU"); any other label returns the
+// unpinned cost-model view. This is the hook plan-level placement drives:
+// the executor routes each pinned instruction through the matching view, so
+// a pin lives exactly as long as one operator call. Nothing is stored on
+// the engine — an aborted plan cannot leak its pins into the next plan, and
+// concurrent sessions cannot observe each other's pins. The pin wins over
+// input-ownership forcing (migrate moves the inputs); the out-of-memory
+// fallback to the other device still applies.
+func (h *Engine) On(class string) ops.Operators {
 	switch class {
 	case cl.ClassCPU.String():
-		h.forced = h.cpu
+		return view{h: h, pin: h.cpu}
 	case cl.ClassGPU.String():
-		h.forced = h.gpu
+		return view{h: h, pin: h.gpu}
 	default:
-		h.forced = nil
+		return view{h: h}
 	}
 }
 
@@ -146,16 +163,15 @@ func batBytes(b *bat.BAT) int64 {
 }
 
 // pick chooses the execution device for an operator touching the given
-// inputs. Owned intermediates pin the choice to their producer unless both
-// devices own inputs (then everything syncs to the host and the cost model
-// decides). bytes is the operator's streamed volume estimate.
-func (h *Engine) pick(inputs []*bat.BAT, bytes int64) *core.Engine {
-	h.mu.Lock()
-	if pinned := h.forced; pinned != nil {
-		h.forced = nil
-		h.mu.Unlock()
-		return pinned
+// inputs. An explicit pin wins outright. Otherwise owned intermediates pin
+// the choice to their producer unless both devices own inputs (then
+// everything syncs to the host and the cost model decides). bytes is the
+// operator's streamed volume estimate.
+func (h *Engine) pick(pin *core.Engine, inputs []*bat.BAT, bytes int64) *core.Engine {
+	if pin != nil {
+		return pin
 	}
+	h.mu.Lock()
 	var forced *core.Engine
 	split := false
 	for _, b := range inputs {
@@ -242,10 +258,11 @@ func (h *Engine) other(e *core.Engine) *core.Engine {
 	return h.cpu
 }
 
-// run executes f on the chosen device, falling back to the other device on
-// failure (e.g. the GPU running out of memory mid-operator).
-func (h *Engine) run(op string, inputs []*bat.BAT, bytes int64, f func(e *core.Engine) ([]*bat.BAT, error)) ([]*bat.BAT, error) {
-	target := h.pick(inputs, bytes)
+// run executes f on the chosen device (pin, ownership, or cost model),
+// falling back to the other device on failure (e.g. the GPU running out of
+// memory mid-operator).
+func (h *Engine) run(pin *core.Engine, op string, inputs []*bat.BAT, bytes int64, f func(e *core.Engine) ([]*bat.BAT, error)) ([]*bat.BAT, error) {
+	target := h.pick(pin, inputs, bytes)
 	if err := h.migrate(target, inputs...); err != nil {
 		return nil, err
 	}
@@ -265,11 +282,17 @@ func (h *Engine) run(op string, inputs []*bat.BAT, bytes int64, f func(e *core.E
 	return outs, nil
 }
 
-// --- ops.Operators ---
+// --- ops.Operators, implemented on view so each caller carries its own pin ---
 
-// Select routes the selection to the cheaper device.
-func (h *Engine) Select(col, cand *bat.BAT, lo, hi float64, loIncl, hiIncl bool) (*bat.BAT, error) {
-	outs, err := h.run("select", []*bat.BAT{col, cand}, batBytes(col), func(e *core.Engine) ([]*bat.BAT, error) {
+// Name implements ops.Operators on pinned views.
+func (v view) Name() string { return v.h.Name() }
+
+// Module implements ops.Operators on pinned views.
+func (v view) Module() string { return v.h.Module() }
+
+// Select routes the selection.
+func (v view) Select(col, cand *bat.BAT, lo, hi float64, loIncl, hiIncl bool) (*bat.BAT, error) {
+	outs, err := v.h.run(v.pin, "select", []*bat.BAT{col, cand}, batBytes(col), func(e *core.Engine) ([]*bat.BAT, error) {
 		r, err := e.Select(col, cand, lo, hi, loIncl, hiIncl)
 		return []*bat.BAT{r}, err
 	})
@@ -280,8 +303,8 @@ func (h *Engine) Select(col, cand *bat.BAT, lo, hi float64, loIncl, hiIncl bool)
 }
 
 // SelectCmp routes the column-comparison selection.
-func (h *Engine) SelectCmp(a, b *bat.BAT, cmp ops.Cmp, cand *bat.BAT) (*bat.BAT, error) {
-	outs, err := h.run("selectcmp", []*bat.BAT{a, b, cand}, batBytes(a)*2, func(e *core.Engine) ([]*bat.BAT, error) {
+func (v view) SelectCmp(a, b *bat.BAT, cmp ops.Cmp, cand *bat.BAT) (*bat.BAT, error) {
+	outs, err := v.h.run(v.pin, "selectcmp", []*bat.BAT{a, b, cand}, batBytes(a)*2, func(e *core.Engine) ([]*bat.BAT, error) {
 		r, err := e.SelectCmp(a, b, cmp, cand)
 		return []*bat.BAT{r}, err
 	})
@@ -292,8 +315,8 @@ func (h *Engine) SelectCmp(a, b *bat.BAT, cmp ops.Cmp, cand *bat.BAT) (*bat.BAT,
 }
 
 // Project routes the gather.
-func (h *Engine) Project(cand, col *bat.BAT) (*bat.BAT, error) {
-	outs, err := h.run("leftfetchjoin", []*bat.BAT{cand, col}, batBytes(cand)+batBytes(col), func(e *core.Engine) ([]*bat.BAT, error) {
+func (v view) Project(cand, col *bat.BAT) (*bat.BAT, error) {
+	outs, err := v.h.run(v.pin, "leftfetchjoin", []*bat.BAT{cand, col}, batBytes(cand)+batBytes(col), func(e *core.Engine) ([]*bat.BAT, error) {
 		r, err := e.Project(cand, col)
 		return []*bat.BAT{r}, err
 	})
@@ -304,8 +327,8 @@ func (h *Engine) Project(cand, col *bat.BAT) (*bat.BAT, error) {
 }
 
 // Join routes the hash join.
-func (h *Engine) Join(l, r *bat.BAT) (*bat.BAT, *bat.BAT, error) {
-	outs, err := h.run("join", []*bat.BAT{l, r}, 3*(batBytes(l)+batBytes(r)), func(e *core.Engine) ([]*bat.BAT, error) {
+func (v view) Join(l, r *bat.BAT) (*bat.BAT, *bat.BAT, error) {
+	outs, err := v.h.run(v.pin, "join", []*bat.BAT{l, r}, 3*(batBytes(l)+batBytes(r)), func(e *core.Engine) ([]*bat.BAT, error) {
 		a, b, err := e.Join(l, r)
 		return []*bat.BAT{a, b}, err
 	})
@@ -316,8 +339,8 @@ func (h *Engine) Join(l, r *bat.BAT) (*bat.BAT, *bat.BAT, error) {
 }
 
 // ThetaJoin routes the nested-loop join.
-func (h *Engine) ThetaJoin(l, r *bat.BAT, cmp ops.Cmp) (*bat.BAT, *bat.BAT, error) {
-	outs, err := h.run("thetajoin", []*bat.BAT{l, r}, batBytes(l)*int64(r.Len()+1), func(e *core.Engine) ([]*bat.BAT, error) {
+func (v view) ThetaJoin(l, r *bat.BAT, cmp ops.Cmp) (*bat.BAT, *bat.BAT, error) {
+	outs, err := v.h.run(v.pin, "thetajoin", []*bat.BAT{l, r}, batBytes(l)*int64(r.Len()+1), func(e *core.Engine) ([]*bat.BAT, error) {
 		a, b, err := e.ThetaJoin(l, r, cmp)
 		return []*bat.BAT{a, b}, err
 	})
@@ -328,8 +351,8 @@ func (h *Engine) ThetaJoin(l, r *bat.BAT, cmp ops.Cmp) (*bat.BAT, *bat.BAT, erro
 }
 
 // SemiJoin routes the existence join.
-func (h *Engine) SemiJoin(l, r *bat.BAT) (*bat.BAT, error) {
-	outs, err := h.run("semijoin", []*bat.BAT{l, r}, 2*(batBytes(l)+batBytes(r)), func(e *core.Engine) ([]*bat.BAT, error) {
+func (v view) SemiJoin(l, r *bat.BAT) (*bat.BAT, error) {
+	outs, err := v.h.run(v.pin, "semijoin", []*bat.BAT{l, r}, 2*(batBytes(l)+batBytes(r)), func(e *core.Engine) ([]*bat.BAT, error) {
 		a, err := e.SemiJoin(l, r)
 		return []*bat.BAT{a}, err
 	})
@@ -340,8 +363,8 @@ func (h *Engine) SemiJoin(l, r *bat.BAT) (*bat.BAT, error) {
 }
 
 // AntiJoin routes the negated existence join.
-func (h *Engine) AntiJoin(l, r *bat.BAT) (*bat.BAT, error) {
-	outs, err := h.run("antijoin", []*bat.BAT{l, r}, 2*(batBytes(l)+batBytes(r)), func(e *core.Engine) ([]*bat.BAT, error) {
+func (v view) AntiJoin(l, r *bat.BAT) (*bat.BAT, error) {
+	outs, err := v.h.run(v.pin, "antijoin", []*bat.BAT{l, r}, 2*(batBytes(l)+batBytes(r)), func(e *core.Engine) ([]*bat.BAT, error) {
 		a, err := e.AntiJoin(l, r)
 		return []*bat.BAT{a}, err
 	})
@@ -351,10 +374,11 @@ func (h *Engine) AntiJoin(l, r *bat.BAT) (*bat.BAT, error) {
 	return outs[0], nil
 }
 
-// BuildHash builds the table on the cheaper device; the handle pins later
+// BuildHash builds the table on the chosen device; the handle pins later
 // probes to that device.
-func (h *Engine) BuildHash(col *bat.BAT) (ops.HashTable, error) {
-	target := h.pick([]*bat.BAT{col}, 4*batBytes(col))
+func (v view) BuildHash(col *bat.BAT) (ops.HashTable, error) {
+	h := v.h
+	target := h.pick(v.pin, []*bat.BAT{col}, 4*batBytes(col))
 	if err := h.migrate(target, col); err != nil {
 		return nil, err
 	}
@@ -380,7 +404,8 @@ type placedTable struct {
 }
 
 // HashProbe runs on the device owning the table.
-func (h *Engine) HashProbe(probe *bat.BAT, ht ops.HashTable) (*bat.BAT, *bat.BAT, error) {
+func (v view) HashProbe(probe *bat.BAT, ht ops.HashTable) (*bat.BAT, *bat.BAT, error) {
+	h := v.h
 	pt, ok := ht.(*placedTable)
 	if !ok {
 		return nil, nil, fmt.Errorf("hybrid: foreign hash table %T", ht)
@@ -398,10 +423,10 @@ func (h *Engine) HashProbe(probe *bat.BAT, ht ops.HashTable) (*bat.BAT, *bat.BAT
 }
 
 // Group routes the grouping.
-func (h *Engine) Group(col, grp *bat.BAT, ngrp int) (*bat.BAT, int, error) {
+func (v view) Group(col, grp *bat.BAT, ngrp int) (*bat.BAT, int, error) {
 	var out *bat.BAT
 	var n int
-	_, err := h.run("group", []*bat.BAT{col, grp}, 6*batBytes(col), func(e *core.Engine) ([]*bat.BAT, error) {
+	_, err := v.h.run(v.pin, "group", []*bat.BAT{col, grp}, 6*batBytes(col), func(e *core.Engine) ([]*bat.BAT, error) {
 		g, ng, err := e.Group(col, grp, ngrp)
 		out, n = g, ng
 		return []*bat.BAT{g}, err
@@ -413,8 +438,8 @@ func (h *Engine) Group(col, grp *bat.BAT, ngrp int) (*bat.BAT, int, error) {
 }
 
 // Aggr routes the aggregation.
-func (h *Engine) Aggr(kind ops.Agg, vals, groups *bat.BAT, ngroups int) (*bat.BAT, error) {
-	outs, err := h.run(kind.String(), []*bat.BAT{vals, groups}, batBytes(vals)+batBytes(groups), func(e *core.Engine) ([]*bat.BAT, error) {
+func (v view) Aggr(kind ops.Agg, vals, groups *bat.BAT, ngroups int) (*bat.BAT, error) {
+	outs, err := v.h.run(v.pin, kind.String(), []*bat.BAT{vals, groups}, batBytes(vals)+batBytes(groups), func(e *core.Engine) ([]*bat.BAT, error) {
 		r, err := e.Aggr(kind, vals, groups, ngroups)
 		return []*bat.BAT{r}, err
 	})
@@ -425,8 +450,8 @@ func (h *Engine) Aggr(kind ops.Agg, vals, groups *bat.BAT, ngroups int) (*bat.BA
 }
 
 // Sort routes the radix sort (multi-pass: heavy traffic).
-func (h *Engine) Sort(col *bat.BAT) (*bat.BAT, *bat.BAT, error) {
-	outs, err := h.run("sort", []*bat.BAT{col}, 10*batBytes(col), func(e *core.Engine) ([]*bat.BAT, error) {
+func (v view) Sort(col *bat.BAT) (*bat.BAT, *bat.BAT, error) {
+	outs, err := v.h.run(v.pin, "sort", []*bat.BAT{col}, 10*batBytes(col), func(e *core.Engine) ([]*bat.BAT, error) {
 		s, o, err := e.Sort(col)
 		return []*bat.BAT{s, o}, err
 	})
@@ -437,8 +462,8 @@ func (h *Engine) Sort(col *bat.BAT) (*bat.BAT, *bat.BAT, error) {
 }
 
 // Binop routes the arithmetic map.
-func (h *Engine) Binop(op ops.Bin, a, b *bat.BAT) (*bat.BAT, error) {
-	outs, err := h.run("binop", []*bat.BAT{a, b}, batBytes(a)*3, func(e *core.Engine) ([]*bat.BAT, error) {
+func (v view) Binop(op ops.Bin, a, b *bat.BAT) (*bat.BAT, error) {
+	outs, err := v.h.run(v.pin, "binop", []*bat.BAT{a, b}, batBytes(a)*3, func(e *core.Engine) ([]*bat.BAT, error) {
 		r, err := e.Binop(op, a, b)
 		return []*bat.BAT{r}, err
 	})
@@ -449,8 +474,8 @@ func (h *Engine) Binop(op ops.Bin, a, b *bat.BAT) (*bat.BAT, error) {
 }
 
 // BinopConst routes the constant arithmetic map.
-func (h *Engine) BinopConst(op ops.Bin, a *bat.BAT, c float64, constFirst bool) (*bat.BAT, error) {
-	outs, err := h.run("binopconst", []*bat.BAT{a}, batBytes(a)*2, func(e *core.Engine) ([]*bat.BAT, error) {
+func (v view) BinopConst(op ops.Bin, a *bat.BAT, c float64, constFirst bool) (*bat.BAT, error) {
+	outs, err := v.h.run(v.pin, "binopconst", []*bat.BAT{a}, batBytes(a)*2, func(e *core.Engine) ([]*bat.BAT, error) {
 		r, err := e.BinopConst(op, a, c, constFirst)
 		return []*bat.BAT{r}, err
 	})
@@ -461,8 +486,8 @@ func (h *Engine) BinopConst(op ops.Bin, a *bat.BAT, c float64, constFirst bool) 
 }
 
 // OIDUnion routes the disjunction combine.
-func (h *Engine) OIDUnion(a, b *bat.BAT) (*bat.BAT, error) {
-	outs, err := h.run("union", []*bat.BAT{a, b}, batBytes(a)+batBytes(b), func(e *core.Engine) ([]*bat.BAT, error) {
+func (v view) OIDUnion(a, b *bat.BAT) (*bat.BAT, error) {
+	outs, err := v.h.run(v.pin, "union", []*bat.BAT{a, b}, batBytes(a)+batBytes(b), func(e *core.Engine) ([]*bat.BAT, error) {
 		r, err := e.OIDUnion(a, b)
 		return []*bat.BAT{r}, err
 	})
@@ -473,7 +498,8 @@ func (h *Engine) OIDUnion(a, b *bat.BAT) (*bat.BAT, error) {
 }
 
 // Sync hands a BAT back to the host via its owning device.
-func (h *Engine) Sync(b *bat.BAT) error {
+func (v view) Sync(b *bat.BAT) error {
+	h := v.h
 	if b == nil || !b.OcelotOwned {
 		return nil
 	}
@@ -488,7 +514,8 @@ func (h *Engine) Sync(b *bat.BAT) error {
 }
 
 // Release drops device state on the owning device.
-func (h *Engine) Release(b *bat.BAT) {
+func (v view) Release(b *bat.BAT) {
+	h := v.h
 	if b == nil {
 		return
 	}
@@ -505,9 +532,9 @@ func (h *Engine) Release(b *bat.BAT) {
 }
 
 // Finish drains both devices.
-func (h *Engine) Finish() error {
-	if err := h.cpu.Finish(); err != nil {
+func (v view) Finish() error {
+	if err := v.h.cpu.Finish(); err != nil {
 		return err
 	}
-	return h.gpu.Finish()
+	return v.h.gpu.Finish()
 }

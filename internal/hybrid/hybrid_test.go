@@ -328,3 +328,48 @@ func TestAllOperatorsThroughHybrid(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestOnPinsExactlyOneCall: the view On returns must route its calls to the
+// pinned device, and the pin must not outlive the view. This replaces the
+// old engine-global ForceNext, whose pending pin outranked even
+// input-ownership forcing on the *next* routed call — so the leak probe
+// here is an operator whose input the CPU engine owns: ownership must force
+// it to the CPU, which any surviving pin would override.
+func TestOnPinsExactlyOneCall(t *testing.T) {
+	h := newEngine(t)
+	tiny := i32Col("t1", randI32(512, 100, 7))
+	other := i32Col("t2", randI32(512, 100, 8))
+
+	// Pinned view: the pin wins regardless of the cost model.
+	if _, err := h.On("GPU").Select(tiny, nil, 0, 49, true, true); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Placements()["select"]; got["GPU"] != 1 || got["CPU"] != 0 {
+		t.Fatalf("pinned select did not run on the GPU: %v", got)
+	}
+
+	// Leak probe: a CPU-owned intermediate forces the unpinned call to the
+	// CPU — unless a pin survived the view, since pins outrank ownership.
+	cpuEng, _ := h.Engines()
+	sel, err := cpuEng.Select(other, nil, 0, 49, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.mu.Lock()
+	h.owner[sel] = cpuEng
+	h.mu.Unlock()
+	if _, err := h.Project(sel, other); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Placements()["leftfetchjoin"]; got["CPU"] != 1 || got["GPU"] != 0 {
+		t.Fatalf("pin leaked past the view (ownership forcing overridden): %v", got)
+	}
+
+	// Unknown class labels mean "no pin": ownership forcing applies again.
+	if _, err := h.On("TPU").Project(sel, other); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Placements()["leftfetchjoin"]; got["CPU"] != 2 || got["GPU"] != 0 {
+		t.Fatalf("unknown label did not degrade to unpinned routing: %v", got)
+	}
+}

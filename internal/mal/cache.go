@@ -1,0 +1,337 @@
+// The rewritten-plan cache. A Session that built and executed a plan leaves
+// behind a Template: the rewritten IR fragments exactly as the executor ran
+// them (module-bound, CSE/DCE-reduced, sync/release-instrumented, placement-
+// pinned), the result shape, and the parameter slots the plan declared.
+// PlanCache stores templates keyed by query name, configuration and pass
+// set; a hit re-executes the stored fragments directly — no plan function,
+// no IR build, no rewriter pass runs — with parameter slots re-bound from
+// the per-execution Params. This is the MonetDB-recycler-style reuse of
+// rewritten plans (cf. Ivanova et al., "An architecture for recycling
+// intermediates in a column-store"; Heimel et al. §3.1's rewriter layer).
+//
+// Correctness contract: a plan function must be deterministic given its
+// Session parameters and the base data. Host-side values read mid-plan
+// (ScalarF/ScalarI) are captured into the template as constants, so a cache
+// must be scoped to one database — the serve layer keeps one cache per
+// engine, which also scopes it to one configuration.
+package mal
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/bat"
+	"repro/internal/ops"
+)
+
+// intParamSlot is a slot-backed integer parameter (a group-count literal).
+type intParamSlot struct {
+	Slot int
+	Name string
+	Def  int
+}
+
+// Template is the sealed, reusable half of a finished session: the plan as
+// the executor ran it, free of any per-execution state. It is immutable
+// after sealing and safe to execute from many goroutines concurrently.
+type Template struct {
+	module string
+	passes Passes
+
+	// frags are the rewritten fragments in execution order — one per flush
+	// boundary (mid-plan Sync/Scalar extractions plus the final Result).
+	frags [][]*PInstr
+
+	// names/cols describe the result set the plan returned (cols are plan
+	// values: placeholders or base BATs).
+	names []string
+	cols  []*bat.BAT
+
+	// isPH marks placeholder BATs; alias maps CSE-eliminated placeholders
+	// to their canonical twin; slotAlias mirrors aliasing for group-count
+	// slots. nSlots sizes a fresh execution's slot table.
+	isPH      map[*bat.BAT]bool
+	alias     map[*bat.BAT]*bat.BAT
+	slotAlias map[int]int
+	nSlots    int
+
+	// floatDefs are the capture-time values of float parameters; intSlots
+	// the slot-backed integer parameters.
+	floatDefs map[string]float64
+	intSlots  []intParamSlot
+
+	// refsByName indexes float-parameter instruction bindings so replay
+	// rebinding is O(bound params), not O(plan size); built at seal time.
+	refsByName map[string][]boundRef
+
+	sealed bool
+}
+
+// boundRef is one instruction scalar field a named parameter re-binds.
+type boundRef struct {
+	in    *PInstr
+	field ScalarField
+}
+
+func newTemplate(module string, passes Passes) *Template {
+	return &Template{
+		module:    module,
+		passes:    passes,
+		isPH:      map[*bat.BAT]bool{},
+		alias:     map[*bat.BAT]*bat.BAT{},
+		slotAlias: map[int]int{},
+		floatDefs: map[string]float64{},
+	}
+}
+
+// Template seals and returns the session's plan template. Call it only
+// after the plan ran to completion (RunQuery returned without error); the
+// sealed template must not be executed through a session that is still
+// building.
+func (s *Session) Template() *Template {
+	t := s.tpl
+	if t.sealed {
+		return t
+	}
+	t.nSlots = len(s.slots)
+	t.refsByName = map[string][]boundRef{}
+	for _, frag := range t.frags {
+		for _, in := range frag {
+			for _, ref := range in.Params {
+				t.refsByName[ref.Name] = append(t.refsByName[ref.Name], boundRef{in: in, field: ref.Field})
+			}
+		}
+	}
+	t.sealed = true
+	return t
+}
+
+// checkParams rejects parameter names the plan never declared: a typo'd
+// binding would otherwise silently execute with capture-time constants.
+func (t *Template) checkParams(params Params) error {
+	for name := range params {
+		if _, ok := t.floatDefs[name]; ok {
+			continue
+		}
+		known := false
+		for _, ip := range t.intSlots {
+			if ip.Name == name {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return fmt.Errorf("mal: plan declares no parameter %q", name)
+		}
+	}
+	return nil
+}
+
+// Fragments returns the number of flush fragments the template holds.
+func (t *Template) Fragments() int { return len(t.frags) }
+
+// Instructions returns the total rewritten instruction count (tests/tools).
+func (t *Template) Instructions() int {
+	n := 0
+	for _, f := range t.frags {
+		n += len(f)
+	}
+	return n
+}
+
+// scalarPatch overrides an instruction's scalar fields with re-bound
+// parameter values for one execution.
+type scalarPatch struct {
+	lo, hi, c          float64
+	hasLo, hasHi, hasC bool
+}
+
+// newExec creates the per-execution session that replays the template on o.
+func (t *Template) newExec(o ops.Operators, params Params) (*Session, error) {
+	if !t.sealed {
+		return nil, fmt.Errorf("mal: executing an unsealed template")
+	}
+	if o.Module() != t.module {
+		return nil, fmt.Errorf("mal: template bound to module %q, engine provides %q", t.module, o.Module())
+	}
+	if err := t.checkParams(params); err != nil {
+		return nil, err
+	}
+	s := &Session{
+		o:        o,
+		module:   t.module,
+		passes:   t.passes,
+		tpl:      t,
+		replay:   true,
+		env:      map[*bat.BAT]*bat.BAT{},
+		released: map[*bat.BAT]bool{},
+		slots:    make([]int, t.nSlots),
+	}
+	for i := range s.slots {
+		s.slots[i] = -1
+	}
+	for _, ip := range t.intSlots {
+		v := ip.Def
+		if pv, ok := params[ip.Name]; ok {
+			v = int(pv)
+		}
+		s.slots[ip.Slot] = v
+	}
+	for name, pv := range params {
+		for _, ref := range t.refsByName[name] {
+			if s.over == nil {
+				s.over = map[*PInstr]scalarPatch{}
+			}
+			p := s.over[ref.in]
+			switch ref.field {
+			case FieldLo:
+				p.lo, p.hasLo = pv, true
+			case FieldHi:
+				p.hi, p.hasHi = pv, true
+			case FieldC:
+				p.c, p.hasC = pv, true
+			}
+			s.over[ref.in] = p
+		}
+	}
+	return s, nil
+}
+
+// Run executes the template on o with the given parameter bindings,
+// skipping plan build and every rewriter pass: the stored fragments are
+// interpreted directly. It is safe to call concurrently — each call gets
+// its own execution state; the shared IR is read-only.
+func (t *Template) Run(o ops.Operators, params Params) (res *Result, err error) {
+	s, err := t.newExec(o, params)
+	if err != nil {
+		return nil, err
+	}
+	return s.runTemplate()
+}
+
+// RunOn is Run returning the execution session too (tests and EXPLAIN of a
+// replayed plan).
+func (t *Template) RunOn(o ops.Operators, params Params) (*Result, *Session, error) {
+	s, err := t.newExec(o, params)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := s.runTemplate()
+	return res, s, err
+}
+
+// runTemplate interprets the sealed fragments and rebuilds the result set,
+// recovering plan aborts into errors exactly like RunQuery.
+func (s *Session) runTemplate() (res *Result, err error) {
+	t := s.tpl
+	defer s.Close()
+	defer func() {
+		if v := recover(); v != nil {
+			if a, ok := v.(abort); ok {
+				err = a.err
+				return
+			}
+			panic(v)
+		}
+	}()
+	for _, frag := range t.frags {
+		s.execute(frag)
+	}
+	if err := Finish(s.o); err != nil {
+		s.fail("finish", err)
+	}
+	if !s.firstExec.IsZero() {
+		s.lastExec = time.Now()
+	}
+	cols := make([]*bat.BAT, len(t.cols))
+	for i, c := range t.cols {
+		cols[i] = s.resultCol(c)
+	}
+	return &Result{Names: append([]string(nil), t.names...), Cols: cols}, nil
+}
+
+// resultCol maps a template result value to this execution's concrete BAT.
+func (s *Session) resultCol(c *bat.BAT) *bat.BAT {
+	conc := s.resolve(c)
+	s.checkResultCol(conc)
+	return conc
+}
+
+// PlanCache stores sealed templates keyed by query name, configuration and
+// pass set. One cache must serve exactly one database and one engine (or
+// engines of the same configuration over the same data): templates capture
+// base-BAT identities and mid-plan host constants.
+type PlanCache struct {
+	mu     sync.Mutex
+	m      map[string]*Template
+	hits   int64
+	misses int64
+}
+
+// NewPlanCache creates an empty cache.
+func NewPlanCache() *PlanCache { return &PlanCache{m: map[string]*Template{}} }
+
+func cacheKey(name string, o ops.Operators, passes Passes) string {
+	return name + "|" + o.Name() + "|" + o.Module() + "|" + passes.key()
+}
+
+// Lookup returns the cached template for (name, configuration, passes).
+func (c *PlanCache) Lookup(name string, o ops.Operators, passes Passes) *Template {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[cacheKey(name, o, passes)]
+}
+
+// Put stores a sealed template under (name, configuration, passes).
+func (c *PlanCache) Put(name string, o ops.Operators, passes Passes, t *Template) {
+	c.mu.Lock()
+	c.m[cacheKey(name, o, passes)] = t
+	c.mu.Unlock()
+}
+
+// Stats returns cache hits, misses and resident templates.
+func (c *PlanCache) Stats() (hits, misses int64, size int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, len(c.m)
+}
+
+// Run executes the named query on o: on a hit the cached template is
+// replayed with params re-bound; on a miss the plan function builds,
+// rewrites and executes the plan, and the resulting template is cached for
+// the next call. hit reports which path ran. Parameter names the plan never
+// declared are rejected (on both paths) instead of silently executing with
+// capture-time constants. Concurrent misses for the same key each build
+// independently; the last completed build wins the slot.
+func (c *PlanCache) Run(o ops.Operators, name string, params Params, passes Passes, plan func(*Session) *Result) (res *Result, hit bool, err error) {
+	c.mu.Lock()
+	t := c.m[cacheKey(name, o, passes)]
+	if t != nil {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	c.mu.Unlock()
+
+	if t != nil {
+		res, err = t.Run(o, params)
+		return res, true, err
+	}
+
+	s := NewSession(o)
+	s.SetPasses(passes)
+	s.SetParams(params)
+	res, err = RunQuery(s, plan)
+	if err == nil && res != nil {
+		tpl := s.Template()
+		c.Put(name, o, passes, tpl)
+		// The built template is valid and cached either way, but a binding
+		// the plan never declared is the caller's bug — surface it now, the
+		// same way a replay would.
+		if perr := tpl.checkParams(params); perr != nil {
+			return nil, false, perr
+		}
+	}
+	return res, false, err
+}

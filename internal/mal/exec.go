@@ -5,6 +5,17 @@
 // holds (bat.AdoptFrom); release instructions free device state mid-plan.
 // The EXPLAIN trace is produced here, from the IR, rather than by ad-hoc
 // recording in the fluent API.
+//
+// Placement pins are enforced per instruction: under the hybrid
+// configuration a pinned instruction dispatches through the engine view
+// hybrid.Engine.On returns, so a pin lives exactly as long as one operator
+// call — no engine-global state, nothing to leak across plans or interleave
+// across concurrent sessions.
+//
+// When the session replays a cached template (cache.go) the IR is shared
+// with other executions and treated as read-only: per-instruction timings
+// are not stamped onto it, placeholders are not adopted at sync points, and
+// re-bound parameter scalars come from the execution's patch table.
 package mal
 
 import (
@@ -13,6 +24,7 @@ import (
 
 	"repro/internal/bat"
 	"repro/internal/hybrid"
+	"repro/internal/ops"
 )
 
 // resolve maps a plan value to the concrete BAT the executor should hand
@@ -26,7 +38,7 @@ func (s *Session) resolve(b *bat.BAT) *bat.BAT {
 	if c, ok := s.env[b]; ok {
 		return c
 	}
-	if s.isPH[b] {
+	if s.tpl.isPH[b] {
 		s.fail("exec", fmt.Errorf("plan value %q used before it was produced", b.Name))
 	}
 	return b
@@ -45,17 +57,41 @@ func (s *Session) bind(in *PInstr, concrete ...*bat.BAT) {
 }
 
 // ngrpOf resolves an instruction's group count: a literal, or the value the
-// producing Group instruction stored in its slot.
+// producing Group instruction (or a bound integer parameter) stored in its
+// slot.
 func (s *Session) ngrpOf(in *PInstr) int {
 	if in.NgrpRef < 0 {
 		return in.NgrpLit
 	}
 	slot := s.canonSlot(in.NgrpRef)
+	if slot < 0 || slot >= len(s.slots) {
+		s.fail("exec", fmt.Errorf("group count refers to unknown slot %d (invalid group-count handle?)", slot))
+	}
 	n := s.slots[slot]
 	if n < 0 {
 		s.fail("exec", fmt.Errorf("group count of slot %d used before it was produced", slot))
 	}
 	return n
+}
+
+// scalars returns the instruction's scalar operands with any re-bound
+// parameter values of this execution applied.
+func (s *Session) scalars(in *PInstr) (lo, hi, c float64) {
+	lo, hi, c = in.Lo, in.Hi, in.C
+	if s.over != nil {
+		if p, ok := s.over[in]; ok {
+			if p.hasLo {
+				lo = p.lo
+			}
+			if p.hasHi {
+				hi = p.hi
+			}
+			if p.hasC {
+				c = p.c
+			}
+		}
+	}
+	return lo, hi, c
 }
 
 // execute interprets a rewritten fragment in order, recording per-
@@ -69,114 +105,127 @@ func (s *Session) execute(batch []*PInstr) {
 	}
 	hyb, isHyb := s.o.(*hybrid.Engine)
 	for _, in := range batch {
+		o := s.o
 		if isHyb && in.Device != "" && in.computes() {
-			hyb.ForceNext(in.Device)
+			// Per-call pin: the view routes exactly this dispatch.
+			o = hyb.On(in.Device)
 		}
 		start := time.Now()
-		s.step(in)
-		in.Took = time.Since(start)
+		s.step(in, o)
+		took := time.Since(start)
+		s.opTime += took
+		if !s.replay {
+			in.Took = took
+		}
 		s.done = append(s.done, in)
 		if s.traceOn {
-			s.record(in)
+			s.record(in, took)
 		}
 	}
 	s.lastExec = time.Now()
 }
 
-// step dispatches one instruction to the bound operator implementation.
-func (s *Session) step(in *PInstr) {
+// step dispatches one instruction to the given operator implementation
+// (the session's engine, or a device-pinned view of it).
+func (s *Session) step(in *PInstr, o ops.Operators) {
 	arg := func(i int) *bat.BAT { return s.resolve(in.Args[i]) }
 	switch in.Kind {
 	case OpSelect:
-		res, err := s.o.Select(arg(0), arg(1), in.Lo, in.Hi, in.LoIncl, in.HiIncl)
+		lo, hi, _ := s.scalars(in)
+		res, err := o.Select(arg(0), arg(1), lo, hi, in.LoIncl, in.HiIncl)
 		if err != nil {
 			s.fail("select", err)
 		}
 		s.bind(in, res)
 	case OpSelectCmp:
-		res, err := s.o.SelectCmp(arg(0), arg(1), in.Cmp, arg(2))
+		res, err := o.SelectCmp(arg(0), arg(1), in.Cmp, arg(2))
 		if err != nil {
 			s.fail("selectcmp", err)
 		}
 		s.bind(in, res)
 	case OpProject:
-		res, err := s.o.Project(arg(0), arg(1))
+		res, err := o.Project(arg(0), arg(1))
 		if err != nil {
 			s.fail("leftfetchjoin", err)
 		}
 		s.bind(in, res)
 	case OpJoin:
-		l, r, err := s.o.Join(arg(0), arg(1))
+		l, r, err := o.Join(arg(0), arg(1))
 		if err != nil {
 			s.fail("join", err)
 		}
 		s.bind(in, l, r)
 	case OpThetaJoin:
-		l, r, err := s.o.ThetaJoin(arg(0), arg(1), in.Cmp)
+		l, r, err := o.ThetaJoin(arg(0), arg(1), in.Cmp)
 		if err != nil {
 			s.fail("thetajoin", err)
 		}
 		s.bind(in, l, r)
 	case OpSemiJoin:
-		res, err := s.o.SemiJoin(arg(0), arg(1))
+		res, err := o.SemiJoin(arg(0), arg(1))
 		if err != nil {
 			s.fail("semijoin", err)
 		}
 		s.bind(in, res)
 	case OpAntiJoin:
-		res, err := s.o.AntiJoin(arg(0), arg(1))
+		res, err := o.AntiJoin(arg(0), arg(1))
 		if err != nil {
 			s.fail("antijoin", err)
 		}
 		s.bind(in, res)
 	case OpGroup:
-		res, n, err := s.o.Group(arg(0), arg(1), s.ngrpOf(in))
+		res, n, err := o.Group(arg(0), arg(1), s.ngrpOf(in))
 		if err != nil {
 			s.fail("group", err)
 		}
 		s.slots[in.NSlot] = n
 		s.bind(in, res)
 	case OpAggr:
-		res, err := s.o.Aggr(in.Agg, arg(0), arg(1), s.ngrpOf(in))
+		res, err := o.Aggr(in.Agg, arg(0), arg(1), s.ngrpOf(in))
 		if err != nil {
 			s.fail(in.Agg.String(), err)
 		}
 		s.bind(in, res)
 	case OpSort:
-		sorted, order, err := s.o.Sort(arg(0))
+		sorted, order, err := o.Sort(arg(0))
 		if err != nil {
 			s.fail("sort", err)
 		}
 		s.bind(in, sorted, order)
 	case OpBinop:
-		res, err := s.o.Binop(in.Bin, arg(0), arg(1))
+		res, err := o.Binop(in.Bin, arg(0), arg(1))
 		if err != nil {
 			s.fail("binop", err)
 		}
 		s.bind(in, res)
 	case OpBinopConst:
-		res, err := s.o.BinopConst(in.Bin, arg(0), in.C, in.ConstFirst)
+		_, _, c := s.scalars(in)
+		res, err := o.BinopConst(in.Bin, arg(0), c, in.ConstFirst)
 		if err != nil {
 			s.fail("binopconst", err)
 		}
 		s.bind(in, res)
 	case OpUnion:
-		res, err := s.o.OIDUnion(arg(0), arg(1))
+		res, err := o.OIDUnion(arg(0), arg(1))
 		if err != nil {
 			s.fail("union", err)
 		}
 		s.bind(in, res)
 	case OpSync:
 		conc := arg(0)
-		if err := s.o.Sync(conc); err != nil {
+		if err := o.Sync(conc); err != nil {
 			s.fail("sync", err)
 		}
-		// Fill the plan-side placeholder so host code reading it sees the
-		// synced data (§3.4's ownership hand-over).
-		in.Args[0].AdoptFrom(conc)
+		if !s.replay {
+			// Fill the plan-side placeholder so host code reading it sees
+			// the synced data (§3.4's ownership hand-over). On replay the IR
+			// is shared and no plan code runs, so the placeholder stays
+			// untouched; results resolve through the environment instead.
+			in.Args[0].AdoptFrom(conc)
+		}
 	case OpRelease:
 		conc := arg(0)
-		s.o.Release(conc)
+		o.Release(conc)
 		s.released[conc] = true
 	default:
 		s.fail("exec", fmt.Errorf("unknown plan instruction kind %d", int(in.Kind)))
@@ -193,13 +242,14 @@ func describe(b *bat.BAT) string {
 
 // record appends the executed instruction to the EXPLAIN trace, with
 // operands resolved to their concrete form.
-func (s *Session) record(in *PInstr) {
-	instr := Instr{Module: in.Module, Op: in.OpName(), Device: in.Device, Took: in.Took}
+func (s *Session) record(in *PInstr, took time.Duration) {
+	instr := Instr{Module: in.Module, Op: in.OpName(), Device: in.Device, Took: took}
 	dArg := func(i int) string { return describe(s.resolve(in.Args[i])) }
 	dRet := func(i int) string { return describe(s.resolve(in.Rets[i])) }
 	switch in.Kind {
 	case OpSelect:
-		instr.Args = []string{dArg(0), dArg(1), fmt.Sprintf("%v..%v", in.Lo, in.Hi)}
+		lo, hi, _ := s.scalars(in)
+		instr.Args = []string{dArg(0), dArg(1), fmt.Sprintf("%v..%v", lo, hi)}
 		instr.Ret = dRet(0)
 	case OpSelectCmp:
 		instr.Args = []string{dArg(0), in.Cmp.String(), dArg(1)}
@@ -211,7 +261,8 @@ func (s *Session) record(in *PInstr) {
 		instr.Args = []string{dArg(0), dArg(1)}
 		instr.Ret = fmt.Sprintf("%s (%d groups)", dRet(0), s.slots[in.NSlot])
 	case OpBinopConst:
-		instr.Args = []string{dArg(0), fmt.Sprint(in.C)}
+		_, _, c := s.scalars(in)
+		instr.Args = []string{dArg(0), fmt.Sprint(c)}
 		instr.Ret = dRet(0)
 	case OpSync, OpRelease:
 		instr.Args = []string{dArg(0)}

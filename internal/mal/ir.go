@@ -80,10 +80,35 @@ type PInstr struct {
 	// (-1 for every other kind).
 	NSlot int
 
+	// Params records which scalar fields were bound through Session.Param,
+	// so a cached template can re-bind them per execution (cache.go).
+	Params []ParamRef
+
 	// Took is the host-observed latency of interpreting this instruction:
 	// enqueue time under lazy engines, execution time under eager ones (see
-	// Session.TimingLabel for the honest column header).
+	// Session.TimingLabel for the honest column header). It is stamped only
+	// while the IR is session-private (building executions); replays of a
+	// shared cached template keep timings in per-execution state instead.
 	Took time.Duration
+}
+
+// ScalarField names a scalar operand of an instruction that a parameter can
+// re-bind.
+type ScalarField int
+
+const (
+	// FieldLo is Select's lower bound.
+	FieldLo ScalarField = iota
+	// FieldHi is Select's upper bound.
+	FieldHi
+	// FieldC is BinopConst's constant.
+	FieldC
+)
+
+// ParamRef binds one scalar field of an instruction to a named parameter.
+type ParamRef struct {
+	Field ScalarField
+	Name  string
 }
 
 // OpName returns the MAL operator label used in traces and EXPLAIN output.

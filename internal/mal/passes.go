@@ -6,6 +6,9 @@
 // (§3.1): the plan is built engine-neutrally and *rewritten* to route
 // through one module, with synchronisation instructions inserted at plan
 // boundaries (§3.4) and device state released as early as liveness allows.
+// Every rewritten fragment is also recorded on the session's Template, so a
+// completed plan can be re-executed from the cache without re-running any
+// pass (cache.go).
 package mal
 
 import (
@@ -45,6 +48,7 @@ func (s *Session) flush(final bool) {
 	if final && s.passes.EarlyRelease {
 		batch = s.releaseInsertPass(batch, outputs)
 	}
+	s.tpl.frags = append(s.tpl.frags, batch)
 	s.execute(batch)
 }
 
@@ -60,7 +64,7 @@ func (s *Session) bindPass(batch []*PInstr) {
 // canon resolves CSE aliasing to the canonical placeholder (one level: the
 // alias target is always a surviving instruction's own result).
 func (s *Session) canon(b *bat.BAT) *bat.BAT {
-	if a, ok := s.alias[b]; ok {
+	if a, ok := s.tpl.alias[b]; ok {
 		return a
 	}
 	return b
@@ -68,15 +72,18 @@ func (s *Session) canon(b *bat.BAT) *bat.BAT {
 
 // canonSlot resolves group-count slot aliasing.
 func (s *Session) canonSlot(slot int) int {
-	if a, ok := s.slotAlias[slot]; ok {
+	if a, ok := s.tpl.slotAlias[slot]; ok {
 		return a
 	}
 	return slot
 }
 
 // cseKey builds the expression signature of a pure instruction: kind, the
-// canonical identity of every operand, the scalar parameters, and the
-// (canonicalised) group-count source.
+// canonical identity of every operand, the scalar parameters, the
+// (canonicalised) group-count source, and the identity of any bound
+// parameters — two instructions whose scalars happen to coincide today but
+// are re-bound through different parameter names must not merge, or
+// re-binding one would silently change the other.
 func (s *Session) cseKey(in *PInstr) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%d", int(in.Kind))
@@ -95,6 +102,9 @@ func (s *Session) cseKey(in *PInstr) string {
 			fmt.Fprintf(&sb, "|l%d", in.NgrpLit)
 		}
 	}
+	for _, ref := range in.Params {
+		fmt.Fprintf(&sb, "|P%d=%s", int(ref.Field), ref.Name)
+	}
 	return sb.String()
 }
 
@@ -111,10 +121,10 @@ func (s *Session) csePass(batch []*PInstr) []*PInstr {
 		key := s.cseKey(in)
 		if prev, ok := s.cseTab[key]; ok {
 			for i, r := range in.Rets {
-				s.alias[r] = prev.Rets[i]
+				s.tpl.alias[r] = prev.Rets[i]
 			}
 			if in.NSlot >= 0 && prev.NSlot >= 0 {
-				s.slotAlias[in.NSlot] = s.canonSlot(prev.NSlot)
+				s.tpl.slotAlias[in.NSlot] = s.canonSlot(prev.NSlot)
 			}
 			continue
 		}
@@ -153,6 +163,7 @@ func (s *Session) dcePass(batch []*PInstr, outputs []*bat.BAT) []*PInstr {
 		}
 		// A symbolic group count keeps its producing Group instruction
 		// alive even if the id column itself were reachable another way.
+		// Parameter slots have no producer.
 		if in.NgrpRef >= 0 {
 			if prod := s.slotProducer[s.canonSlot(in.NgrpRef)]; prod != nil {
 				for _, r := range prod.Rets {
@@ -183,18 +194,44 @@ func (s *Session) syncInsertPass(outputs []*bat.BAT) []*PInstr {
 	return syncs
 }
 
-// releaseInsertPass inserts Release instructions after each batch-produced
+// newRelease mints a Release instruction for a plan value.
+func (s *Session) newRelease(b *bat.BAT) *PInstr {
+	rel := &PInstr{ID: s.nextID, Kind: OpRelease, Module: s.module, Args: []*bat.BAT{b}}
+	s.nextID++
+	return rel
+}
+
+// releaseInsertPass inserts Release instructions after each plan-produced
 // intermediate's last use, so device memory is freed mid-plan instead of at
-// Session.Close. Outputs are exempt (they just crossed the plan boundary);
-// results a surviving instruction produced but nothing consumes (a Sort's
-// unused order column, a Join's unused right side) are released immediately
-// after their producer.
+// Session.Close. It runs at the final flush, where liveness covers the
+// whole plan, and tracks intermediates across *all* fragments: values
+// produced before an intermediate flush boundary (a mid-plan Sync or scalar
+// extraction) that the final fragment never reads are released before the
+// fragment runs, instead of holding device memory until Close. Final
+// outputs are exempt (they just crossed the plan boundary); results a
+// surviving instruction produced but nothing consumes (a Sort's unused
+// order column, a Join's unused right side) are released immediately after
+// their producer.
 func (s *Session) releaseInsertPass(batch []*PInstr, outputs []*bat.BAT) []*PInstr {
 	exempt := map[*bat.BAT]bool{}
 	for _, o := range outputs {
 		exempt[s.canon(o)] = true
 	}
+	// Index space: earlier fragments' intermediates start at preIdx (release
+	// before the final fragment); uses inside the final fragment move the
+	// last use to the consuming instruction's index.
+	const preIdx = -1
 	lastUse := map[*bat.BAT]int{}
+	for _, in := range s.done {
+		if !in.computes() {
+			continue
+		}
+		for _, r := range in.Rets {
+			if !exempt[r] {
+				lastUse[r] = preIdx
+			}
+		}
+	}
 	for i, in := range batch {
 		for _, r := range in.Rets {
 			if !exempt[r] {
@@ -213,21 +250,35 @@ func (s *Session) releaseInsertPass(batch []*PInstr, outputs []*bat.BAT) []*PIns
 	}
 	// Bucket releases by their insertion point, in production order so the
 	// rewritten plan is deterministic.
+	var pre []*bat.BAT
 	relAt := make([][]*bat.BAT, len(batch))
-	for _, in := range batch {
+	emit := func(in *PInstr) {
 		for _, r := range in.Rets {
-			if i, tracked := lastUse[r]; tracked {
+			switch i, tracked := lastUse[r]; {
+			case !tracked:
+			case i == preIdx:
+				pre = append(pre, r)
+			default:
 				relAt[i] = append(relAt[i], r)
 			}
 		}
 	}
+	for _, in := range s.done {
+		if in.computes() {
+			emit(in)
+		}
+	}
+	for _, in := range batch {
+		emit(in)
+	}
 	out := make([]*PInstr, 0, len(batch)+len(lastUse))
+	for _, b := range pre {
+		out = append(out, s.newRelease(b))
+	}
 	for i, in := range batch {
 		out = append(out, in)
 		for _, b := range relAt[i] {
-			rel := &PInstr{ID: s.nextID, Kind: OpRelease, Module: s.module, Args: []*bat.BAT{b}}
-			s.nextID++
-			out = append(out, rel)
+			out = append(out, s.newRelease(b))
 		}
 	}
 	return out

@@ -3,8 +3,10 @@
 // the whole plan fragment with the calibrated device profiles
 // (core.Profile), costs transfer-vs-compute over entire operator chains,
 // and pins every instruction to a device before execution. The pin is
-// enforced through hybrid.Engine.ForceNext; the engine's out-of-memory
-// fallback still applies underneath.
+// stamped on the instruction (PInstr.Device) and enforced per call by the
+// executor through hybrid.Engine.On — no engine-global state is involved,
+// so pins cannot leak across plans or interleave across concurrent
+// sessions; the engine's out-of-memory fallback still applies underneath.
 package mal
 
 import (
@@ -39,7 +41,7 @@ func (e *estimator) rowsOf(b *bat.BAT) float64 {
 	if r, ok := e.rows[b]; ok {
 		return r
 	}
-	if e.s.isPH[b] {
+	if e.s.tpl.isPH[b] {
 		return 0 // produced by an instruction this pass has not costed yet
 	}
 	return float64(b.Len())

@@ -39,7 +39,29 @@ func (s *Session) Result(names []string, cols ...*bat.BAT) *Result {
 	if !s.firstExec.IsZero() {
 		s.lastExec = time.Now()
 	}
+	// Columns are synced and concrete now: reject tail types the result
+	// accessors cannot read *inside* the plan, so the failure surfaces as a
+	// RunQuery error instead of a raw panic escaping from Canonical or cell
+	// long after abort-recovery is gone.
+	for i, c := range cols {
+		if c == nil {
+			s.fail("result", fmt.Errorf("column %q is nil", names[i]))
+		}
+		s.checkResultCol(c)
+	}
+	s.tpl.names = append([]string(nil), names...)
+	s.tpl.cols = append([]*bat.BAT(nil), cols...)
 	return &Result{Names: names, Cols: cols}
+}
+
+// checkResultCol verifies a result column's tail type is one the result
+// accessors handle, aborting the plan otherwise.
+func (s *Session) checkResultCol(c *bat.BAT) {
+	switch c.T {
+	case bat.I32, bat.F32, bat.OID, bat.Void:
+	default:
+		s.fail("result", fmt.Errorf("column %q has unsupported result type %v", c.Name, c.T))
+	}
 }
 
 // Rows returns the result's row count.
@@ -63,7 +85,9 @@ func (r *Result) cell(c, i int) float64 {
 	case bat.Void:
 		return float64(b.OIDAt(i))
 	default:
-		panic("mal: unknown result column type")
+		// Unreachable through RunQuery: Session.Result validates column
+		// types inside the plan, where the failure becomes an error.
+		panic(fmt.Sprintf("mal: unknown result column type %v for %q", b.T, b.Name))
 	}
 }
 

@@ -15,10 +15,18 @@
 // to. Sync and Release instructions are inserted by the rewriter, not by
 // plan code, exactly as §3.4 prescribes; the instruction trace for
 // EXPLAIN-style output is produced from the rewritten IR.
+//
+// Session state is split in two (cache.go): the *plan template* — the
+// rewritten IR fragments and everything the pass pipeline derived — and the
+// *per-execution* state (environment of produced BATs, group-count slots,
+// trace, timings). A sealed Template can be stored in a PlanCache and
+// re-executed without rebuilding or re-rewriting the plan, with parameter
+// slots re-bound per execution, MonetDB-recycler style.
 package mal
 
 import (
 	"fmt"
+	"math"
 	"strings"
 	"time"
 
@@ -75,40 +83,54 @@ func DefaultPasses() Passes {
 	return Passes{CSE: true, DCE: true, EarlyRelease: true, Placement: true}
 }
 
+// key renders the pass configuration for plan-cache keying.
+func (p Passes) key() string {
+	mark := func(on bool, c byte) byte {
+		if on {
+			return c
+		}
+		return '-'
+	}
+	return string([]byte{mark(p.CSE, 'c'), mark(p.DCE, 'd'), mark(p.EarlyRelease, 'r'), mark(p.Placement, 'p')})
+}
+
+// Params are the per-execution parameter bindings of a plan: values for the
+// names the plan declared with Session.Param / Session.ParamI. Re-binding
+// them on a cached template executes the same rewritten IR with different
+// selection constants or group-count literals.
+type Params map[string]float64
+
 // Session builds and executes one query plan against one operator
-// configuration.
+// configuration. Exactly one execution runs per Session; the reusable part
+// of a finished session — the rewritten plan — is its Template.
 type Session struct {
 	o      ops.Operators
 	module string
 	passes Passes
 
+	// tpl is the plan-template half of the session state: the rewritten
+	// fragments plus every pass result that refers to the IR rather than to
+	// one execution. While building it is owned and mutated by this
+	// session; on replay it is a sealed, shared template and is read-only.
+	tpl *Template
+	// replay marks a session executing a sealed template: the IR is shared
+	// with concurrent executions and must not be written (no Took stamps,
+	// no placeholder adoption).
+	replay bool
+
+	// --- builder state (idle on replay) ---
+
 	// pending is the built-but-unexecuted tail of the plan; raw keeps every
 	// built instruction (before rewriting) for EXPLAIN's before-view.
 	pending []*PInstr
 	raw     []*PInstr
-	done    []*PInstr
-
-	// isPH marks placeholder BATs; alias maps CSE-eliminated placeholders
-	// to their canonical twin; env maps placeholders to the concrete BATs
-	// the executor produced.
-	isPH  map[*bat.BAT]bool
-	alias map[*bat.BAT]*bat.BAT
-	env   map[*bat.BAT]*bat.BAT
-
-	// owned are concrete operator results, released at Close unless an
-	// inserted Release instruction already freed them.
-	owned    []*bat.BAT
-	released map[*bat.BAT]bool
 
 	// cseTab maps expression signatures to their canonical instruction
 	// (kept across flush fragments).
 	cseTab map[string]*PInstr
 
-	// slots hold group counts produced by Group instructions (-1 until
-	// executed); slotAlias mirrors CSE aliasing; slotProducer keeps the
-	// producing instruction for liveness.
-	slots        []int
-	slotAlias    map[int]int
+	// slotProducer keeps the producing Group instruction per slot for
+	// liveness (nil for parameter slots).
 	slotProducer map[int]*PInstr
 
 	// outputs are the values of the current flush that must be synced to
@@ -116,11 +138,37 @@ type Session struct {
 	outputs []*bat.BAT
 	outSet  map[*bat.BAT]bool
 
-	trace   []Instr
-	traceOn bool
+	// params are the values bound for this execution; paramNames indexes
+	// the float-parameter sentinels Param returns.
+	params    Params
+	paramIdx  map[string]int
+	paramName []string
 
 	nextID  int
 	nextTmp int
+
+	// --- per-execution state ---
+
+	// env maps placeholders to the concrete BATs the executor produced.
+	env map[*bat.BAT]*bat.BAT
+
+	// owned are concrete operator results, released at Close unless an
+	// inserted Release instruction already freed them.
+	owned    []*bat.BAT
+	released map[*bat.BAT]bool
+
+	// slots hold group counts produced by Group instructions (-1 until
+	// executed) and the values of slot-backed integer parameters.
+	slots []int
+
+	// over patches instruction scalars with re-bound parameter values on
+	// replay (nil when the execution binds no parameters).
+	over map[*PInstr]scalarPatch
+
+	done    []*PInstr
+	trace   []Instr
+	traceOn bool
+	opTime  time.Duration
 
 	firstExec time.Time
 	lastExec  time.Time
@@ -132,20 +180,27 @@ func NewSession(o ops.Operators) *Session {
 		o:            o,
 		module:       o.Module(),
 		passes:       DefaultPasses(),
-		isPH:         map[*bat.BAT]bool{},
-		alias:        map[*bat.BAT]*bat.BAT{},
-		env:          map[*bat.BAT]*bat.BAT{},
-		released:     map[*bat.BAT]bool{},
+		tpl:          newTemplate(o.Module(), DefaultPasses()),
 		cseTab:       map[string]*PInstr{},
-		slotAlias:    map[int]int{},
 		slotProducer: map[int]*PInstr{},
 		outSet:       map[*bat.BAT]bool{},
+		paramIdx:     map[string]int{},
+		env:          map[*bat.BAT]*bat.BAT{},
+		released:     map[*bat.BAT]bool{},
 	}
 }
 
 // SetPasses overrides the rewriter pass configuration. It must be called
 // before the first operator call of the plan.
-func (s *Session) SetPasses(p Passes) { s.passes = p }
+func (s *Session) SetPasses(p Passes) {
+	s.passes = p
+	s.tpl.passes = p
+}
+
+// SetParams binds parameter values for this execution. Plan code reads them
+// back through Param/ParamI; the bindings are also what a cached template
+// was captured under. Call it before the plan runs.
+func (s *Session) SetParams(p Params) { s.params = p }
 
 // EnableTrace turns on rendered instruction recording (EXPLAIN); the IR
 // itself (Plan) is always available. Recording stays opt-in so the
@@ -163,6 +218,15 @@ func (s *Session) Plan() []*PInstr { return s.done }
 // Operators exposes the bound implementation.
 func (s *Session) Operators() ops.Operators { return s.o }
 
+// Replayed reports whether this session executed a cached template instead
+// of building a plan.
+func (s *Session) Replayed() bool { return s.replay }
+
+// OpTime returns the summed per-instruction dispatch time of the execution;
+// wall time minus OpTime approximates the host-side overhead of the MAL
+// layer (plan build, rewriting, interpretation) around the operators.
+func (s *Session) OpTime() time.Duration { return s.opTime }
+
 func (s *Session) fail(op string, err error) {
 	panic(abort{fmt.Errorf("%s.%s: %w", s.module, op, err)})
 }
@@ -171,8 +235,92 @@ func (s *Session) fail(op string, err error) {
 func (s *Session) newPlaceholder() *bat.BAT {
 	s.nextTmp++
 	ph := bat.New(fmt.Sprintf("t%d", s.nextTmp), bat.Void, 0)
-	s.isPH[ph] = true
+	s.tpl.isPH[ph] = true
 	return ph
+}
+
+// --- parameter slots ---
+
+// Float parameters travel from Param to the consuming operator call as
+// NaN-boxed sentinels: a quiet NaN whose mantissa carries a magic tag and
+// the parameter's registration index. add() decodes the sentinel back into
+// the bound value and records the (instruction, field, name) binding the
+// template needs to re-bind the scalar per execution.
+const paramTag = 0x7FF8_C0DE_0000_0000
+
+func paramSentinel(idx int) float64 {
+	return math.Float64frombits(paramTag | uint64(uint32(idx)))
+}
+
+func sentinelIndex(v float64) (int, bool) {
+	b := math.Float64bits(v)
+	if b&0xFFFF_FFFF_0000_0000 != paramTag {
+		return 0, false
+	}
+	return int(uint32(b)), true
+}
+
+// Param declares a named float parameter with a default and returns the
+// value to pass into operator calls (selection bounds, arithmetic
+// constants). The returned value must flow into an operator scalar
+// *unmodified*: to parameterise a derived quantity, compute it first and
+// bind the result. Arithmetic on the returned sentinel either aborts the
+// plan (payload lost) or degenerates to the raw parameter *from the first
+// run onward* (NaN payload propagated by the FPU) — misuse is visible at
+// capture, never a cache-only divergence. A cached template re-binds the
+// scalar per execution from the Params given at replay; absent names keep
+// the capture-time value.
+func (s *Session) Param(name string, def float64) float64 {
+	v := def
+	if bv, ok := s.params[name]; ok {
+		v = bv
+	}
+	idx, ok := s.paramIdx[name]
+	if !ok {
+		idx = len(s.paramName)
+		s.paramIdx[name] = idx
+		s.paramName = append(s.paramName, name)
+	}
+	s.tpl.floatDefs[name] = v
+	return paramSentinel(idx)
+}
+
+// ParamI declares a named integer parameter used as a group-count literal
+// (the Group/Aggr ngrp argument). It is backed by a plan slot, exactly like
+// the opaque group-count handles Group returns: thread the returned handle
+// into Group/Aggr unchanged. Replays re-bind the slot from Params.
+func (s *Session) ParamI(name string, def int) int {
+	v := def
+	if bv, ok := s.params[name]; ok {
+		v = int(bv)
+	}
+	slot := len(s.slots)
+	s.slots = append(s.slots, v)
+	s.tpl.intSlots = append(s.tpl.intSlots, intParamSlot{Slot: slot, Name: name, Def: v})
+	return encodeSlot(slot)
+}
+
+// captureParams decodes NaN-boxed parameter sentinels out of a freshly
+// built instruction's scalar fields, replacing them with the bound value
+// and recording the binding on the instruction for template re-binding.
+func (s *Session) captureParams(in *PInstr) {
+	fields := [3]struct {
+		f ScalarField
+		p *float64
+	}{{FieldLo, &in.Lo}, {FieldHi, &in.Hi}, {FieldC, &in.C}}
+	for _, fp := range fields {
+		v := *fp.p
+		if !math.IsNaN(v) {
+			continue
+		}
+		idx, ok := sentinelIndex(v)
+		if !ok || idx >= len(s.paramName) {
+			s.fail(in.OpName(), fmt.Errorf("NaN scalar argument: parameter values must flow from Param to the operator unmodified (bind derived values directly)"))
+		}
+		name := s.paramName[idx]
+		*fp.p = s.tpl.floatDefs[name]
+		in.Params = append(in.Params, ParamRef{Field: fp.f, Name: name})
+	}
 }
 
 // add appends a plan instruction with nRets fresh placeholders.
@@ -185,6 +333,7 @@ func (s *Session) add(kind OpKind, nRets int, args []*bat.BAT, set func(*PInstr)
 	if set != nil {
 		set(in)
 	}
+	s.captureParams(in)
 	s.pending = append(s.pending, in)
 	s.raw = append(s.raw, in)
 	return in

@@ -1,0 +1,224 @@
+// Package serve is the concurrent query-serving layer over the MAL
+// execution stack: the piece that turns the benchmark harness into the
+// server the paper assumes Ocelot lives inside (§3.1 — MonetDB serves many
+// client sessions against one engine). A Server multiplexes N client plan
+// executions onto one shared operator configuration: each request gets its
+// own MAL session (sessions are single-threaded; engines are shared and
+// thread-safe), admission is capped so a traffic burst queues instead of
+// oversubscribing the device, and completed plans are cached as rewritten
+// templates (mal.PlanCache) so repeated queries skip the plan build and the
+// whole rewriter pass pipeline, re-binding only their parameters.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/mal"
+	"repro/internal/ops"
+)
+
+// ErrOverloaded is returned when admission control rejects a request: the
+// number of waiting requests exceeds Options.MaxQueued.
+var ErrOverloaded = errors.New("serve: server overloaded, request rejected by admission control")
+
+// Options configure a Server.
+type Options struct {
+	// MaxConcurrent caps how many plans execute simultaneously on the
+	// shared engine (the admission cap); <=0 selects 4.
+	MaxConcurrent int
+	// MaxQueued caps how many requests may wait for an execution slot
+	// beyond the cap before new arrivals are rejected with ErrOverloaded;
+	// <=0 selects 16x MaxConcurrent.
+	MaxQueued int
+	// Passes is the rewriter pass configuration for every plan; the zero
+	// value selects mal.DefaultPasses.
+	Passes *mal.Passes
+	// NoCache disables the rewritten-plan cache: every request builds and
+	// rewrites its plan from scratch (ablation and tests).
+	NoCache bool
+}
+
+// QueryStats aggregate the executions of one named query.
+type QueryStats struct {
+	// Runs counts completed executions (successful or failed); Errors the
+	// failed ones; CacheHits the executions served from a cached template.
+	Runs, Errors, CacheHits int64
+	// Rejected counts requests admission control turned away with
+	// ErrOverloaded; they never executed and are not part of Runs or the
+	// latency aggregates.
+	Rejected int64
+	// Rows is the total result rows returned.
+	Rows int64
+	// Total and Max aggregate end-to-end request latency (admission wait
+	// included).
+	Total, Max time.Duration
+}
+
+// Server dispatches concurrent plan executions onto one shared operator
+// configuration.
+type Server struct {
+	o      ops.Operators
+	passes mal.Passes
+	cache  *mal.PlanCache
+
+	sem     chan struct{}
+	maxQ    int64
+	waiting atomic.Int64
+
+	mu    sync.Mutex
+	stats map[string]*QueryStats
+}
+
+// New creates a server over the shared configuration o. The engine must be
+// safe for concurrent sessions (all shipped configurations are); the
+// server's plan cache is scoped to this engine and the data its plans read,
+// per the mal.PlanCache contract.
+func New(o ops.Operators, opt Options) *Server {
+	if opt.MaxConcurrent <= 0 {
+		opt.MaxConcurrent = 4
+	}
+	if opt.MaxQueued <= 0 {
+		opt.MaxQueued = 16 * opt.MaxConcurrent
+	}
+	passes := mal.DefaultPasses()
+	if opt.Passes != nil {
+		passes = *opt.Passes
+	}
+	sv := &Server{
+		o:      o,
+		passes: passes,
+		sem:    make(chan struct{}, opt.MaxConcurrent),
+		maxQ:   int64(opt.MaxQueued),
+		stats:  map[string]*QueryStats{},
+	}
+	if !opt.NoCache {
+		sv.cache = mal.NewPlanCache()
+	}
+	return sv
+}
+
+// Operators returns the shared configuration.
+func (sv *Server) Operators() ops.Operators { return sv.o }
+
+// Execute runs the named plan with the given parameter bindings, blocking
+// until an execution slot is free. Admission control rejects the request
+// with ErrOverloaded when too many requests are already waiting. Execute is
+// safe to call from any number of goroutines.
+func (sv *Server) Execute(name string, params mal.Params, plan func(*mal.Session) *mal.Result) (*mal.Result, error) {
+	start := time.Now()
+	select {
+	case sv.sem <- struct{}{}: // free execution slot: admitted immediately
+	default:
+		// All slots busy: join the bounded wait queue.
+		if sv.waiting.Add(1) > sv.maxQ {
+			sv.waiting.Add(-1)
+			sv.reject(name)
+			return nil, ErrOverloaded
+		}
+		sv.sem <- struct{}{}
+		sv.waiting.Add(-1)
+	}
+	defer func() { <-sv.sem }()
+
+	var res *mal.Result
+	var hit bool
+	var err error
+	if sv.cache != nil {
+		res, hit, err = sv.cache.Run(sv.o, name, params, sv.passes, plan)
+	} else {
+		s := mal.NewSession(sv.o)
+		s.SetPasses(sv.passes)
+		s.SetParams(params)
+		res, err = mal.RunQuery(s, plan)
+	}
+	sv.note(name, start, res, hit, err)
+	return res, err
+}
+
+func (sv *Server) reject(name string) {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	st := sv.stats[name]
+	if st == nil {
+		st = &QueryStats{}
+		sv.stats[name] = st
+	}
+	st.Rejected++
+}
+
+func (sv *Server) note(name string, start time.Time, res *mal.Result, hit bool, err error) {
+	took := time.Since(start)
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	st := sv.stats[name]
+	if st == nil {
+		st = &QueryStats{}
+		sv.stats[name] = st
+	}
+	st.Runs++
+	if err != nil {
+		st.Errors++
+	}
+	if hit {
+		st.CacheHits++
+	}
+	if res != nil {
+		st.Rows += int64(res.Rows())
+	}
+	st.Total += took
+	if took > st.Max {
+		st.Max = took
+	}
+}
+
+// CacheStats returns plan-cache hits, misses and resident templates (zeros
+// when the cache is disabled).
+func (sv *Server) CacheStats() (hits, misses int64, size int) {
+	if sv.cache == nil {
+		return 0, 0, 0
+	}
+	return sv.cache.Stats()
+}
+
+// Stats returns a copy of the per-query statistics.
+func (sv *Server) Stats() map[string]QueryStats {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	out := make(map[string]QueryStats, len(sv.stats))
+	for name, st := range sv.stats {
+		out[name] = *st
+	}
+	return out
+}
+
+// String renders the per-query statistics as an aligned table.
+func (sv *Server) String() string {
+	stats := sv.Stats()
+	names := make([]string, 0, len(stats))
+	for n := range stats {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-24s %6s %6s %6s %6s %10s %12s %12s\n",
+		"query", "runs", "errs", "rej", "hits", "rows", "avg", "max")
+	for _, n := range names {
+		st := stats[n]
+		avg := time.Duration(0)
+		if st.Runs > 0 {
+			avg = st.Total / time.Duration(st.Runs)
+		}
+		fmt.Fprintf(&sb, "%-24s %6d %6d %6d %6d %10d %12v %12v\n",
+			n, st.Runs, st.Errors, st.Rejected, st.CacheHits, st.Rows,
+			avg.Round(time.Microsecond), st.Max.Round(time.Microsecond))
+	}
+	hits, misses, size := sv.CacheStats()
+	fmt.Fprintf(&sb, "plan cache: %d hits, %d misses, %d templates\n", hits, misses, size)
+	return sb.String()
+}

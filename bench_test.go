@@ -332,6 +332,69 @@ func BenchmarkFig7dQ1Scaling(b *testing.B) {
 	}
 }
 
+// BenchmarkFusChain compares the fused select→project→binop→sum chain
+// against the same chain with the fusion pass disabled, per fusion-capable
+// configuration. B/op and allocs/op (ReportAllocs) expose the intermediate
+// materialisations fusion eliminates; on this reproduction device buffers
+// are host allocations, so the delta covers device-side intermediates too.
+func BenchmarkFusChain(b *testing.B) {
+	rows := benchRows / 2
+	k := benchCol(rows, 1000, 31)
+	av := mem.AllocF32(rows)
+	bv := mem.AllocF32(rows)
+	for i := range av {
+		av[i] = float32(i%997) * 0.5
+		bv[i] = float32(i%911) * 0.25
+	}
+	a, c := bat.NewF32("a", av), bat.NewF32("b", bv)
+	defer k.Free()
+	defer a.Free()
+	defer c.Free()
+
+	plan := func(s *mal.Session) *mal.Result {
+		sel := s.Select(k, nil, 0, 499, true, true)
+		rev := s.Binop(ops.Mul, s.Project(sel, a), s.Project(sel, c))
+		return s.Result([]string{"revenue"}, s.Aggr(ops.Sum, rev, nil, 0))
+	}
+	for _, cfg := range []mal.Config{mal.OcelotCPU, mal.OcelotGPU} {
+		for _, fused := range []bool{true, false} {
+			name := cfg.String() + "/unfused"
+			if fused {
+				name = cfg.String() + "/fused"
+			}
+			b.Run(name, func(b *testing.B) {
+				o := cfg.Build(mal.ConfigOptions{GPUMemory: 1 << 30})
+				passes := mal.DefaultPasses()
+				passes.Fusion = fused
+				run := func() error {
+					s := mal.NewSession(o)
+					s.SetPasses(passes)
+					if _, err := mal.RunQuery(s, plan); err != nil {
+						return err
+					}
+					return mal.Finish(o)
+				}
+				if err := run(); err != nil { // hot cache
+					b.Fatal(err)
+				}
+				vStart, isGPU := mal.GPUTime(o)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := run(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				if isGPU {
+					vEnd, _ := mal.GPUTime(o)
+					b.ReportMetric(float64(vEnd-vStart)/float64(b.N), "device-ns/op")
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkLaunchOverhead measures the runtime's per-launch dispatch cost —
 // the framework overhead of §5.3.2 / Figure 7(d) — by running N tiny
 // dependent kernels end-to-end on the CPU driver: each launch does almost no

@@ -31,7 +31,7 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "", "figure(s) to regenerate, comma-separated: 5a..5i, 6, 7a..7d, pc, srv")
+		fig     = flag.String("fig", "", "figure(s) to regenerate, comma-separated: 5a..5i, 6, 7a..7d, pc, srv, fus")
 		all     = flag.Bool("all", false, "regenerate every figure")
 		conc    = flag.Int("concurrency", 0, "serve the TPC-H workload with N concurrent clients over one shared engine and print per-query server stats")
 		sizes   = flag.String("sizes", "", "comma-separated size sweep in MB (Fig 5/6)")
@@ -101,7 +101,7 @@ func main() {
 	var figs []string
 	if *all {
 		figs = []string{"5a", "5b", "5c", "5d", "5e", "5f", "5g", "5h", "5i", "6",
-			"7a", "7b", "7c", "7d", "a1", "a2", "a3", "a4", "pc", "srv"}
+			"7a", "7b", "7c", "7d", "a1", "a2", "a3", "a4", "pc", "srv", "fus"}
 	} else if *fig != "" {
 		for _, f := range strings.Split(*fig, ",") {
 			figs = append(figs, strings.ToLower(strings.TrimSpace(f)))
@@ -119,12 +119,13 @@ func main() {
 		var ms runtime.MemStats
 		runtime.ReadMemStats(&ms)
 		before := ms.TotalAlloc
+		beforeAllocs := ms.Mallocs
 
 		// Every figure kind renders as text and converts to a trajectory
 		// record the same way.
 		var rep interface {
 			String() string
-			JSON(bytesAlloc int64) bench.FigureJSON
+			JSON(bytesAlloc, allocsOp int64) bench.FigureJSON
 		}
 		switch {
 		case micro[f] != nil:
@@ -143,6 +144,8 @@ func main() {
 			rep = bench.PlanCacheFigure(topt)
 		case f == "srv":
 			rep = bench.ServeFigure(topt)
+		case f == "fus":
+			rep = bench.FigFus(opt)
 		default:
 			known := make([]string, 0, len(micro)+len(ablations))
 			for k := range micro {
@@ -152,11 +155,11 @@ func main() {
 				known = append(known, k)
 			}
 			sort.Strings(known)
-			fatalf("unknown figure %q (known: %s 7a 7b 7c 7d pc srv)", f, strings.Join(known, " "))
+			fatalf("unknown figure %q (known: %s 7a 7b 7c 7d pc srv fus)", f, strings.Join(known, " "))
 		}
 		fmt.Println(rep)
 		runtime.ReadMemStats(&ms)
-		records = append(records, rep.JSON(int64(ms.TotalAlloc-before)))
+		records = append(records, rep.JSON(int64(ms.TotalAlloc-before), int64(ms.Mallocs-beforeAllocs)))
 		fmt.Printf("(%s regenerated in %v)\n\n", f, time.Since(start).Round(time.Millisecond))
 	}
 	if *jsonOut != "" {

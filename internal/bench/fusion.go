@@ -1,0 +1,111 @@
+// The operator-fusion figure: a fused vs unfused select→project→binop→sum
+// chain per configuration. Like the serving figures, it has no counterpart
+// in the paper — it tracks the repository's fusion trajectory (ROADMAP:
+// "fuse select→project→binop chains into single kernels") the way the
+// Figure 5/6/7 regenerations track the paper's evaluation.
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bat"
+	"repro/internal/mal"
+	"repro/internal/ops"
+)
+
+// fusConfigs picks the figure's default configurations: the fusion-capable
+// engines (plus whatever the user explicitly requested).
+func fusConfigs(opt Options) []mal.Config {
+	if len(opt.Configs) > 0 {
+		return opt.Configs
+	}
+	return []mal.Config{mal.OcelotCPU, mal.OcelotGPU, mal.Hybrid}
+}
+
+// FigFus regenerates the fusion figure: for each configuration and input
+// size, the Q6-skeleton chain — one range selection, two projections, one
+// multiply, a terminal scalar sum — runs once with the fusion pass on and
+// once with it off. MonetDB configurations execute the same unfused chain on
+// both rows (they advertise no fusion support), which is the fall-back
+// contract made visible.
+func FigFus(opt Options) *Report {
+	configs := opt.Configs
+	opt.Configs = nil
+	opt = opt.withDefaults()
+	opt.Configs = configs
+
+	xs := make([]float64, len(opt.SizesMB))
+	for i, mb := range opt.SizesMB {
+		xs[i] = float64(mb)
+	}
+	r := &Report{
+		ID:     "fus",
+		Title:  "Operator fusion: select→project→binop→sum chain, fused vs unfused",
+		XLabel: "size[MB]",
+		Xs:     xs,
+		Millis: map[string][]float64{},
+	}
+	cfgs := fusConfigs(opt)
+	for _, cfg := range cfgs {
+		for _, variant := range []string{"/fused", "/unfused"} {
+			label := cfg.String() + variant
+			r.Order = append(r.Order, label)
+			series := make([]float64, len(xs))
+			for i := range series {
+				series[i] = math.NaN()
+			}
+			r.Millis[label] = series
+		}
+	}
+
+	for xi, mb := range opt.SizesMB {
+		rows := mb * rowsPerMB
+		k := uniformI32("k", rows, 1000, opt.Seed+int64(xi))
+		a := uniformF32("a", rows, opt.Seed+int64(xi)+100)
+		b := uniformF32("b", rows, opt.Seed+int64(xi)+200)
+		plan := func(s *mal.Session) *mal.Result {
+			sel := s.Select(k, nil, 0, 499, true, true)
+			rev := s.Binop(ops.Mul, s.Project(sel, a), s.Project(sel, b))
+			return s.Result([]string{"revenue"}, s.Aggr(ops.Sum, rev, nil, 0))
+		}
+		for _, cfg := range cfgs {
+			for _, fused := range []bool{true, false} {
+				label := cfg.String() + "/unfused"
+				if fused {
+					label = cfg.String() + "/fused"
+				}
+				o := engineFor(cfg, opt)
+				passes := mal.DefaultPasses()
+				passes.Fusion = fused
+				d, err := Measure(o, opt.Runs, func() error {
+					s := mal.NewSession(o)
+					s.SetPasses(passes)
+					_, err := mal.RunQuery(s, plan)
+					return err
+				})
+				retire(o)
+				if err != nil {
+					r.Notes = append(r.Notes, fmt.Sprintf("%s at %dMB: %v", label, mb, err))
+					continue
+				}
+				r.Millis[label][xi] = float64(d.Microseconds()) / 1000
+			}
+		}
+		k.Free()
+		a.Free()
+		b.Free()
+	}
+	return r
+}
+
+// uniformF32 builds a deterministic uniform float32 column in [0, 1).
+func uniformF32(name string, rows int, seed int64) *bat.BAT {
+	col := uniformI32(name, rows, 1<<20, seed)
+	f := make([]float32, rows)
+	for i, v := range col.I32s() {
+		f[i] = float32(v) / (1 << 20)
+	}
+	col.Free()
+	return bat.NewF32(name, f)
+}

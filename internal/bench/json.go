@@ -22,6 +22,10 @@ type FigureJSON struct {
 	// BytesAlloc is the total host allocation of regenerating the figure
 	// (runtime.MemStats.TotalAlloc delta — B/op at figure granularity).
 	BytesAlloc int64 `json:"bytes_alloc"`
+	// AllocsOp is the total host allocation count of regenerating the
+	// figure (runtime.MemStats.Mallocs delta — allocs/op at figure
+	// granularity).
+	AllocsOp int64 `json:"allocs_op"`
 }
 
 func medianNs(millis []float64) (int64, bool) {
@@ -43,8 +47,8 @@ func medianNs(millis []float64) (int64, bool) {
 }
 
 // JSON converts a sweep figure to its trajectory record.
-func (r *Report) JSON(bytesAlloc int64) FigureJSON {
-	out := FigureJSON{ID: r.ID, Title: r.Title, MedianNsPerOp: map[string]int64{}, BytesAlloc: bytesAlloc}
+func (r *Report) JSON(bytesAlloc, allocsOp int64) FigureJSON {
+	out := FigureJSON{ID: r.ID, Title: r.Title, MedianNsPerOp: map[string]int64{}, BytesAlloc: bytesAlloc, AllocsOp: allocsOp}
 	for label, series := range r.Millis {
 		if ns, ok := medianNs(series); ok {
 			out.MedianNsPerOp[label] = ns
@@ -55,8 +59,8 @@ func (r *Report) JSON(bytesAlloc int64) FigureJSON {
 
 // JSON converts a TPC-H per-query figure to its trajectory record (seconds
 // → ns).
-func (r *QueryReport) JSON(bytesAlloc int64) FigureJSON {
-	out := FigureJSON{ID: r.ID, Title: r.Title, MedianNsPerOp: map[string]int64{}, BytesAlloc: bytesAlloc}
+func (r *QueryReport) JSON(bytesAlloc, allocsOp int64) FigureJSON {
+	out := FigureJSON{ID: r.ID, Title: r.Title, MedianNsPerOp: map[string]int64{}, BytesAlloc: bytesAlloc, AllocsOp: allocsOp}
 	for label, secs := range r.Seconds {
 		millis := make([]float64, len(secs))
 		for i, s := range secs {

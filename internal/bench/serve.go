@@ -49,8 +49,8 @@ func (r *PlanCacheReport) String() string {
 }
 
 // JSON converts the report to a trajectory record.
-func (r *PlanCacheReport) JSON(bytesAlloc int64) FigureJSON {
-	out := FigureJSON{ID: r.ID, Title: r.Title, MedianNsPerOp: map[string]int64{}, BytesAlloc: bytesAlloc}
+func (r *PlanCacheReport) JSON(bytesAlloc, allocsOp int64) FigureJSON {
+	out := FigureJSON{ID: r.ID, Title: r.Title, MedianNsPerOp: map[string]int64{}, BytesAlloc: bytesAlloc, AllocsOp: allocsOp}
 	for k, v := range r.Nanos {
 		out.MedianNsPerOp[k] = v
 	}
@@ -155,8 +155,8 @@ func (r *ServeReport) String() string {
 }
 
 // JSON converts the report to a trajectory record.
-func (r *ServeReport) JSON(bytesAlloc int64) FigureJSON {
-	out := FigureJSON{ID: r.ID, Title: r.Title, MedianNsPerOp: map[string]int64{}, BytesAlloc: bytesAlloc}
+func (r *ServeReport) JSON(bytesAlloc, allocsOp int64) FigureJSON {
+	out := FigureJSON{ID: r.ID, Title: r.Title, MedianNsPerOp: map[string]int64{}, BytesAlloc: bytesAlloc, AllocsOp: allocsOp}
 	for k, v := range r.NsPerQuery {
 		out.MedianNsPerOp[k] = v
 	}

@@ -61,10 +61,15 @@ func newOwned(name string, t bat.Type, n int) *bat.BAT {
 }
 
 // spineWords returns the size (in words) of the per-launch partials scratch
-// used by scan/reduce kernels.
+// used by scan/reduce kernels. Reduce's fixed-partition float sum needs at
+// least kernels.SumChunks slots regardless of the launch geometry.
 func spineWords(dev *cl.Device) int {
 	_, _, gsz := kernels.Geometry(dev)
-	return gsz + 2
+	words := gsz + 2
+	if r := kernels.ReducePartialWords(dev); r > words {
+		words = r
+	}
+	return words
 }
 
 // spine allocates the partials scratch buffer. Its size is fixed per device,

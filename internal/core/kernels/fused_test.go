@@ -1,0 +1,147 @@
+package kernels
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cl"
+	"repro/internal/ops"
+)
+
+// TestFusedSelectMatchesUnfused: the fused predicate-conjunction kernel must
+// produce, on both devices, exactly the bitmap (and count) of the unfused
+// SelectI32 → SelectF32-with-candidate composition.
+func TestFusedSelectMatchesUnfused(t *testing.T) {
+	for _, dev := range devices() {
+		e := newEnv(dev)
+		n := 40013 // odd tail byte
+		icol := e.buf(t, n+1)
+		fcol := e.buf(t, n+1)
+		r := rand.New(rand.NewSource(5))
+		iv, fv := icol.I32(), fcol.F32()
+		for i := 0; i < n; i++ {
+			iv[i] = r.Int31n(1000)
+			fv[i] = r.Float32()
+		}
+		nbw := (BitmapBytes(n) + 3) / 4
+
+		// Unfused: select on the int column, then the float selection ANDs
+		// the first bitmap in as its candidate.
+		bm1 := e.buf(t, nbw+1)
+		bm2 := e.buf(t, nbw+1)
+		ev := SelectI32(e.q, bm1, icol, nil, n, 100, 699, nil)
+		ev = SelectF32(e.q, bm2, fcol, bm1, n, 0.25, 0.9, true, false, []*cl.Event{ev})
+		total := e.buf(t, 2)
+		if err := BitmapCount(e.q, bm2, e.scratch(t), total, n, []*cl.Event{ev}).Wait(); err != nil {
+			t.Fatal(err)
+		}
+		wantCount := total.U32()[0]
+
+		// Fused: both predicates in one pass, count folded device-side.
+		fbm := e.buf(t, nbw+1)
+		ftotal := e.buf(t, 2)
+		pred := CompileFusedPred([]FusedPredFilter{
+			{Col: icol, LoI: 100, HiI: 699},
+			{Float: true, Col: fcol, LoF: 0.25, HiF: 0.9, LoIncl: true, HiIncl: false},
+		}, 0, 0, false)
+		if err := FusedSelect(e.q, fbm, nil, pred, n, e.scratch(t), ftotal, cl.Cost{}, nil).Wait(); err != nil {
+			t.Fatal(err)
+		}
+		if got := ftotal.U32()[0]; got != wantCount {
+			t.Fatalf("%s: fused count %d, unfused %d", dev.Name, got, wantCount)
+		}
+		wantBM, gotBM := bm2.Bytes(), fbm.Bytes()
+		for i := 0; i < BitmapBytes(n); i++ {
+			if wantBM[i] != gotBM[i] {
+				t.Fatalf("%s: bitmap byte %d differs: %08b vs %08b", dev.Name, i, gotBM[i], wantBM[i])
+			}
+		}
+	}
+}
+
+// TestFusedEvalMatchesUnfused: the fused expression pass must produce, bit
+// for bit, the Gather→Gather→MapBinop→MapBinopConst composition, including
+// the int→float promotion rules.
+func TestFusedEvalMatchesUnfused(t *testing.T) {
+	for _, dev := range devices() {
+		e := newEnv(dev)
+		n, m := 30000, 9973
+		icol := e.buf(t, n+1)
+		fcol := e.buf(t, n+1)
+		idx := e.buf(t, m+1)
+		r := rand.New(rand.NewSource(9))
+		iv, fv, xv := icol.I32(), fcol.F32(), idx.U32()
+		for i := 0; i < n; i++ {
+			iv[i] = r.Int31n(5000) - 2500
+			fv[i] = r.Float32()*10 - 5
+		}
+		for i := 0; i < m; i++ {
+			xv[i] = uint32(r.Intn(n))
+		}
+
+		// Unfused: gather both columns, promote the int one, multiply, then
+		// subtract the (non-integral) constant — constFirst.
+		gi := e.buf(t, m+1)
+		gf := e.buf(t, m+1)
+		cast := e.buf(t, m+1)
+		mul := e.buf(t, m+1)
+		want := e.buf(t, m+1)
+		ev1 := Gather(e.q, gi, icol, idx, m, nil)
+		ev2 := Gather(e.q, gf, fcol, idx, m, nil)
+		ev1 = CastI32F32(e.q, cast, gi, m, []*cl.Event{ev1})
+		ev := MapBinop(e.q, mul, cast, gf, true, ops.Mul, m, []*cl.Event{ev1, ev2})
+		if err := MapBinopConst(e.q, want, mul, true, ops.SubOp, 2.5, 2, true, m, []*cl.Event{ev}).Wait(); err != nil {
+			t.Fatal(err)
+		}
+
+		// Fused: 2.5 - (i32col[idx] * f32col[idx]) in registers.
+		nodes := []FusedExprNode{
+			{Kind: ops.FusedCol, Buf: icol},
+			{Kind: ops.FusedCol, Buf: fcol, Float: true},
+			{Kind: ops.FusedBin, Bin: ops.Mul, L: 0, R: 1, Float: true},
+			{Kind: ops.FusedConst, C: 2.5},
+			{Kind: ops.FusedBin, Bin: ops.SubOp, L: 3, R: 2, Float: true},
+		}
+		f32, _, isFloat := CompileFusedExpr(nodes)
+		if !isFloat {
+			t.Fatalf("%s: fused expression lost its float promotion", dev.Name)
+		}
+		got := e.buf(t, m+1)
+		if err := FusedEvalF32(e.q, got, idx, 0, f32, m, cl.Cost{}, nil).Wait(); err != nil {
+			t.Fatal(err)
+		}
+		wantV, gotV := want.F32(), got.F32()
+		for i := 0; i < m; i++ {
+			if wantV[i] != gotV[i] {
+				t.Fatalf("%s: position %d: fused %v, unfused %v", dev.Name, i, gotV[i], wantV[i])
+			}
+		}
+	}
+}
+
+// TestFusedSumMatchesUnfusedReduce: a fused sum over a dense domain must be
+// bit-identical to ReduceF32 over the same values — and ReduceF32 itself
+// must produce the same bits on every device (the fixed SumChunks
+// partition), which is what keeps hybrid placement changes invisible in
+// results.
+func TestFusedSumMatchesUnfusedReduce(t *testing.T) {
+	n := 123457
+	vals := make([]float32, n)
+	r := rand.New(rand.NewSource(3))
+	for i := range vals {
+		vals[i] = r.Float32()*2 - 1
+	}
+	var sums []float32
+	for _, dev := range devices() {
+		e := newEnv(dev)
+		src := e.f32(t, vals)
+		dst := e.buf(t, 1)
+		if err := ReduceF32(e.q, dst, src, e.scratch(t), ops.Sum, n, nil).Wait(); err != nil {
+			t.Fatal(err)
+		}
+		sums = append(sums, dst.F32()[0])
+	}
+	if sums[0] != sums[1] {
+		t.Fatalf("f32 sum differs across device classes: %v vs %v (fixed partition broken)", sums[0], sums[1])
+	}
+}

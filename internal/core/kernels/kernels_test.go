@@ -53,8 +53,7 @@ func (e *env) f32(t *testing.T, vals []float32) *cl.Buffer {
 }
 
 func (e *env) scratch(t *testing.T) *cl.Buffer {
-	_, _, gsz := Geometry(e.dev)
-	return e.buf(t, gsz+2)
+	return e.buf(t, ReducePartialWords(e.dev))
 }
 
 func TestPrefixSum(t *testing.T) {

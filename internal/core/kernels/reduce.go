@@ -70,13 +70,73 @@ func foldI32(kind ops.Agg, a, b int32) int32 {
 	}
 }
 
+// SumChunks is the fixed, device-independent partition width of the float
+// sum reduction. Float addition does not associate, so the partition (and
+// with it the result's exact bit pattern) must not depend on launch geometry
+// or device class: with a fixed chunking the same data sums to the same bits
+// on every device, which is what lets a fused region's terminal sum (and a
+// hybrid plan that moves the aggregation across devices) stay byte-identical
+// to the unfused chain. Min/Max and integer sums are order-insensitive and
+// keep the device-preferred partition.
+const SumChunks = 128
+
+// ReducePartialWords returns the partials-buffer size (in words) ReduceF32
+// and ReduceI32 require on dev: the launch's global size, or SumChunks for
+// the fixed-partition float sum, whichever is larger, plus headroom.
+func ReducePartialWords(dev *cl.Device) int {
+	_, _, gsz := Geometry(dev)
+	if gsz < SumChunks {
+		return SumChunks + 2
+	}
+	return gsz + 2
+}
+
 // ReduceF32 enqueues the reduction of src[:n] under kind (Sum/Min/Max) into
-// dst[0]. partials must hold gsz words.
+// dst[0]. partials must hold ReducePartialWords(dev) words.
 func ReduceF32(q *cl.Queue, dst, src, partials *cl.Buffer, kind ops.Agg, n int, wait []*cl.Event) *cl.Event {
 	dev := q.Device()
 	_, local, gsz := Geometry(dev)
 	s, p, d := src.F32(), partials.F32(), dst.F32()
 	id := identityF32(kind)
+
+	if kind == ops.Sum {
+		// Fixed partition: SumChunks contiguous chunks, each folded
+		// sequentially, then one sequential fold over the chunk partials.
+		// Work-items stride over the chunks, so the parallelism matches the
+		// device while the addition order stays geometry-independent. The
+		// cost fields are unchanged from the geometry-partitioned variant:
+		// the same bytes stream and the same adds run, so simulated-device
+		// timelines are identical.
+		chunk := (n + SumChunks - 1) / SumChunks
+		ev1 := q.EnqueueKernel(func(t *cl.Thread) {
+			for c := t.Global; c < SumChunks; c += t.GlobalSize {
+				lo := c * chunk
+				hi := lo + chunk
+				if lo > n {
+					lo = n
+				}
+				if hi > n {
+					hi = n
+				}
+				acc := id
+				for i := lo; i < hi; i++ {
+					acc += s[i]
+				}
+				p[c] = acc
+			}
+		}, launch(dev, "reduce_f32_partials", cl.Cost{BytesStreamed: int64(n) * 4, Ops: int64(n)}, wait))
+
+		return q.EnqueueKernel(func(t *cl.Thread) {
+			if t.Global != 0 {
+				return
+			}
+			acc := id
+			for i := 0; i < SumChunks; i++ {
+				acc += p[i]
+			}
+			d[0] = acc
+		}, launch(dev, "reduce_f32_final", cl.Cost{BytesStreamed: int64(gsz) * 4, Ops: int64(gsz)}, []*cl.Event{ev1}))
+	}
 
 	ev1 := q.EnqueueKernel(func(t *cl.Thread) {
 		lo, hi, step := t.Span(n)

@@ -21,6 +21,7 @@
 package hybrid
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -483,6 +484,45 @@ func (v view) BinopConst(op ops.Bin, a *bat.BAT, c float64, constFirst bool) (*b
 		return nil, err
 	}
 	return outs[0], nil
+}
+
+// Fused routes a fused region (ops.FusedOperators) to one device as a
+// single placement unit: the whole member chain runs where the pick lands,
+// with only the region's external inputs costed for transfer — interior
+// values never exist, so they can never be shipped. The out-of-memory
+// fallback applies like any operator, but a shape refusal
+// (ErrFusedUnsupported) surfaces immediately: the other device would refuse
+// the same shape for the same reason, so retrying there would only migrate
+// every input across PCIe for nothing before the executor falls back to the
+// unfused members anyway.
+func (v view) Fused(op *ops.FusedOp) (*bat.BAT, error) {
+	h := v.h
+	inputs := op.Inputs()
+	var bytes int64
+	for _, b := range inputs {
+		bytes += batBytes(b)
+	}
+	target := h.pick(v.pin, inputs, bytes)
+	if err := h.migrate(target, inputs...); err != nil {
+		return nil, err
+	}
+	r, err := target.Fused(op)
+	if err != nil {
+		if errors.Is(err, ops.ErrFusedUnsupported) {
+			return nil, err
+		}
+		fallback := h.other(target)
+		if mErr := h.migrate(fallback, inputs...); mErr != nil {
+			return nil, err
+		}
+		if r, err = fallback.Fused(op); err != nil {
+			return nil, err
+		}
+		target = fallback
+	}
+	h.note("fused", target)
+	h.adopt(target, r)
+	return r, nil
 }
 
 // OIDUnion routes the disjunction combine.

@@ -17,6 +17,7 @@
 package mal
 
 import (
+	"container/list"
 	"fmt"
 	"sync"
 	"time"
@@ -259,34 +260,115 @@ func (s *Session) resultCol(c *bat.BAT) *bat.BAT {
 }
 
 // PlanCache stores sealed templates keyed by query name, configuration and
-// pass set. One cache must serve exactly one database and one engine (or
-// engines of the same configuration over the same data): templates capture
-// base-BAT identities and mid-plan host constants.
+// pass set, bounded by an LRU capacity: templates pin rewritten plan
+// fragments (and through them base-BAT references) for the cache's lifetime,
+// so an unbounded cache under a many-query workload grows without limit.
+// One cache must serve exactly one database and one engine (or engines of
+// the same configuration over the same data): templates capture base-BAT
+// identities and mid-plan host constants.
 type PlanCache struct {
-	mu     sync.Mutex
-	m      map[string]*Template
-	hits   int64
-	misses int64
+	mu       sync.Mutex
+	m        map[string]*list.Element
+	lru      *list.List // front = most recently used
+	capacity int
+	hits     int64
+	misses   int64
+	evicted  int64
 }
 
-// NewPlanCache creates an empty cache.
-func NewPlanCache() *PlanCache { return &PlanCache{m: map[string]*Template{}} }
+// cacheSlot is one resident template plus its key (for map removal on
+// eviction).
+type cacheSlot struct {
+	key string
+	tpl *Template
+}
+
+// DefaultPlanCacheCapacity bounds a cache created by NewPlanCache. Each
+// template is a rewritten plan (tens of instructions), so the default keeps
+// far more distinct (query, configuration) pairs resident than any shipped
+// workload uses while still bounding growth.
+const DefaultPlanCacheCapacity = 256
+
+// NewPlanCache creates an empty cache with the default capacity.
+func NewPlanCache() *PlanCache {
+	return &PlanCache{m: map[string]*list.Element{}, lru: list.New(), capacity: DefaultPlanCacheCapacity}
+}
+
+// NewPlanCacheCap creates an empty cache holding at most capacity templates
+// (<=0 means unbounded).
+func NewPlanCacheCap(capacity int) *PlanCache {
+	c := NewPlanCache()
+	c.capacity = capacity
+	return c
+}
+
+// SetCapacity re-bounds the cache (<=0 means unbounded), evicting
+// least-recently-used templates immediately if the cache is over the new
+// bound.
+func (c *PlanCache) SetCapacity(capacity int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.capacity = capacity
+	c.evictLocked()
+}
+
+// evictLocked drops least-recently-used templates until the cache fits its
+// capacity.
+func (c *PlanCache) evictLocked() {
+	if c.capacity <= 0 {
+		return
+	}
+	for len(c.m) > c.capacity {
+		back := c.lru.Back()
+		if back == nil {
+			return
+		}
+		c.lru.Remove(back)
+		delete(c.m, back.Value.(*cacheSlot).key)
+		c.evicted++
+	}
+}
+
+// lookupLocked returns the resident template for key, marking it most
+// recently used.
+func (c *PlanCache) lookupLocked(key string) *Template {
+	el := c.m[key]
+	if el == nil {
+		return nil
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(*cacheSlot).tpl
+}
+
+// putLocked stores (or refreshes) a template under key and applies the
+// capacity bound.
+func (c *PlanCache) putLocked(key string, t *Template) {
+	if el := c.m[key]; el != nil {
+		el.Value.(*cacheSlot).tpl = t
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.lru.PushFront(&cacheSlot{key: key, tpl: t})
+	c.evictLocked()
+}
 
 func cacheKey(name string, o ops.Operators, passes Passes) string {
 	return name + "|" + o.Name() + "|" + o.Module() + "|" + passes.key()
 }
 
-// Lookup returns the cached template for (name, configuration, passes).
+// Lookup returns the cached template for (name, configuration, passes),
+// refreshing its recency.
 func (c *PlanCache) Lookup(name string, o ops.Operators, passes Passes) *Template {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.m[cacheKey(name, o, passes)]
+	return c.lookupLocked(cacheKey(name, o, passes))
 }
 
-// Put stores a sealed template under (name, configuration, passes).
+// Put stores a sealed template under (name, configuration, passes), evicting
+// the least-recently-used resident if the cache is full.
 func (c *PlanCache) Put(name string, o ops.Operators, passes Passes, t *Template) {
 	c.mu.Lock()
-	c.m[cacheKey(name, o, passes)] = t
+	c.putLocked(cacheKey(name, o, passes), t)
 	c.mu.Unlock()
 }
 
@@ -295,6 +377,13 @@ func (c *PlanCache) Stats() (hits, misses int64, size int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses, len(c.m)
+}
+
+// Evictions returns how many templates the capacity bound has dropped.
+func (c *PlanCache) Evictions() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evicted
 }
 
 // Run executes the named query on o: on a hit the cached template is
@@ -306,7 +395,7 @@ func (c *PlanCache) Stats() (hits, misses int64, size int) {
 // independently; the last completed build wins the slot.
 func (c *PlanCache) Run(o ops.Operators, name string, params Params, passes Passes, plan func(*Session) *Result) (res *Result, hit bool, err error) {
 	c.mu.Lock()
-	t := c.m[cacheKey(name, o, passes)]
+	t := c.lookupLocked(cacheKey(name, o, passes))
 	if t != nil {
 		c.hits++
 	} else {

@@ -19,6 +19,7 @@
 package mal
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -211,6 +212,25 @@ func (s *Session) step(in *PInstr, o ops.Operators) {
 			s.fail("union", err)
 		}
 		s.bind(in, res)
+	case OpFused:
+		if fe, ok := o.(ops.FusedOperators); ok {
+			res, err := fe.Fused(s.resolveFused(in.Fuse))
+			if err == nil {
+				s.bind(in, res)
+				return
+			}
+			if !errors.Is(err, ops.ErrFusedUnsupported) {
+				s.fail("fused", err)
+			}
+		}
+		// The engine cannot run this region as one kernel (or is not
+		// fusion-capable, e.g. a template falling back): interpret the
+		// member instructions unfused. The region root's results are the
+		// fused instruction's own placeholders, so binding happens at the
+		// root member.
+		for _, m := range in.Sub {
+			s.step(m, o)
+		}
 	case OpSync:
 		conc := arg(0)
 		if err := o.Sync(conc); err != nil {
@@ -230,6 +250,29 @@ func (s *Session) step(in *PInstr, o ops.Operators) {
 	default:
 		s.fail("exec", fmt.Errorf("unknown plan instruction kind %d", int(in.Kind)))
 	}
+}
+
+// resolveFused maps a fused region's plan values to the concrete BATs of
+// this execution. The shared descriptor on the (possibly cached, shared)
+// instruction is never mutated: each execution gets a fresh copy.
+func (s *Session) resolveFused(f *ops.FusedOp) *ops.FusedOp {
+	out := &ops.FusedOp{
+		Cand:    s.resolve(f.Cand),
+		Filters: append([]ops.FusedFilter(nil), f.Filters...),
+		Nodes:   append([]ops.FusedNode(nil), f.Nodes...),
+		HasAgg:  f.HasAgg,
+		Agg:     f.Agg,
+	}
+	for i := range out.Filters {
+		out.Filters[i].Col = s.resolve(out.Filters[i].Col)
+		out.Filters[i].Other = s.resolve(out.Filters[i].Other)
+	}
+	for i := range out.Nodes {
+		if out.Nodes[i].Kind == ops.FusedCol {
+			out.Nodes[i].Col = s.resolve(out.Nodes[i].Col)
+		}
+	}
+	return out
 }
 
 // describe renders a concrete value for the trace.

@@ -14,6 +14,7 @@ package mal
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"repro/internal/bat"
@@ -37,6 +38,12 @@ const (
 	OpBinop
 	OpBinopConst
 	OpUnion
+	// OpFused is produced by the fusion pass (fuse.go), never by plan code:
+	// a single-exit select→project→binop(→sum/count) region collapsed into
+	// one instruction. Fuse describes the region for fusion-capable engines;
+	// Sub keeps the member instructions for EXPLAIN and for the unfused
+	// fall-back.
+	OpFused
 	// OpSync and OpRelease are inserted by the rewriter passes, never by
 	// plan code: syncs at plan outputs (§3.4), releases at last use.
 	OpSync
@@ -83,6 +90,13 @@ type PInstr struct {
 	// Params records which scalar fields were bound through Session.Param,
 	// so a cached template can re-bind them per execution (cache.go).
 	Params []ParamRef
+
+	// Fuse describes an OpFused region over *plan values* (the executor
+	// resolves them per execution); Sub are the region's member
+	// instructions in plan order, interpreted unfused when the engine
+	// cannot run the region as one kernel. Nil for every other kind.
+	Fuse *ops.FusedOp
+	Sub  []*PInstr
 
 	// Took is the host-observed latency of interpreting this instruction:
 	// enqueue time under lazy engines, execution time under eager ones (see
@@ -140,6 +154,13 @@ func (in *PInstr) OpName() string {
 		return "binopconst" + in.Bin.String()
 	case OpUnion:
 		return "union"
+	case OpFused:
+		// EXPLAIN prints the fused region with its member operators.
+		names := make([]string, len(in.Sub))
+		for i, m := range in.Sub {
+			names[i] = m.OpName()
+		}
+		return "fused{" + strings.Join(names, ";") + "}"
 	case OpSync:
 		return "sync"
 	case OpRelease:
@@ -158,6 +179,8 @@ func (in *PInstr) placeKey() string {
 		return "binop"
 	case OpBinopConst:
 		return "binopconst"
+	case OpFused:
+		return "fused"
 	default:
 		return in.OpName()
 	}

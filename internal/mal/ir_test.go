@@ -150,6 +150,9 @@ func TestEarlyReleaseLowersPeakFootprint(t *testing.T) {
 		s := NewSession(o)
 		p := DefaultPasses()
 		p.EarlyRelease = early
+		// Fusion would collapse the whole chain into one instruction with no
+		// intermediates at all; this test isolates the release pass.
+		p.Fusion = false
 		s.SetPasses(p)
 		_, err := RunQuery(s, func(s *Session) *Result {
 			cur := s.BinopConst(ops.Add, col, 1, false)

@@ -41,6 +41,12 @@ func (s *Session) flush(final bool) {
 	if final && s.passes.DCE && len(outputs) > 0 {
 		batch = s.dcePass(batch, outputs)
 	}
+	if final && s.passes.Fusion {
+		// Fusion needs the full liveness picture — at intermediate
+		// boundaries later plan code may still consume any pending value —
+		// so, like DCE, it only runs at the final flush.
+		batch = s.fusePass(batch, outputs)
+	}
 	batch = append(batch, s.syncInsertPass(outputs)...)
 	if s.passes.Placement {
 		s.placementPass(batch, outputs)

@@ -13,6 +13,7 @@ import (
 	"repro/internal/bat"
 	"repro/internal/cl"
 	"repro/internal/hybrid"
+	"repro/internal/ops"
 )
 
 // placement cost constants: per-operator streamed-byte multipliers mirror
@@ -97,9 +98,53 @@ func (e *estimator) estimate(in *PInstr) (outRows []float64, streamedBytes float
 		return []float64{r(0)}, 2 * 4 * r(0)
 	case OpUnion:
 		return []float64{r(0) + r(1)}, 4 * (r(0) + r(1))
+	case OpFused:
+		return e.estimateFused(in.Fuse)
 	default:
 		return nil, 0
 	}
+}
+
+// estimateFused costs a fused region as ONE instruction: the summed compute
+// of its members over the shared domain, with only the region's external
+// inputs contributing transfer volume (the executor resolves interior values
+// in registers, so placement must not price — and cannot be biased by —
+// intermediates that never exist). This is what stops the relaxation from
+// splitting a fused chain across devices.
+func (e *estimator) estimateFused(f *ops.FusedOp) (outRows []float64, streamedBytes float64) {
+	leaves := 0
+	var firstLeaf *bat.BAT
+	for _, nd := range f.Nodes {
+		if nd.Kind == ops.FusedCol {
+			leaves++
+			if firstLeaf == nil {
+				firstLeaf = nd.Col
+			}
+		}
+	}
+	var domain float64
+	switch {
+	case len(f.Filters) > 0:
+		domain = e.rowsOf(f.Filters[0].Col)
+	case f.Cand != nil:
+		domain = e.rowsOf(f.Cand)
+	case firstLeaf != nil:
+		domain = e.rowsOf(firstLeaf)
+	}
+	streamed := 4 * domain * float64(leaves)
+	out := domain
+	for _, fl := range f.Filters {
+		streamed += 4 * domain
+		if fl.IsCmp {
+			streamed += 4 * domain
+		}
+		out /= 3 // the per-selection selectivity guess the unfused model uses
+	}
+	if f.HasAgg {
+		out = 1
+	}
+	streamed += 4 * out
+	return []float64{out}, streamed
 }
 
 // placementPass pins each compute instruction of the fragment to a device.

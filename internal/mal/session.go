@@ -76,11 +76,17 @@ type Passes struct {
 	// Placement pins instructions to devices plan-wide under the hybrid
 	// configuration (placement.go), replacing greedy per-call choice.
 	Placement bool
+	// Fusion collapses single-exit select→project→binop(→sum/count) chains
+	// into one fused instruction per region at the final flush (fuse.go),
+	// eliminating the member operators' intermediate BATs. It only applies
+	// when the bound engine advertises fusion support (ops.FusedOperators);
+	// the MonetDB baselines always execute the unfused chain.
+	Fusion bool
 }
 
 // DefaultPasses enables the full pipeline.
 func DefaultPasses() Passes {
-	return Passes{CSE: true, DCE: true, EarlyRelease: true, Placement: true}
+	return Passes{CSE: true, DCE: true, EarlyRelease: true, Placement: true, Fusion: true}
 }
 
 // key renders the pass configuration for plan-cache keying.
@@ -91,7 +97,7 @@ func (p Passes) key() string {
 		}
 		return '-'
 	}
-	return string([]byte{mark(p.CSE, 'c'), mark(p.DCE, 'd'), mark(p.EarlyRelease, 'r'), mark(p.Placement, 'p')})
+	return string([]byte{mark(p.CSE, 'c'), mark(p.DCE, 'd'), mark(p.EarlyRelease, 'r'), mark(p.Placement, 'p'), mark(p.Fusion, 'f')})
 }
 
 // Params are the per-execution parameter bindings of a plan: values for the

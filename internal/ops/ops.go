@@ -12,6 +12,7 @@
 package ops
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/bat"
@@ -205,4 +206,128 @@ type Operators interface {
 	// Release hints that an intermediate BAT is dead, letting the engine
 	// free device resources early.
 	Release(b *bat.BAT)
+}
+
+// --- Operator fusion ---
+//
+// A FusedOp describes a single-exit region of a query plan — a conjunction
+// of selections over one base domain, an expression tree over columns
+// projected through that selection, and optionally a terminal scalar
+// aggregate — that a fusion-capable engine executes as one generated kernel
+// chain, evaluating the whole expression per element in registers instead of
+// materialising one intermediate column per member operator.
+
+// ErrFusedUnsupported is returned by FusedOperators.Fused when the engine
+// cannot run this particular region as a fused kernel (for example the
+// incoming candidate resolved to a materialised oid list, or operand shapes
+// do not line up). The sentinel must be returned before any device work was
+// enqueued; the caller then falls back to executing the region's member
+// operators unfused.
+var ErrFusedUnsupported = errors.New("ops: fused region not supported; execute the member operators instead")
+
+// FusedNodeKind enumerates fused-expression node kinds.
+type FusedNodeKind int
+
+const (
+	// FusedCol is a column leaf.
+	FusedCol FusedNodeKind = iota
+	// FusedConst is a scalar constant leaf.
+	FusedConst
+	// FusedBin is a binary arithmetic node over two child nodes.
+	FusedBin
+)
+
+// FusedNode is one node of a fused expression tree, stored in a flat slice
+// in topological order: children precede their parent, and the last node is
+// the root whose value the region produces.
+type FusedNode struct {
+	Kind FusedNodeKind
+	// Col is the source column of a FusedCol leaf. With Aligned false the
+	// leaf reads Col at the *domain row* driving the output position — the
+	// fused equivalent of projecting Col through the region's candidate.
+	// With Aligned true it reads Col at the output position directly: an
+	// input column that is already aligned with the region's candidate
+	// (only meaningful when the region carries no filters).
+	Col     *bat.BAT
+	Aligned bool
+	// C is the constant of a FusedConst leaf. Its type follows the unfused
+	// BinopConst promotion rule: integral constants stay integer next to an
+	// integer operand, everything else promotes the node to float.
+	C float64
+	// Bin combines Nodes[L] ⟨Bin⟩ Nodes[R] for a FusedBin node.
+	Bin  Bin
+	L, R int
+}
+
+// FusedFilter is one conjunct of a fused selection. All filter columns of a
+// region span the same base domain; the conjunction is evaluated in a single
+// pass with the same bound conventions as Select / SelectCmp.
+type FusedFilter struct {
+	Col *bat.BAT
+	// Range predicate (IsCmp false): Lo ⋞ Col[r] ⋞ Hi.
+	Lo, Hi         float64
+	LoIncl, HiIncl bool
+	// Column comparison (IsCmp true): Col[r] ⟨Cmp⟩ Other[r].
+	IsCmp bool
+	Other *bat.BAT
+	Cmp   Cmp
+}
+
+// FusedOp is the engine-neutral descriptor of one fusible region. Exactly
+// one value escapes the region:
+//
+//   - Filters only (no Nodes): a candidate list — the one-kernel conjunction
+//     of the member selections;
+//   - Nodes, no aggregate: a value column aligned with the region's
+//     candidate (the member projections and arithmetic, fused);
+//   - HasAgg: a 1-row scalar aggregate (Sum or Count) of the expression.
+type FusedOp struct {
+	// Cand restricts the domain exactly like a candidate-list argument:
+	// nil means all rows. With Filters present it is ANDed into the fused
+	// selection; without Filters it drives which rows feed the expression.
+	Cand    *bat.BAT
+	Filters []FusedFilter
+	Nodes   []FusedNode
+	// HasAgg marks a terminal scalar aggregation; Agg is Sum or Count.
+	HasAgg bool
+	Agg    Agg
+}
+
+// Inputs returns every column BAT the region reads (deduplicated, nil-free)
+// — what a placement layer must make resident before running the region.
+func (f *FusedOp) Inputs() []*bat.BAT {
+	seen := map[*bat.BAT]bool{}
+	var out []*bat.BAT
+	add := func(b *bat.BAT) {
+		if b != nil && !seen[b] {
+			seen[b] = true
+			out = append(out, b)
+		}
+	}
+	add(f.Cand)
+	for _, fl := range f.Filters {
+		add(fl.Col)
+		add(fl.Other)
+	}
+	for _, n := range f.Nodes {
+		if n.Kind == FusedCol {
+			add(n.Col)
+		}
+	}
+	return out
+}
+
+// FusedOperators is implemented by engines that can collapse a fused region
+// into a single generated kernel chain. The MonetDB baselines do not
+// implement it: plans bound to them keep the unfused member operators, which
+// is the fall-back contract — a rewriter only fuses when the bound engine
+// advertises support, and an engine returning ErrFusedUnsupported at run
+// time sends the executor back to the members.
+type FusedOperators interface {
+	Operators
+
+	// Fused executes the region and returns its single escaping value (see
+	// FusedOp). Engines must produce results bit-identical to running the
+	// member operators unfused.
+	Fused(op *FusedOp) (*bat.BAT, error)
 }

@@ -171,6 +171,69 @@ func TestAllQueriesAgreeAcrossConfigurations(t *testing.T) {
 	}
 }
 
+// TestFusionEquivalenceAllQueries: running every workload query with the
+// fusion pass on must produce results byte-identical to running it with
+// fusion off, per configuration — fusion is a pure execution-strategy
+// change. Grouped float aggregation is inherently run-to-run
+// nondeterministic (concurrent atomic float adds), so each (query, config)
+// pair first probes its own determinism with two fusion-off runs and only
+// then demands exactness; nondeterministic pairs are compared within the
+// atomic-jitter tolerance instead, the same probing the serve-layer
+// equivalence tests use.
+func TestFusionEquivalenceAllQueries(t *testing.T) {
+	db := testDB(t)
+	opts := mal.ConfigOptions{Threads: 4, GPUMemory: 512 << 20}
+	configs := []mal.Config{mal.MS, mal.MP, mal.OcelotCPU, mal.OcelotGPU, mal.Hybrid}
+	queries := Queries()
+	if testing.Short() {
+		configs = []mal.Config{mal.OcelotCPU, mal.Hybrid}
+		queries = []Query{*QueryByNum(1), *QueryByNum(6)}
+	}
+	for _, cfg := range configs {
+		o := cfg.Build(opts)
+		run := func(q Query, fusion bool) *mal.Result {
+			s := mal.NewSession(o)
+			p := mal.DefaultPasses()
+			p.Fusion = fusion
+			s.SetPasses(p)
+			res, err := mal.RunQuery(s, func(s *mal.Session) *mal.Result { return q.Plan(s, db) })
+			if err != nil {
+				t.Fatalf("Q%d on %v (fusion=%v): %v", q.Num, cfg, fusion, err)
+			}
+			return res
+		}
+		for _, q := range queries {
+			off1 := run(q, false)
+			off2 := run(q, false)
+			on := run(q, true)
+			if off1.EqualWithin(off2, 0) == nil {
+				if err := on.EqualWithin(off1, 0); err != nil {
+					t.Fatalf("Q%d on %v: fusion-on differs byte-for-byte from fusion-off: %v", q.Num, cfg, err)
+				}
+			} else if err := on.EqualWithin(off1, 1e-5); err != nil {
+				t.Fatalf("Q%d on %v (nondeterministic grouped floats): fusion-on outside jitter tolerance: %v", q.Num, cfg, err)
+			}
+		}
+	}
+	// The pass must actually fire on the workload: Q6's whole plan is one
+	// fusible region on a fusion-capable engine.
+	s := mal.NewSession(mal.OcelotCPU.Build(opts))
+	if _, err := mal.RunQuery(s, func(s *mal.Session) *mal.Result {
+		return QueryByNum(6).Plan(s, db)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	fused := 0
+	for _, in := range s.Plan() {
+		if in.Kind == mal.OpFused {
+			fused++
+		}
+	}
+	if fused == 0 {
+		t.Fatal("fusion pass never fired on Q6")
+	}
+}
+
 // TestQ1Shape pins Q1's semantics against a direct oracle computation.
 func TestQ1Shape(t *testing.T) {
 	db := testDB(t)

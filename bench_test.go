@@ -12,6 +12,7 @@
 package repro
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -455,5 +456,39 @@ func invalidate(o ops.Operators, col *bat.BAT) {
 	type invalidator interface{ InvalidateHash(*bat.BAT) }
 	if inv, ok := o.(invalidator); ok {
 		inv.InvalidateHash(col)
+	}
+}
+
+// BenchmarkNdevTPCH — the 14-query workload on the N-device hybrid engine
+// at 1, 2 and 4 simulated GPUs (the ndev figure's sweep, reduced for the
+// CI bench smoke). Wall ns/op: the hybrid engine spans several simulated
+// devices, so no single virtual timeline applies.
+func BenchmarkNdevTPCH(b *testing.B) {
+	db := tpch.Generate(0.01, 42)
+	for _, gpus := range []int{1, 2, 4} {
+		gpus := gpus
+		b.Run(fmt.Sprintf("g=%d", gpus), func(b *testing.B) {
+			o := mal.Hybrid.Build(mal.ConfigOptions{GPUMemory: 1 << 30, GPUs: gpus})
+			run := func() error {
+				for _, q := range tpch.Queries() {
+					s := mal.NewSession(o)
+					if _, err := mal.RunQuery(s, func(s *mal.Session) *mal.Result {
+						return q.Plan(s, db)
+					}); err != nil {
+						return err
+					}
+				}
+				return mal.Finish(o)
+			}
+			if err := run(); err != nil { // hot cache
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -32,6 +32,7 @@ func main() {
 		rows    = flag.Bool("rows", false, "print result rows")
 		threads = flag.Int("threads", 0, "parallelism (0 = all cores)")
 		gpuMem  = flag.Int64("gpumem", 1024, "simulated GPU memory in MiB")
+		gpus    = flag.Int("gpus", 1, "simulated GPUs of the HYB configuration")
 	)
 	flag.Parse()
 
@@ -64,7 +65,7 @@ func main() {
 	}
 
 	for _, cfg := range configs {
-		o := cfg.Build(mal.ConfigOptions{Threads: *threads, GPUMemory: *gpuMem << 20})
+		o := cfg.Build(mal.ConfigOptions{Threads: *threads, GPUMemory: *gpuMem << 20, GPUs: *gpus})
 		s := mal.NewSession(o)
 		if *explain {
 			s.EnableTrace()
@@ -92,8 +93,9 @@ func main() {
 			fmt.Print(s.ExplainBefore())
 			fmt.Print(s.Explain())
 			if hyb, ok := o.(*hybrid.Engine); ok {
-				cpuP, gpuP := hyb.Profiles()
-				fmt.Printf("    %s\n    %s\n", cpuP, gpuP)
+				for _, d := range hyb.Devices() {
+					fmt.Printf("    %-5s %s\n", d.Label, d.Prof)
+				}
 				for op, m := range hyb.Placements() {
 					fmt.Printf("    placement %-14s %v\n", op, m)
 				}

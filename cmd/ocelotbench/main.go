@@ -31,7 +31,7 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "", "figure(s) to regenerate, comma-separated: 5a..5i, 6, 7a..7d, pc, srv, fus")
+		fig     = flag.String("fig", "", "figure(s) to regenerate, comma-separated: 5a..5i, 6, 7a..7d, pc, srv, fus, ndev")
 		all     = flag.Bool("all", false, "regenerate every figure")
 		conc    = flag.Int("concurrency", 0, "serve the TPC-H workload with N concurrent clients over one shared engine and print per-query server stats")
 		sizes   = flag.String("sizes", "", "comma-separated size sweep in MB (Fig 5/6)")
@@ -39,6 +39,7 @@ func main() {
 		runs    = flag.Int("runs", 0, "measured repetitions per point")
 		threads = flag.Int("threads", 0, "parallelism for MP and the Ocelot CPU driver (0 = all cores)")
 		gpuMem  = flag.Int64("gpumem", 0, "simulated GPU memory in MiB")
+		gpus    = flag.Int("gpus", 0, "simulated GPUs of the HYB configuration (0 = 1; the ndev figure sweeps 1/2/4 itself)")
 		sf      = flag.Float64("sf", 0, "TPC-H scale factor override (Fig 7)")
 		pause   = flag.Duration("cpupause", 0, "per-launch Ocelot-CPU pause emulating the Intel SDK overhead (Fig 7)")
 		configs = flag.String("configs", "", "comma-separated subset of MS,MP,CPU,GPU,HYB")
@@ -52,6 +53,7 @@ func main() {
 		Runs:           *runs,
 		Threads:        *threads,
 		GPUMemory:      *gpuMem << 20,
+		GPUs:           *gpus,
 		CPULaunchPause: *pause,
 		Seed:           *seed,
 	}
@@ -101,7 +103,7 @@ func main() {
 	var figs []string
 	if *all {
 		figs = []string{"5a", "5b", "5c", "5d", "5e", "5f", "5g", "5h", "5i", "6",
-			"7a", "7b", "7c", "7d", "a1", "a2", "a3", "a4", "pc", "srv", "fus"}
+			"7a", "7b", "7c", "7d", "a1", "a2", "a3", "a4", "pc", "srv", "fus", "ndev"}
 	} else if *fig != "" {
 		for _, f := range strings.Split(*fig, ",") {
 			figs = append(figs, strings.ToLower(strings.TrimSpace(f)))
@@ -146,6 +148,8 @@ func main() {
 			rep = bench.ServeFigure(topt)
 		case f == "fus":
 			rep = bench.FigFus(opt)
+		case f == "ndev":
+			rep = bench.NdevFigure(topt)
 		default:
 			known := make([]string, 0, len(micro)+len(ablations))
 			for k := range micro {
@@ -155,7 +159,7 @@ func main() {
 				known = append(known, k)
 			}
 			sort.Strings(known)
-			fatalf("unknown figure %q (known: %s 7a 7b 7c 7d pc srv fus)", f, strings.Join(known, " "))
+			fatalf("unknown figure %q (known: %s 7a 7b 7c 7d pc srv fus ndev)", f, strings.Join(known, " "))
 		}
 		fmt.Println(rep)
 		runtime.ReadMemStats(&ms)

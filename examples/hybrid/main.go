@@ -1,10 +1,12 @@
-// Hybrid placement: the paper's §7 future work, implemented. Two Ocelot
-// devices are calibrated with standardized micro-benchmarks; every operator
-// of a query then runs on the device the profiles predict to be cheaper,
-// with intermediates migrating across devices through the §3.4 ownership
-// hand-over. The example runs a TPC-H query under the hybrid configuration,
-// prints the calibrated profiles and where each operator was placed, and
-// cross-checks the result against the sequential baseline.
+// Hybrid placement: the paper's §7 future work, implemented. An ordered
+// set of Ocelot devices (here one CPU and two simulated GPUs) is calibrated
+// with standardized micro-benchmarks; every operator of a query then runs
+// on the device the profiles predict to be cheaper, with intermediates
+// migrating across devices through the §3.4 ownership hand-over and
+// independent plan subtrees spreading across the GPUs. The example runs a
+// TPC-H query under the hybrid configuration, prints the calibrated device
+// table and where each operator was placed, and cross-checks the result
+// against the sequential baseline.
 package main
 
 import (
@@ -22,12 +24,15 @@ func main() {
 	q := tpch.QueryByNum(3)
 	fmt.Printf("Q%d (%s) on TPC-H SF %g\n\n", q.Num, q.Name, db.SF)
 
-	h, err := hybrid.New(0, 512<<20)
+	h, err := hybrid.NewN(0, 512<<20, 2)
 	if err != nil {
 		log.Fatal(err)
 	}
-	cpuProf, gpuProf := h.Profiles()
-	fmt.Printf("calibrated profiles:\n  %s\n  %s\n\n", cpuProf, gpuProf)
+	fmt.Println("calibrated device table:")
+	for _, d := range h.Devices() {
+		fmt.Printf("  %-5s %s\n", d.Label, d.Prof)
+	}
+	fmt.Println()
 
 	res, err := mal.RunQuery(mal.NewSession(h), func(s *mal.Session) *mal.Result {
 		return q.Plan(s, db)

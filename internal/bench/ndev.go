@@ -1,0 +1,99 @@
+// The N-device figure: the TPC-H workload under the hybrid configuration
+// with a growing simulated-GPU count. It has no counterpart in the paper —
+// §7 stops at sketching multi-device placement as future work — and tracks
+// the repository's device-scaling trajectory (ROADMAP: multi-GPU / >2
+// devices) the same way the serving figures track the production-serving
+// one. Every device count must return the same results; the figure verifies
+// that on the fly and reports per-query wall time per GPU count.
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/hybrid"
+	"repro/internal/mal"
+	"repro/internal/tpch"
+)
+
+// NdevGPUCounts is the figure's sweep of simulated-GPU counts.
+var NdevGPUCounts = []int{1, 2, 4}
+
+// NdevFigure runs every workload query on hybrid engines with 1, 2 and 4
+// simulated GPUs (each sized Options.GPUMemory) and reports per-query wall
+// seconds per device count. Results are cross-checked against the 1-GPU
+// run and a mismatch aborts the figure: with the order-stable grouped
+// float sum, device count is a pure execution-strategy change, so a
+// divergence is a placement bug, not noise.
+func NdevFigure(o TPCHOptions) *QueryReport {
+	o = defaultTPCH(o, 0.01)
+	db := tpch.Generate(o.SF, o.Seed)
+	queries := tpch.Queries()
+
+	rep := &QueryReport{
+		ID:      "ndev",
+		Title:   fmt.Sprintf("N-device hybrid: TPC-H workload, SF %g, 1/2/4 simulated GPUs", o.SF),
+		Seconds: map[string][]float64{},
+		Notes:   []string{"wall seconds per query; placement relaxes over the whole device set"},
+	}
+	for _, q := range queries {
+		rep.Queries = append(rep.Queries, q.Num)
+	}
+
+	reference := make([]*mal.Result, len(queries))
+	for _, gpus := range NdevGPUCounts {
+		label := fmt.Sprintf("HYB g=%d", gpus)
+		rep.Order = append(rep.Order, label)
+		series := make([]float64, len(queries))
+		rep.Seconds[label] = series
+
+		eng := mal.Hybrid.Build(mal.ConfigOptions{
+			Threads:   o.Threads,
+			GPUMemory: o.GPUMemory,
+			GPUs:      gpus,
+		})
+		gpuLabels := map[string]bool{}
+		if h, ok := eng.(*hybrid.Engine); ok {
+			for _, d := range h.Devices() {
+				if d.Class() == "GPU" {
+					gpuLabels[d.Label] = true
+				}
+			}
+		}
+		for i, q := range queries {
+			q := q
+			var last *mal.Result
+			avg, err := Measure(eng, o.Runs, func() error {
+				s := mal.NewSession(eng)
+				res, err := mal.RunQuery(s, func(s *mal.Session) *mal.Result { return q.Plan(s, db) })
+				last = res
+				return err
+			})
+			if err != nil {
+				panic(fmt.Sprintf("bench: Q%d with %d GPUs: %v", q.Num, gpus, err))
+			}
+			series[i] = avg.Seconds()
+			if reference[i] == nil {
+				reference[i] = last
+			} else if err := last.EqualWithin(reference[i], 0); err != nil {
+				if err2 := last.EqualWithin(reference[i], 1e-5); err2 != nil {
+					panic(fmt.Sprintf("bench: Q%d at %d GPUs diverges from the 1-GPU run: %v", q.Num, gpus, err2))
+				}
+				rep.Notes = append(rep.Notes,
+					fmt.Sprintf("Q%d at %d GPUs: within float tolerance but not bit-equal: %v", q.Num, gpus, err))
+			}
+		}
+		if h, ok := eng.(*hybrid.Engine); ok && gpus > 1 {
+			used := map[string]bool{}
+			for _, m := range h.Placements() {
+				for lbl, n := range m {
+					if n > 0 && gpuLabels[lbl] {
+						used[lbl] = true
+					}
+				}
+			}
+			rep.Notes = append(rep.Notes,
+				fmt.Sprintf("g=%d: placement used %d of %d GPUs", gpus, len(used), len(gpuLabels)))
+		}
+	}
+	return rep
+}

@@ -127,7 +127,9 @@ func (e *Engine) aggrGrouped(kind ops.Agg, vals, groups *bat.BAT, ngroups int) (
 	wait = append(wait, gWait...)
 
 	sc := &scratchSet{mm: e.mm}
-	scratch := sc.alloc(launchGroups*plan.Table + 1)
+	// The hierarchical intermediate table, allocated on demand: the
+	// order-stable float-sum path uses its own chunk partials instead.
+	hierScratch := func() *cl.Buffer { return sc.alloc(launchGroups*plan.Table + 1) }
 	var cast *cl.Buffer
 	if kind == ops.Avg && !isFloat && vals != nil {
 		cast = sc.alloc(n + 1)
@@ -149,6 +151,12 @@ func (e *Engine) aggrGrouped(kind ops.Agg, vals, groups *bat.BAT, ngroups int) (
 			sc.releaseAll()
 			return nil, err
 		}
+		scratch := hierScratch()
+		if sc.err != nil {
+			sc.releaseAll()
+			_ = dst.Release()
+			return nil, sc.err
+		}
 		ev := kernels.GroupedAggI32(e.q, dst, nil, gidBuf, scratch, ops.Sum, n, plan, wait)
 		e.mm.NoteConsumer(groups, ev)
 		e.releaseAfter(ev, sc.bufs...)
@@ -163,9 +171,36 @@ func (e *Engine) aggrGrouped(kind ops.Agg, vals, groups *bat.BAT, ngroups int) (
 			return nil, err
 		}
 		var ev *cl.Event
-		if isFloat {
+		switch {
+		case isFloat && kind == ops.Sum:
+			// Float sums are order-sensitive: the fixed-partition kernel
+			// keeps the bit pattern identical on every device, so hybrid
+			// placement (and N-device configurations) can move the
+			// aggregation freely. Min/Max fold order-insensitively and stay
+			// on the hierarchical atomic scheme.
+			chunks := kernels.GroupSumChunksFor(n, ngroups)
+			parts := sc.alloc(ngroups*chunks + 1)
+			if sc.err != nil {
+				sc.releaseAll()
+				_ = dst.Release()
+				return nil, sc.err
+			}
+			ev = kernels.GroupedSumF32(e.q, dst, valBuf, gidBuf, parts, n, ngroups, chunks, wait)
+		case isFloat:
+			scratch := hierScratch()
+			if sc.err != nil {
+				sc.releaseAll()
+				_ = dst.Release()
+				return nil, sc.err
+			}
 			ev = kernels.GroupedAggF32(e.q, dst, valBuf, gidBuf, scratch, kind, n, plan, wait)
-		} else {
+		default:
+			scratch := hierScratch()
+			if sc.err != nil {
+				sc.releaseAll()
+				_ = dst.Release()
+				return nil, sc.err
+			}
 			ev = kernels.GroupedAggI32(e.q, dst, valBuf, gidBuf, scratch, kind, n, plan, wait)
 		}
 		e.mm.NoteConsumer(vals, ev)
@@ -182,12 +217,18 @@ func (e *Engine) aggrGrouped(kind ops.Agg, vals, groups *bat.BAT, ngroups int) (
 	case ops.Avg:
 		sums := sc.alloc(ngroups + 1)
 		cnts := sc.alloc(ngroups + 1)
+		chunks := kernels.GroupSumChunksFor(n, ngroups)
+		parts := sc.alloc(ngroups*chunks + 1)
+		cntScratch := hierScratch()
 		if sc.err != nil {
 			sc.releaseAll()
 			return nil, sc.err
 		}
-		sev := kernels.GroupedAggF32(e.q, sums, valBuf, gidBuf, scratch, ops.Sum, n, plan, wait)
-		cev := kernels.GroupedAggI32(e.q, cnts, nil, gidBuf, scratch2(e, sc, launchGroups, plan), ops.Sum, n, plan, wait)
+		// The order-stable sum and the count run concurrently on disjoint
+		// scratch (independent events, reorderable by the driver — Figure
+		// 3's freedom).
+		sev := kernels.GroupedSumF32(e.q, sums, valBuf, gidBuf, parts, n, ngroups, chunks, wait)
+		cev := kernels.GroupedAggI32(e.q, cnts, nil, gidBuf, cntScratch, ops.Sum, n, plan, wait)
 		e.mm.NoteConsumer(vals, sev)
 		e.mm.NoteConsumer(groups, sev)
 		e.mm.NoteConsumer(groups, cev)
@@ -205,11 +246,4 @@ func (e *Engine) aggrGrouped(kind ops.Agg, vals, groups *bat.BAT, ngroups int) (
 	default:
 		return nil, fmt.Errorf("core: unknown aggregate %v", kind)
 	}
-}
-
-// scratch2 allocates a second intermediate table so the Avg sum and count
-// kernels can run concurrently (independent events, reorderable by the
-// driver — Figure 3's freedom).
-func scratch2(e *Engine, sc *scratchSet, launchGroups int, plan kernels.AggPlan) *cl.Buffer {
-	return sc.alloc(launchGroups*plan.Table + 1)
 }

@@ -256,3 +256,98 @@ func DivF32I32(q *cl.Queue, dst, a, cnt *cl.Buffer, n int, wait []*cl.Event) *cl
 		}
 	}, launch(q.Device(), "avg_div", cl.Cost{BytesStreamed: int64(n) * 12}, wait))
 }
+
+// GroupSumChunksFor returns the fixed partition width of the grouped float
+// sum for n rows over ngroups groups. Like the scalar SumChunks partition
+// (reduce.go), it is derived from device-independent quantities only — the
+// same (n, ngroups) pair partitions identically on every device — but it
+// additionally bounds the partials table (ngroups × chunks words) so many-
+// group aggregations do not balloon scratch under device-memory pressure.
+// The bound is soft below minGroupSumChunks: chunks are the kernel's only
+// parallelism, so high-cardinality groupings keep at least that many even
+// though their table then exceeds the budget (a 1M-group sum pays a 64 MB
+// table rather than collapsing to a single sequential accumulator thread).
+func GroupSumChunksFor(n, ngroups int) int {
+	if ngroups < 1 {
+		ngroups = 1
+	}
+	const budgetWords = 1 << 18 // 1 MiB partials target
+	chunks := budgetWords / ngroups
+	if chunks > SumChunks {
+		chunks = SumChunks
+	}
+	if chunks < minGroupSumChunks {
+		chunks = minGroupSumChunks
+	}
+	return chunks
+}
+
+// minGroupSumChunks floors the grouped-sum parallelism. Device-independent
+// like SumChunks: the floor must not track any device's compute-unit count
+// or the partition (and the result bits) would differ across devices.
+const minGroupSumChunks = 16
+
+// GroupedSumF32 enqueues the order-stable grouped float sum: rows are cut
+// into a fixed, device-independent partition of contiguous chunks
+// (GroupSumChunksFor), each chunk accumulates its rows *sequentially in row
+// order* into a private partials row — no atomics, so no scheduling-
+// dependent interleaving — and the final pass folds each group's chunk
+// partials in ascending chunk order. The fold shape per group (a two-level
+// row-order-within-chunk, chunk-order-across tree, NOT the same expression
+// as one sequential row-order sum) is a pure function of (n, ngroups), on
+// every device and under every launch
+// geometry: the bit pattern of a grouped float sum no longer depends on
+// where placement runs it, which is what lets hybrid plans move grouped
+// aggregations between devices (and N-device configurations agree byte for
+// byte). Min/Max and integer sums are order-insensitive and keep the
+// hierarchical atomic scheme (GroupedAggF32/I32, §4.1.7).
+//
+// partials must hold ngroups*chunks words; its previous contents are
+// ignored (an init pass clears it, so recycled scratch is fine).
+func GroupedSumF32(q *cl.Queue, dst, vals, gids, partials *cl.Buffer, n, ngroups, chunks int, wait []*cl.Event) *cl.Event {
+	dev := q.Device()
+	v, g, p, d := vals.F32(), gids.I32(), partials.F32(), dst.F32()
+	tbl := ngroups * chunks
+	chunkLen := (n + chunks - 1) / chunks
+
+	init := q.EnqueueKernel(func(t *cl.Thread) {
+		lo, hi, step := t.Span(tbl)
+		for i := lo; i < hi; i += step {
+			p[i] = 0
+		}
+	}, launch(dev, "groupsum_f32_init", cl.Cost{BytesStreamed: int64(tbl) * 4}, wait))
+
+	ev1 := q.EnqueueKernel(func(t *cl.Thread) {
+		for c := t.Global; c < chunks; c += t.GlobalSize {
+			lo := c * chunkLen
+			hi := lo + chunkLen
+			if lo > n {
+				lo = n
+			}
+			if hi > n {
+				hi = n
+			}
+			for i := lo; i < hi; i++ {
+				p[int(g[i])*chunks+c] += v[i]
+			}
+		}
+	}, launch(dev, "groupsum_f32_partials",
+		// vals and gids stream; the per-row read-modify-write of the group's
+		// partial is a data-dependent scatter (like Gather's BytesRandom) —
+		// the table access cost the atomic scheme expressed as Atomics.
+		cl.Cost{BytesStreamed: int64(n) * 8, BytesRandom: int64(n) * 8, Ops: int64(n)},
+		[]*cl.Event{init}))
+
+	return q.EnqueueKernel(func(t *cl.Thread) {
+		lo, hi, step := t.Span(ngroups)
+		for grp := lo; grp < hi; grp += step {
+			acc := float32(0)
+			base := grp * chunks
+			for c := 0; c < chunks; c++ {
+				acc += p[base+c]
+			}
+			d[grp] = acc
+		}
+	}, launch(dev, "groupsum_f32_final",
+		cl.Cost{BytesStreamed: int64(tbl) * 4, Ops: int64(tbl)}, []*cl.Event{ev1}))
+}

@@ -850,3 +850,77 @@ func TestI32RangeBounds(t *testing.T) {
 		}
 	}
 }
+
+// TestGroupedSumF32DeviceIndependentBits: the order-stable grouped float
+// sum must (a) be correct, (b) produce the exact same bit pattern on every
+// device — the property that lets hybrid placement (and N-device
+// configurations) move a grouped aggregation without changing a result bit
+// — and (c) equal the fixed chunk-partitioned fold computed by hand, i.e.
+// the order is a pure function of (n, ngroups), never of the device.
+func TestGroupedSumF32DeviceIndependentBits(t *testing.T) {
+	for _, ngroups := range []int{1, 7, 100, 5000} {
+		n := 60000
+		vals := make([]float32, n)
+		gids := make([]int32, n)
+		r := rand.New(rand.NewSource(int64(ngroups) * 31))
+		wantF64 := make([]float64, ngroups) // correctness reference
+		for i := range vals {
+			g := r.Intn(ngroups)
+			v := r.Float32()*10 - 5
+			vals[i], gids[i] = v, int32(g)
+			wantF64[g] += float64(v)
+		}
+		chunks := GroupSumChunksFor(n, ngroups)
+		// The defined order: per (group, chunk) partial in row order, then
+		// per group a fold over the chunks in ascending order.
+		chunkLen := (n + chunks - 1) / chunks
+		partials := make([]float32, ngroups*chunks)
+		for c := 0; c < chunks; c++ {
+			lo, hi := c*chunkLen, (c+1)*chunkLen
+			if lo > n {
+				lo = n
+			}
+			if hi > n {
+				hi = n
+			}
+			for i := lo; i < hi; i++ {
+				partials[int(gids[i])*chunks+c] += vals[i]
+			}
+		}
+		want := make([]float32, ngroups)
+		for g := 0; g < ngroups; g++ {
+			for c := 0; c < chunks; c++ {
+				want[g] += partials[g*chunks+c]
+			}
+		}
+		var ref []float32
+		for _, dev := range devices() {
+			e := newEnv(dev)
+			vb, gb := e.f32(t, vals), e.i32(t, gids)
+			parts := e.buf(t, ngroups*chunks+1)
+			dst := e.buf(t, ngroups)
+			if err := GroupedSumF32(e.q, dst, vb, gb, parts, n, ngroups, chunks, nil).Wait(); err != nil {
+				t.Fatal(err)
+			}
+			got := append([]float32(nil), dst.F32()[:ngroups]...)
+			for g := range got {
+				if got[g] != want[g] {
+					t.Fatalf("%s ngroups=%d: sum[%d] = %b, want chunk-order %b",
+						dev.Name, ngroups, g, got[g], want[g])
+				}
+				if rel := math.Abs(float64(got[g])-wantF64[g]) / (math.Abs(wantF64[g]) + 1); rel > 1e-3 {
+					t.Fatalf("%s ngroups=%d: sum[%d] = %v, want ≈%v", dev.Name, ngroups, g, got[g], wantF64[g])
+				}
+			}
+			if ref == nil {
+				ref = got
+				continue
+			}
+			for g := range got {
+				if got[g] != ref[g] {
+					t.Fatalf("%s ngroups=%d: bit mismatch at group %d across devices", dev.Name, ngroups, g)
+				}
+			}
+		}
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"repro/internal/cl"
@@ -57,11 +58,50 @@ func calibRowsFor(dev *cl.Device) int {
 	return rows
 }
 
+// calCache memoises Calibrate per device *specification*: the §7 sketch's
+// "automatically generated device profiles" are an artifact a system
+// generates once per device and stores, not something to re-measure for
+// every engine bound to the same hardware — an N-GPU hybrid engine would
+// otherwise run the full calibration suite N times for N identical cards.
+// Simulated devices make the cache exact (their timings are a pure function
+// of the build constants, Perf model and capacity); for the real CPU driver
+// it reuses one measurement per spec within the process, exactly as a
+// stored profile would. The cached *Profile is shared and treated as
+// read-only everywhere.
+var (
+	calMu    sync.Mutex
+	calCache = map[string]*Profile{}
+)
+
+func deviceKey(dev *cl.Device) string {
+	return fmt.Sprintf("%s|%+v|%+v|%d|%v|%v",
+		dev.Name, dev.Const, dev.Perf, dev.GlobalMemSize, dev.Simulated, dev.LaunchPause)
+}
+
 // Calibrate builds a device profile from standardized micro-benchmarks.
 // On simulated devices the rates come from the virtual timeline, on real
 // devices from the wall clock, so profiles are comparable across the two
-// driver kinds (which is exactly what placement needs).
+// driver kinds (which is exactly what placement needs). Devices with an
+// identical specification share one cached calibration (see calCache).
 func Calibrate(dev *cl.Device) (*Profile, error) {
+	key := deviceKey(dev)
+	calMu.Lock()
+	if p := calCache[key]; p != nil {
+		calMu.Unlock()
+		return p, nil
+	}
+	calMu.Unlock()
+	p, err := calibrate(dev)
+	if err != nil {
+		return nil, err
+	}
+	calMu.Lock()
+	calCache[key] = p
+	calMu.Unlock()
+	return p, nil
+}
+
+func calibrate(dev *cl.Device) (*Profile, error) {
 	ctx := cl.NewContext(dev)
 	q := cl.NewQueue(ctx)
 	p := &Profile{Device: dev.Name, SortRows: map[int]float64{}}

@@ -104,3 +104,27 @@ func TestThetaJoinOracle(t *testing.T) {
 		}
 	}
 }
+
+// TestCalibrateMemoisedPerSpec: identical device specifications share one
+// calibration (the stored-profile semantics of §7's "automatically
+// generated device profiles"); a different specification calibrates anew.
+func TestCalibrateMemoisedPerSpec(t *testing.T) {
+	a, err := Calibrate(cl.NewGPUDevice(128 << 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Calibrate(cl.NewGPUDevice(128 << 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("identical simulated specs did not share a calibration")
+	}
+	c, err := Calibrate(cl.NewGPUDevice(64 << 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Fatal("distinct capacities must calibrate separately")
+	}
+}

@@ -5,19 +5,23 @@
 // device profiles. Once the cost model is defined, a hardware-aware query
 // optimizer strategy is required to decide on the actual placement."
 //
-// The Engine here owns two Ocelot engines — one per device — calibrates a
-// profile for each (core.Calibrate), and routes every operator call to the
-// device with the lower estimated cost: streamed bytes over the profiled
-// scan bandwidth, plus the PCIe cost of shipping any inputs that are not
-// already resident on the device. Intermediates stay where they were
+// The Engine here owns an ordered set of Ocelot engines — one per device —
+// calibrates a profile for each (core.Calibrate), and routes every operator
+// call to the device with the lowest estimated cost: streamed bytes over the
+// profiled scan bandwidth, plus the PCIe cost of shipping any inputs that
+// are not already resident on the device. Intermediates stay where they were
 // produced; crossing devices goes through an explicit sync, exactly as the
-// ownership rules of §3.4 prescribe. A device failure (out of device
-// memory) falls back to the other device transparently.
+// ownership rules of §3.4 prescribe. A device failure (out of device memory)
+// falls back through the *remaining* devices in cost order; if every device
+// refuses, the per-device errors are all reported (errors.Join), none
+// swallowed.
 //
 // Plan-level placement pins individual calls through On: the returned view
 // routes exactly one caller's operators to a fixed device without touching
 // any engine-global state, so pinned plans cannot leak placement into each
-// other and concurrent sessions can pin independently.
+// other and concurrent sessions can pin independently. With more than one
+// device of a class the instances carry indexed labels (GPU0, GPU1, …) and
+// pins address them individually.
 package hybrid
 
 import (
@@ -31,20 +35,31 @@ import (
 	"repro/internal/ops"
 )
 
-// Engine is the placement layer over two Ocelot engines. It implements
+// Dev is one placement target: an Ocelot engine with its calibrated profile
+// and the instance label placement pins address it by ("CPU", "GPU" when the
+// engine has a single GPU, "GPU0"/"GPU1"/… otherwise).
+type Dev struct {
+	Eng   *core.Engine
+	Prof  *core.Profile
+	Label string
+}
+
+// Class returns the device's architecture class label ("CPU"/"GPU").
+func (d *Dev) Class() string { return d.Eng.Device().Const.Class.String() }
+
+// Engine is the placement layer over N Ocelot engines. It implements
 // ops.Operators, so it slots into the MAL session as a fifth configuration.
 // All state is guarded for concurrent sessions; per-call device pins are
 // carried by the view On returns, never by the engine itself.
 type Engine struct {
 	view // the unpinned ops.Operators facade (cost-model routing)
 
-	cpu, gpu   *core.Engine
-	cpuProfile *core.Profile
-	gpuProfile *core.Profile
+	devs []*Dev // ordered: CPU first, then the GPUs
 
 	mu    sync.Mutex
-	owner map[*bat.BAT]*core.Engine // engine owning each Ocelot-owned BAT
-	// placement counters (observability for tests and tools)
+	owner map[*bat.BAT]*Dev // device owning each Ocelot-owned BAT
+	// placement counters (observability for tests and tools), keyed by
+	// operator then device label.
 	placed map[string]map[string]int
 }
 
@@ -54,74 +69,118 @@ type Engine struct {
 // carry their own placement without synchronisation.
 type view struct {
 	h   *Engine
-	pin *core.Engine // nil: cost-model choice
+	pin *Dev // nil: cost-model choice
 }
 
-// New builds the two engines and calibrates their profiles. threads sizes
-// the CPU driver, gpuMem the simulated device memory.
+// New builds a two-device engine (one CPU + one GPU) and calibrates the
+// profiles. threads sizes the CPU driver, gpuMem the simulated device
+// memory.
 func New(threads int, gpuMem int64) (*Engine, error) {
-	cpu := core.New(cl.NewCPUDevice(threads))
-	gpu := core.New(cl.NewGPUDevice(gpuMem))
-	cpuProf, err := core.Calibrate(cpu.Device())
-	if err != nil {
-		return nil, fmt.Errorf("hybrid: calibrating CPU: %w", err)
+	return NewN(threads, gpuMem, 1)
+}
+
+// NewN builds the N-device engine: one CPU plus gpus simulated GPUs, each
+// with gpuMem bytes of device memory, each individually calibrated. With a
+// single GPU its label is "GPU" (the two-device configuration the paper's §7
+// sketch starts from); with more they are "GPU0", "GPU1", ….
+func NewN(threads int, gpuMem int64, gpus int) (*Engine, error) {
+	if gpus <= 0 {
+		gpus = 1
 	}
-	gpuProf, err := core.Calibrate(gpu.Device())
-	if err != nil {
-		return nil, fmt.Errorf("hybrid: calibrating GPU: %w", err)
-	}
-	cpu.SetProfile(cpuProf)
-	gpu.SetProfile(gpuProf)
 	h := &Engine{
-		cpu: cpu, gpu: gpu,
-		cpuProfile: cpuProf, gpuProfile: gpuProf,
-		owner:  map[*bat.BAT]*core.Engine{},
+		owner:  map[*bat.BAT]*Dev{},
 		placed: map[string]map[string]int{},
+	}
+	add := func(eng *core.Engine, label string) error {
+		prof, err := core.Calibrate(eng.Device())
+		if err != nil {
+			return fmt.Errorf("hybrid: calibrating %s: %w", label, err)
+		}
+		eng.SetProfile(prof)
+		h.devs = append(h.devs, &Dev{Eng: eng, Prof: prof, Label: label})
+		return nil
+	}
+	if err := add(core.New(cl.NewCPUDevice(threads)), cl.ClassCPU.String()); err != nil {
+		return nil, err
+	}
+	for i := 0; i < gpus; i++ {
+		label := cl.ClassGPU.String()
+		if gpus > 1 {
+			label = fmt.Sprintf("%s%d", label, i)
+		}
+		if err := add(core.New(cl.NewGPUDevice(gpuMem)), label); err != nil {
+			return nil, err
+		}
 	}
 	h.view = view{h: h}
 	return h, nil
 }
 
 // Name implements ops.Operators.
-func (h *Engine) Name() string { return "Ocelot[hybrid CPU+GPU]" }
-
-// Module implements ops.Operators: both devices run the Ocelot module.
-func (h *Engine) Module() string { return "ocelot" }
-
-// On returns an ops.Operators view whose calls are pinned to the device
-// whose class label matches ("CPU" or "GPU"); any other label returns the
-// unpinned cost-model view. This is the hook plan-level placement drives:
-// the executor routes each pinned instruction through the matching view, so
-// a pin lives exactly as long as one operator call. Nothing is stored on
-// the engine — an aborted plan cannot leak its pins into the next plan, and
-// concurrent sessions cannot observe each other's pins. The pin wins over
-// input-ownership forcing (migrate moves the inputs); the out-of-memory
-// fallback to the other device still applies.
-func (h *Engine) On(class string) ops.Operators {
-	switch class {
-	case cl.ClassCPU.String():
-		return view{h: h, pin: h.cpu}
-	case cl.ClassGPU.String():
-		return view{h: h, pin: h.gpu}
-	default:
-		return view{h: h}
+func (h *Engine) Name() string {
+	if len(h.devs) == 2 {
+		return "Ocelot[hybrid CPU+GPU]"
 	}
+	return fmt.Sprintf("Ocelot[hybrid CPU+%dGPU]", len(h.devs)-1)
 }
 
-// OwnerClass reports which device currently owns b's payload ("CPU"/"GPU"),
-// or "" when b is host-resident — the residency fact the plan-level
-// placement pass needs to cost transfers.
+// Module implements ops.Operators: every device runs the Ocelot module.
+func (h *Engine) Module() string { return "ocelot" }
+
+// On returns an ops.Operators view whose calls are pinned to the device with
+// the given label. Exact instance labels ("CPU", "GPU1") win; a bare class
+// label selects the first device of that class (so "GPU" still resolves on a
+// multi-GPU engine); any other label returns the unpinned cost-model view.
+// This is the hook plan-level placement drives: the executor routes each
+// pinned instruction through the matching view, so a pin lives exactly as
+// long as one operator call. Nothing is stored on the engine — an aborted
+// plan cannot leak its pins into the next plan, and concurrent sessions
+// cannot observe each other's pins. The pin wins over input-ownership
+// forcing (migrate moves the inputs); the cost-ordered fallback through the
+// remaining devices still applies.
+func (h *Engine) On(label string) ops.Operators {
+	if d := h.byLabel(label); d != nil {
+		return view{h: h, pin: d}
+	}
+	return view{h: h}
+}
+
+// byLabel resolves an instance label, falling back to the first device of a
+// bare class label; nil when nothing matches.
+func (h *Engine) byLabel(label string) *Dev {
+	for _, d := range h.devs {
+		if d.Label == label {
+			return d
+		}
+	}
+	for _, d := range h.devs {
+		if d.Class() == label {
+			return d
+		}
+	}
+	return nil
+}
+
+// Devices returns the ordered device set (placement, tools and tests).
+func (h *Engine) Devices() []*Dev { return append([]*Dev(nil), h.devs...) }
+
+// OwnerClass reports the label of the device currently owning b's payload
+// ("CPU", "GPU0", …), or "" when b is host-resident — the residency fact the
+// plan-level placement pass needs to cost transfers.
 func (h *Engine) OwnerClass(b *bat.BAT) string {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if own := h.owner[b]; own != nil {
-		return own.Device().Const.Class.String()
+		return own.Label
 	}
 	return ""
 }
 
-// Profiles returns the calibrated device profiles.
-func (h *Engine) Profiles() (cpu, gpu *core.Profile) { return h.cpuProfile, h.gpuProfile }
+// Profiles returns the calibrated profiles of the first CPU and the first
+// GPU device (the two-device view predating NewN; Devices has them all).
+func (h *Engine) Profiles() (cpu, gpu *core.Profile) {
+	return h.byLabel(cl.ClassCPU.String()).Prof, h.byLabel(cl.ClassGPU.String()).Prof
+}
 
 // Placements returns how many times each operator ran on each device.
 func (h *Engine) Placements() map[string]map[string]int {
@@ -138,10 +197,13 @@ func (h *Engine) Placements() map[string]map[string]int {
 	return out
 }
 
-// Engines returns the two underlying engines (tools and tests).
-func (h *Engine) Engines() (cpu, gpu *core.Engine) { return h.cpu, h.gpu }
+// Engines returns the first CPU and first GPU engine (the two-device view
+// predating NewN; Devices has them all).
+func (h *Engine) Engines() (cpu, gpu *core.Engine) {
+	return h.byLabel(cl.ClassCPU.String()).Eng, h.byLabel(cl.ClassGPU.String()).Eng
+}
 
-func (h *Engine) note(op string, target *core.Engine) {
+func (h *Engine) note(op string, target *Dev) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	m := h.placed[op]
@@ -149,7 +211,7 @@ func (h *Engine) note(op string, target *core.Engine) {
 		m = map[string]int{}
 		h.placed[op] = m
 	}
-	m[target.Device().Const.Class.String()]++
+	m[target.Label]++
 }
 
 // batBytes estimates a BAT's payload volume.
@@ -163,50 +225,97 @@ func batBytes(b *bat.BAT) int64 {
 	return int64(b.Len()) * 4
 }
 
-// pick chooses the execution device for an operator touching the given
-// inputs. An explicit pin wins outright. Otherwise owned intermediates pin
-// the choice to their producer unless both devices own inputs (then
-// everything syncs to the host and the cost model decides). bytes is the
-// operator's streamed volume estimate.
-func (h *Engine) pick(pin *core.Engine, inputs []*bat.BAT, bytes int64) *core.Engine {
-	if pin != nil {
-		return pin
+// devCost prices running an operator streaming bytes on d: the streamed
+// volume over the profiled scan rate, the launch overhead, and — on discrete
+// devices — the link cost of shipping every input without a resident device
+// copy.
+func (h *Engine) devCost(d *Dev, inputs []*bat.BAT, bytes int64) float64 {
+	c := secs(bytes, d.Prof.ScanBandwidth) + d.Prof.LaunchOverhead.Seconds()
+	dev := d.Eng.Device()
+	if dev.Discrete {
+		var ship int64
+		for _, b := range inputs {
+			if b != nil && !d.Eng.Memory().HasDeviceCopy(b) {
+				ship += batBytes(b)
+			}
+		}
+		c += secs(ship, dev.Perf.TransferBandwidth)
 	}
+	return c
+}
+
+// forcedOwner returns the single device owning Ocelot-owned inputs, or nil
+// when no input is owned or the ownership is split across devices (then
+// everything syncs to the host and the cost model decides).
+func (h *Engine) forcedOwner(inputs []*bat.BAT) *Dev {
 	h.mu.Lock()
-	var forced *core.Engine
-	split := false
+	defer h.mu.Unlock()
+	var forced *Dev
 	for _, b := range inputs {
 		if b == nil || !b.OcelotOwned {
 			continue
 		}
 		if own := h.owner[b]; own != nil {
 			if forced != nil && forced != own {
-				split = true
+				return nil
 			}
 			forced = own
 		}
 	}
-	h.mu.Unlock()
-	if forced != nil && !split {
+	return forced
+}
+
+// pick chooses the device an operator attempts first: an explicit pin wins
+// outright, then the single owning device of the inputs, then the cost
+// argmin (equal costs keep construction order: CPU, GPU0, GPU1, …). The
+// common pinned path costs nothing — under plan-level placement every
+// instruction arrives pinned, and the fallback chain is only priced when an
+// attempt actually fails (fallbackOrder).
+func (h *Engine) pick(pin *Dev, inputs []*bat.BAT, bytes int64) *Dev {
+	if pin != nil {
+		return pin
+	}
+	if forced := h.forcedOwner(inputs); forced != nil {
 		return forced
 	}
-
-	// Cost both devices: streamed volume over the profiled scan rate plus
-	// the PCIe shipping cost of inputs not resident on the GPU.
-	cpuCost := secs(bytes, h.cpuProfile.ScanBandwidth) + h.cpuProfile.LaunchOverhead.Seconds()
-	var ship int64
-	for _, b := range inputs {
-		if b != nil && !h.gpu.Memory().HasDeviceCopy(b) {
-			ship += batBytes(b)
+	best, bestCost := h.devs[0], h.devCost(h.devs[0], inputs, bytes)
+	for _, d := range h.devs[1:] {
+		if c := h.devCost(d, inputs, bytes); c < bestCost {
+			best, bestCost = d, c
 		}
 	}
-	link := h.gpu.Device().Perf.TransferBandwidth
-	gpuCost := secs(bytes, h.gpuProfile.ScanBandwidth) +
-		secs(ship, link) + h.gpuProfile.LaunchOverhead.Seconds()
-	if gpuCost < cpuCost {
-		return h.gpu
+	return best
+}
+
+// fallbackOrder returns every device except failedFirst by ascending
+// estimated cost — the chain a device failure walks. It is computed lazily,
+// on the failure path only.
+func (h *Engine) fallbackOrder(failedFirst *Dev, inputs []*bat.BAT, bytes int64) []*Dev {
+	out := make([]*Dev, 0, len(h.devs)-1)
+	costs := make([]float64, 0, len(h.devs)-1)
+	for _, d := range h.devs {
+		if d == failedFirst {
+			continue
+		}
+		out = append(out, d)
+		costs = append(costs, h.devCost(d, inputs, bytes))
 	}
-	return h.cpu
+	// Stable insertion sort by cost keeps equal-cost devices in their
+	// construction order — deterministic fallback.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && costs[j] < costs[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+			costs[j], costs[j-1] = costs[j-1], costs[j]
+		}
+	}
+	return out
+}
+
+// order returns the full attempt order (pick's choice plus the fallback
+// chain); tools and tests — the operator paths build it lazily instead.
+func (h *Engine) order(pin *Dev, inputs []*bat.BAT, bytes int64) []*Dev {
+	first := h.pick(pin, inputs, bytes)
+	return append([]*Dev{first}, h.fallbackOrder(first, inputs, bytes)...)
 }
 
 func secs(bytes int64, rate float64) float64 {
@@ -216,10 +325,10 @@ func secs(bytes int64, rate float64) float64 {
 	return float64(bytes) / rate
 }
 
-// migrate makes every input readable by target: inputs owned by the other
+// migrate makes every input readable by target: inputs owned by another
 // engine are synchronised back to the host (the §3.4 ownership hand-over),
 // after which target uploads them like any base BAT.
-func (h *Engine) migrate(target *core.Engine, inputs ...*bat.BAT) error {
+func (h *Engine) migrate(target *Dev, inputs ...*bat.BAT) error {
 	for _, b := range inputs {
 		if b == nil || !b.OcelotOwned {
 			continue
@@ -230,7 +339,7 @@ func (h *Engine) migrate(target *core.Engine, inputs ...*bat.BAT) error {
 		if own == nil || own == target {
 			continue
 		}
-		if err := own.Sync(b); err != nil {
+		if err := own.Eng.Sync(b); err != nil {
 			return fmt.Errorf("hybrid: migrating %q: %w", b.Name, err)
 		}
 		h.mu.Lock()
@@ -241,7 +350,7 @@ func (h *Engine) migrate(target *core.Engine, inputs ...*bat.BAT) error {
 }
 
 // adopt records target as the owner of freshly produced BATs.
-func (h *Engine) adopt(target *core.Engine, outs ...*bat.BAT) {
+func (h *Engine) adopt(target *Dev, outs ...*bat.BAT) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	for _, b := range outs {
@@ -251,36 +360,86 @@ func (h *Engine) adopt(target *core.Engine, outs ...*bat.BAT) {
 	}
 }
 
-// other returns the fallback device.
-func (h *Engine) other(e *core.Engine) *core.Engine {
-	if e == h.cpu {
-		return h.gpu
+// discard drops the state a failed attempt left on d: any outputs the
+// operator partially produced, and d's device-side copies of inputs whose
+// authoritative copy lives elsewhere (the host, or another owning device) —
+// an upload cache the failed attempt populated, or the leftover buffer of an
+// input the fallback migration just synced off d. Without this an
+// OOM-triggered fallback would worsen the very pressure that caused it.
+// Inputs d still owns are untouched: d holds their only copy until a later
+// migrate hands them over.
+func (h *Engine) discard(d *Dev, inputs, outs []*bat.BAT) {
+	for _, b := range outs {
+		if b != nil {
+			d.Eng.Release(b)
+		}
 	}
-	return h.cpu
+	for _, b := range inputs {
+		if b == nil {
+			continue
+		}
+		h.mu.Lock()
+		own := h.owner[b]
+		h.mu.Unlock()
+		if own != d {
+			d.Eng.Release(b)
+		}
+	}
 }
 
-// run executes f on the chosen device (pin, ownership, or cost model),
-// falling back to the other device on failure (e.g. the GPU running out of
-// memory mid-operator).
-func (h *Engine) run(pin *core.Engine, op string, inputs []*bat.BAT, bytes int64, f func(e *core.Engine) ([]*bat.BAT, error)) ([]*bat.BAT, error) {
-	target := h.pick(pin, inputs, bytes)
-	if err := h.migrate(target, inputs...); err != nil {
-		return nil, err
-	}
-	outs, err := f(target)
-	if err != nil {
-		fallback := h.other(target)
-		if mErr := h.migrate(fallback, inputs...); mErr != nil {
-			return nil, err
+// chain executes try on the device pick chose, walking the cost-ordered
+// fallback chain on failure (e.g. a GPU running out of memory
+// mid-operator): each failed device's partial state is discarded, the
+// inputs are migrated to the next device, and the retry runs there. On
+// success the attempt's outputs are adopted by (and the placement recorded
+// for) the device that ran it. When every device fails, every failure is
+// reported — joining the errors keeps the fallback's own failure visible
+// next to the first device's; that joined report is also why generic
+// failures walk the whole chain rather than guessing which errors are
+// deterministic refusals. Callers that *can* classify a refusal pass
+// terminal: a terminal error surfaces immediately, before any further
+// migration is paid for a retry every device would refuse identically.
+func (h *Engine) chain(pin *Dev, op string, inputs []*bat.BAT, bytes int64,
+	terminal func(error) bool, try func(d *Dev) ([]*bat.BAT, error)) ([]*bat.BAT, error) {
+	var errs []error
+	var failed []*Dev
+	devices := []*Dev{h.pick(pin, inputs, bytes)}
+	for i := 0; i < len(devices); i++ {
+		d := devices[i]
+		if err := h.migrate(d, inputs...); err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", d.Label, err))
+		} else {
+			// The migrate above moved ownership off the devices that already
+			// failed; now their leftover input copies can be shed too.
+			for _, fd := range failed {
+				h.discard(fd, inputs, nil)
+			}
+			outs, err := try(d)
+			if err == nil {
+				h.note(op, d)
+				h.adopt(d, outs...)
+				return outs, nil
+			}
+			if terminal != nil && terminal(err) {
+				return nil, err
+			}
+			errs = append(errs, fmt.Errorf("%s: %w", d.Label, err))
+			h.discard(d, inputs, outs)
+			failed = append(failed, d)
 		}
-		if outs, err = f(fallback); err != nil {
-			return nil, err
+		if i == 0 {
+			// First failure: price the rest of the chain now (the common
+			// success path never pays for it).
+			devices = append(devices, h.fallbackOrder(d, inputs, bytes)...)
 		}
-		target = fallback
 	}
-	h.note(op, target)
-	h.adopt(target, outs...)
-	return outs, nil
+	return nil, fmt.Errorf("hybrid: %s failed on all devices: %w", op, errors.Join(errs...))
+}
+
+// run is chain over an engine-level operator closure with no terminal
+// classification (every view method below routes through it).
+func (h *Engine) run(pin *Dev, op string, inputs []*bat.BAT, bytes int64, f func(e *core.Engine) ([]*bat.BAT, error)) ([]*bat.BAT, error) {
+	return h.chain(pin, op, inputs, bytes, nil, func(d *Dev) ([]*bat.BAT, error) { return f(d.Eng) })
 }
 
 // --- ops.Operators, implemented on view so each caller carries its own pin ---
@@ -375,33 +534,29 @@ func (v view) AntiJoin(l, r *bat.BAT) (*bat.BAT, error) {
 	return outs[0], nil
 }
 
-// BuildHash builds the table on the chosen device; the handle pins later
-// probes to that device.
+// BuildHash builds the table on the chosen device, walking the same
+// cost-ordered fallback chain as run; the handle pins later probes to the
+// device that built it.
 func (v view) BuildHash(col *bat.BAT) (ops.HashTable, error) {
-	h := v.h
-	target := h.pick(v.pin, []*bat.BAT{col}, 4*batBytes(col))
-	if err := h.migrate(target, col); err != nil {
+	var pt *placedTable
+	_, err := v.h.chain(v.pin, "buildhash", []*bat.BAT{col}, 4*batBytes(col), nil, func(d *Dev) ([]*bat.BAT, error) {
+		ht, err := d.Eng.BuildHash(col)
+		if err != nil {
+			return nil, err
+		}
+		pt = &placedTable{HashTable: ht, home: d}
+		return nil, nil
+	})
+	if err != nil {
 		return nil, err
 	}
-	ht, err := target.BuildHash(col)
-	if err != nil {
-		fallback := h.other(target)
-		if mErr := h.migrate(fallback, col); mErr != nil {
-			return nil, err
-		}
-		if ht, err = fallback.BuildHash(col); err != nil {
-			return nil, err
-		}
-		target = fallback
-	}
-	h.note("buildhash", target)
-	return &placedTable{HashTable: ht, home: target}, nil
+	return pt, nil
 }
 
 // placedTable pins a hash table to the device that built it.
 type placedTable struct {
 	ops.HashTable
-	home *core.Engine
+	home *Dev
 }
 
 // HashProbe runs on the device owning the table.
@@ -414,7 +569,7 @@ func (v view) HashProbe(probe *bat.BAT, ht ops.HashTable) (*bat.BAT, *bat.BAT, e
 	if err := h.migrate(pt.home, probe); err != nil {
 		return nil, nil, err
 	}
-	l, r, err := pt.home.HashProbe(probe, pt.HashTable)
+	l, r, err := pt.home.Eng.HashProbe(probe, pt.HashTable)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -490,9 +645,9 @@ func (v view) BinopConst(op ops.Bin, a *bat.BAT, c float64, constFirst bool) (*b
 // single placement unit: the whole member chain runs where the pick lands,
 // with only the region's external inputs costed for transfer — interior
 // values never exist, so they can never be shipped. The out-of-memory
-// fallback applies like any operator, but a shape refusal
-// (ErrFusedUnsupported) surfaces immediately: the other device would refuse
-// the same shape for the same reason, so retrying there would only migrate
+// fallback chain applies like any operator, but a shape refusal
+// (ErrFusedUnsupported) surfaces immediately: every device would refuse the
+// same shape for the same reason, so retrying elsewhere would only migrate
 // every input across PCIe for nothing before the executor falls back to the
 // unfused members anyway.
 func (v view) Fused(op *ops.FusedOp) (*bat.BAT, error) {
@@ -502,27 +657,15 @@ func (v view) Fused(op *ops.FusedOp) (*bat.BAT, error) {
 	for _, b := range inputs {
 		bytes += batBytes(b)
 	}
-	target := h.pick(v.pin, inputs, bytes)
-	if err := h.migrate(target, inputs...); err != nil {
+	unsupported := func(err error) bool { return errors.Is(err, ops.ErrFusedUnsupported) }
+	outs, err := h.chain(v.pin, "fused", inputs, bytes, unsupported, func(d *Dev) ([]*bat.BAT, error) {
+		r, err := d.Eng.Fused(op)
+		return []*bat.BAT{r}, err
+	})
+	if err != nil {
 		return nil, err
 	}
-	r, err := target.Fused(op)
-	if err != nil {
-		if errors.Is(err, ops.ErrFusedUnsupported) {
-			return nil, err
-		}
-		fallback := h.other(target)
-		if mErr := h.migrate(fallback, inputs...); mErr != nil {
-			return nil, err
-		}
-		if r, err = fallback.Fused(op); err != nil {
-			return nil, err
-		}
-		target = fallback
-	}
-	h.note("fused", target)
-	h.adopt(target, r)
-	return r, nil
+	return outs[0], nil
 }
 
 // OIDUnion routes the disjunction combine.
@@ -548,12 +691,13 @@ func (v view) Sync(b *bat.BAT) error {
 	delete(h.owner, b)
 	h.mu.Unlock()
 	if own == nil {
-		own = h.cpu
+		own = h.devs[0]
 	}
-	return own.Sync(b)
+	return own.Eng.Sync(b)
 }
 
-// Release drops device state on the owning device.
+// Release drops device state on the owning device — or on every device when
+// no owner is recorded (cached copies of base BATs can exist anywhere).
 func (v view) Release(b *bat.BAT) {
 	h := v.h
 	if b == nil {
@@ -564,17 +708,20 @@ func (v view) Release(b *bat.BAT) {
 	delete(h.owner, b)
 	h.mu.Unlock()
 	if own != nil {
-		own.Release(b)
+		own.Eng.Release(b)
 		return
 	}
-	h.cpu.Release(b)
-	h.gpu.Release(b)
+	for _, d := range h.devs {
+		d.Eng.Release(b)
+	}
 }
 
-// Finish drains both devices.
+// Finish drains every device.
 func (v view) Finish() error {
-	if err := v.h.cpu.Finish(); err != nil {
-		return err
+	for _, d := range v.h.devs {
+		if err := d.Eng.Finish(); err != nil {
+			return err
+		}
 	}
-	return v.h.gpu.Finish()
+	return nil
 }

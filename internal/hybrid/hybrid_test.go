@@ -2,6 +2,7 @@ package hybrid
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 
 	"repro/internal/bat"
@@ -112,16 +113,16 @@ func TestLargeOpsPreferGPU(t *testing.T) {
 
 func TestCrossDeviceMigrationThroughSync(t *testing.T) {
 	h := newEngine(t)
-	cpuEng, _ := h.Engines()
+	cpuDev := h.devs[0]
 	// Produce an intermediate explicitly on the CPU engine, then consume it
 	// via the hybrid layer: migration must sync it back to the host first.
 	col := i32Col("c", randI32(50_000, 100, 4))
-	sel, err := cpuEng.Select(col, nil, 0, 49, true, true)
+	sel, err := cpuDev.Eng.Select(col, nil, 0, 49, true, true)
 	if err != nil {
 		t.Fatal(err)
 	}
 	h.mu.Lock()
-	h.owner[sel] = cpuEng
+	h.owner[sel] = cpuDev
 	h.mu.Unlock()
 
 	prj, err := h.Project(sel, col)
@@ -350,13 +351,13 @@ func TestOnPinsExactlyOneCall(t *testing.T) {
 
 	// Leak probe: a CPU-owned intermediate forces the unpinned call to the
 	// CPU — unless a pin survived the view, since pins outrank ownership.
-	cpuEng, _ := h.Engines()
-	sel, err := cpuEng.Select(other, nil, 0, 49, true, true)
+	cpuDev := h.devs[0]
+	sel, err := cpuDev.Eng.Select(other, nil, 0, 49, true, true)
 	if err != nil {
 		t.Fatal(err)
 	}
 	h.mu.Lock()
-	h.owner[sel] = cpuEng
+	h.owner[sel] = cpuDev
 	h.mu.Unlock()
 	if _, err := h.Project(sel, other); err != nil {
 		t.Fatal(err)
@@ -371,5 +372,223 @@ func TestOnPinsExactlyOneCall(t *testing.T) {
 	}
 	if got := h.Placements()["leftfetchjoin"]; got["CPU"] != 2 || got["GPU"] != 0 {
 		t.Fatalf("unknown label did not degrade to unpinned routing: %v", got)
+	}
+}
+
+// --- N-device engine and fallback-chain regression tests (PR 5) ---
+
+// TestNDeviceLabels: instance labels follow the GPU count — a single GPU
+// keeps the classic "GPU" label, multiple GPUs are indexed — and On resolves
+// instance labels exactly, bare class labels to the first instance.
+func TestNDeviceLabels(t *testing.T) {
+	h, err := NewN(2, 64<<20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var labels []string
+	for _, d := range h.Devices() {
+		labels = append(labels, d.Label)
+	}
+	want := []string{"CPU", "GPU0", "GPU1", "GPU2"}
+	if len(labels) != len(want) {
+		t.Fatalf("labels = %v, want %v", labels, want)
+	}
+	for i := range want {
+		if labels[i] != want[i] {
+			t.Fatalf("labels = %v, want %v", labels, want)
+		}
+	}
+	col := i32Col("c", randI32(1024, 100, 21))
+	if _, err := h.On("GPU1").Select(col, nil, 0, 49, true, true); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Placements()["select"]; got["GPU1"] != 1 {
+		t.Fatalf("instance pin ignored: %v", got)
+	}
+	// A bare class label resolves to the first instance of the class.
+	if _, err := h.On("GPU").Select(col, nil, 0, 49, true, true); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Placements()["select"]; got["GPU0"] != 1 {
+		t.Fatalf("class pin did not land on the first GPU: %v", got)
+	}
+	if h.Name() != "Ocelot[hybrid CPU+3GPU]" {
+		t.Fatalf("name = %q", h.Name())
+	}
+}
+
+// TestFallbackOrderIsCostOrdered: the attempt order for a large operator
+// must start at the cheapest device and visit every device exactly once, so
+// a failure walks the remaining devices from best to worst.
+func TestFallbackOrderIsCostOrdered(t *testing.T) {
+	h, err := NewN(2, 256<<20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := i32Col("big", randI32(2<<20, 1000, 22))
+	order := h.order(nil, []*bat.BAT{big}, batBytes(big))
+	if len(order) != 3 {
+		t.Fatalf("order visits %d devices, want 3", len(order))
+	}
+	seen := map[string]bool{}
+	for _, d := range order {
+		if seen[d.Label] {
+			t.Fatalf("device %s appears twice in the fallback chain", d.Label)
+		}
+		seen[d.Label] = true
+	}
+	// An 8 MB scan is where the simulated GPUs' bandwidth advantage wins:
+	// both GPUs must precede the CPU in the chain.
+	if order[2].Label != "CPU" {
+		var labels []string
+		for _, d := range order {
+			labels = append(labels, d.Label)
+		}
+		t.Fatalf("cost order for a big scan = %v, want both GPUs before the CPU", labels)
+	}
+	// A pin overrides cost order but keeps the rest of the chain intact.
+	pinned := h.order(h.devs[0], []*bat.BAT{big}, batBytes(big))
+	if pinned[0].Label != "CPU" || len(pinned) != 3 {
+		t.Fatalf("pinned order does not start at the pin: %v", pinned[0].Label)
+	}
+}
+
+// TestFallbackJoinsAllDeviceErrors is the regression test for the
+// error-masking bug: when the fallback itself also fails, the returned
+// error must carry every device's failure, not just the first one's.
+func TestFallbackJoinsAllDeviceErrors(t *testing.T) {
+	h := newEngine(t)
+	// Selecting on an OID column is refused by every device for the same
+	// reason — exactly the case where the old code returned only the first
+	// device's error and hid why the fallback also died.
+	oids := bat.NewOID("o", mem.AllocU32(64))
+	_, err := h.Select(oids, nil, 0, 1, true, true)
+	if err == nil {
+		t.Fatal("select on an OID column must fail")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "CPU:") || !strings.Contains(msg, "GPU:") {
+		t.Fatalf("fallback error hides a device failure: %q", msg)
+	}
+}
+
+// TestFallbackReleasesFailedAttemptState is the regression test for the
+// failed-attempt output leak: after an OOM-triggered fallback, the failing
+// device must hold no leftover state from the failed attempt — the same
+// footprint a clean run on the fallback device leaves (zero bytes on the
+// GPU), rather than keeping input uploads and synced-off intermediates
+// resident and worsening the very pressure that caused the fallback.
+func TestFallbackReleasesFailedAttemptState(t *testing.T) {
+	h, err := New(2, 3<<20) // 3 MB GPU
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, gpuEng := h.Engines()
+
+	// A GPU-owned intermediate forces the next operator onto the GPU.
+	small := i32Col("small", randI32(1<<18, 1000, 23)) // 1 MB
+	sel, err := h.On("GPU").Select(small, nil, 0, 499, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.OwnerClass(sel) != "GPU" {
+		t.Fatalf("selection owned by %q, want GPU", h.OwnerClass(sel))
+	}
+
+	// Projecting a 16 MB column through it cannot fit on the 3 MB device:
+	// the attempt fails mid-operator and falls back to the CPU.
+	big := i32Col("big", randI32(4<<20, 1000, 24))
+	prj, err := h.Project(sel, big)
+	if err != nil {
+		t.Fatalf("fallback failed: %v", err)
+	}
+	if h.OwnerClass(prj) != "CPU" {
+		t.Fatalf("fallback result owned by %q, want CPU", h.OwnerClass(prj))
+	}
+	if err := h.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	// A clean run on the fallback device leaves nothing on the GPU; after
+	// the fallback the failed attempt must not either.
+	if n := gpuEng.Device().Allocated(); n != 0 {
+		t.Fatalf("failed attempt leaked %d bytes on the GPU after fallback", n)
+	}
+	if n := gpuEng.Memory().Entries(); n != 0 {
+		t.Fatalf("failed attempt left %d Memory Manager entries on the GPU", n)
+	}
+	// The fallback's result is still correct.
+	if err := h.Sync(prj); err != nil {
+		t.Fatal(err)
+	}
+	if prj.Len() == 0 {
+		t.Fatal("fallback produced no rows")
+	}
+}
+
+// TestOOMFallsThroughDeviceChain: with several undersized GPUs, a large
+// operator must walk the whole chain and land on the CPU.
+func TestOOMFallsThroughDeviceChain(t *testing.T) {
+	h, err := NewN(2, 3<<20, 2) // two 3 MB GPUs
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := i32Col("big", randI32(4<<20, 1000, 25)) // 16 MB
+	sel, err := h.Select(big, nil, 0, 499, true, true)
+	if err != nil {
+		t.Fatalf("chain fallback failed: %v", err)
+	}
+	if got := h.Placements()["select"]; got["CPU"] != 1 {
+		t.Fatalf("select did not land on the CPU after the GPU chain: %v", got)
+	}
+	if err := h.Sync(sel); err != nil {
+		t.Fatal(err)
+	}
+	if sel.Len() == 0 {
+		t.Fatal("fallback produced no rows")
+	}
+}
+
+// TestBuildHashFallbackShedsFailedAttemptState: the BuildHash fallback
+// chain must shed the failing device's leftover state exactly like run()
+// does — a GPU-owned build column synced off an OOM'd GPU may not stay
+// resident there after the build lands on the CPU.
+func TestBuildHashFallbackShedsFailedAttemptState(t *testing.T) {
+	h, err := New(2, 3<<20) // 3 MB GPU
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, gpuEng := h.Engines()
+
+	// A GPU-owned 1 MB intermediate: ownership forces the build onto the
+	// GPU, whose ~4x table scratch cannot fit the 3 MB device.
+	base := i32Col("base", randI32(1<<18, 1<<20, 26))
+	ids := bat.NewOID("ids", mem.AllocU32(1<<18))
+	for i := range ids.OIDs() {
+		ids.OIDs()[i] = uint32(i)
+	}
+	prj, err := h.On("GPU").Project(ids, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.OwnerClass(prj) != "GPU" {
+		t.Fatalf("build column owned by %q, want GPU", h.OwnerClass(prj))
+	}
+
+	ht, err := h.BuildHash(prj)
+	if err != nil {
+		t.Fatalf("buildhash fallback failed: %v", err)
+	}
+	defer ht.Release()
+	if got := h.Placements()["buildhash"]; got["CPU"] != 1 {
+		t.Fatalf("build did not land on the CPU: %v", got)
+	}
+	if err := h.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if n := gpuEng.Device().Allocated(); n != 0 {
+		t.Fatalf("failed build attempt leaked %d bytes on the GPU", n)
+	}
+	if n := gpuEng.Memory().Entries(); n != 0 {
+		t.Fatalf("failed build attempt left %d Memory Manager entries on the GPU", n)
 	}
 }

@@ -271,9 +271,15 @@ type PlanCache struct {
 	m        map[string]*list.Element
 	lru      *list.List // front = most recently used
 	capacity int
-	hits     int64
-	misses   int64
-	evicted  int64
+	// gen is the data-generation stamp baked into every key: templates
+	// capture base-BAT identities and mid-plan host constants, so replacing
+	// base data invalidates every resident template. BumpGeneration moves
+	// the whole cache to a fresh key space; stale templates age out of the
+	// LRU instead of ever replaying over the new data.
+	gen     int64
+	hits    int64
+	misses  int64
+	evicted int64
 }
 
 // cacheSlot is one resident template plus its key (for map removal on
@@ -352,24 +358,65 @@ func (c *PlanCache) putLocked(key string, t *Template) {
 	c.evictLocked()
 }
 
-func cacheKey(name string, o ops.Operators, passes Passes) string {
-	return name + "|" + o.Name() + "|" + o.Module() + "|" + passes.key()
+// keyLocked renders the cache key for the *current* data generation.
+func (c *PlanCache) keyLocked(name string, o ops.Operators, passes Passes) string {
+	return fmt.Sprintf("%s|%s|%s|%s|g%d", name, o.Name(), o.Module(), passes.key(), c.gen)
 }
 
-// Lookup returns the cached template for (name, configuration, passes),
-// refreshing its recency.
+// BumpGeneration marks the base data as replaced (a table load over existing
+// names): every resident template becomes unreachable and the next Run of
+// each query rebuilds against the new data. Call it whenever base BATs a
+// cached plan may have captured are swapped out.
+func (c *PlanCache) BumpGeneration() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gen++
+}
+
+// Invalidate is BumpGeneration under the name the serving layer exposes.
+func (c *PlanCache) Invalidate() { c.BumpGeneration() }
+
+// Generation returns the current data-generation stamp (tests/diagnostics).
+func (c *PlanCache) Generation() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gen
+}
+
+// Lookup returns the cached template for (name, configuration, passes) at
+// the current data generation, refreshing its recency.
 func (c *PlanCache) Lookup(name string, o ops.Operators, passes Passes) *Template {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.lookupLocked(cacheKey(name, o, passes))
+	return c.lookupLocked(c.keyLocked(name, o, passes))
 }
 
-// Put stores a sealed template under (name, configuration, passes), evicting
-// the least-recently-used resident if the cache is full.
+// Put stores a sealed template under (name, configuration, passes) at the
+// current data generation, evicting the least-recently-used resident if the
+// cache is full. Callers that built the template after a Lookup miss must
+// use PutIfGeneration with the generation observed at lookup time: a
+// reload (BumpGeneration) between the miss and the store would otherwise
+// file a template built over the *old* data under the *new* generation's
+// key.
 func (c *PlanCache) Put(name string, o ops.Operators, passes Passes, t *Template) {
 	c.mu.Lock()
-	c.putLocked(cacheKey(name, o, passes), t)
+	c.putLocked(c.keyLocked(name, o, passes), t)
 	c.mu.Unlock()
+}
+
+// PutIfGeneration stores t only while the data generation still equals gen
+// (as returned by Generation before the template was built); if the base
+// data was reloaded in between, the stale template is dropped instead of
+// being filed where fresh lookups would replay it. Reports whether the
+// template was stored.
+func (c *PlanCache) PutIfGeneration(name string, o ops.Operators, passes Passes, t *Template, gen int64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.gen != gen {
+		return false
+	}
+	c.putLocked(c.keyLocked(name, o, passes), t)
+	return true
 }
 
 // Stats returns cache hits, misses and resident templates.
@@ -395,7 +442,12 @@ func (c *PlanCache) Evictions() int64 {
 // independently; the last completed build wins the slot.
 func (c *PlanCache) Run(o ops.Operators, name string, params Params, passes Passes, plan func(*Session) *Result) (res *Result, hit bool, err error) {
 	c.mu.Lock()
-	t := c.lookupLocked(cacheKey(name, o, passes))
+	// The key is captured once, at lookup time: if the data generation bumps
+	// while a miss is still building, the finished template is stored under
+	// the *old* generation's key, where no future lookup reaches it — a plan
+	// built over replaced data can never replay.
+	key := c.keyLocked(name, o, passes)
+	t := c.lookupLocked(key)
 	if t != nil {
 		c.hits++
 	} else {
@@ -414,7 +466,9 @@ func (c *PlanCache) Run(o ops.Operators, name string, params Params, passes Pass
 	res, err = RunQuery(s, plan)
 	if err == nil && res != nil {
 		tpl := s.Template()
-		c.Put(name, o, passes, tpl)
+		c.mu.Lock()
+		c.putLocked(key, tpl)
+		c.mu.Unlock()
 		// The built template is valid and cached either way, but a binding
 		// the plan never declared is the caller's bug — surface it now, the
 		// same way a replay would.

@@ -60,8 +60,9 @@ type PInstr struct {
 	// Module is the MAL module the instruction was bound to by the
 	// module-binding pass ("algebra", "batmat", "ocelot").
 	Module string
-	// Device is the plan-level placement pin for the hybrid configuration
-	// ("CPU"/"GPU"); empty for single-device configurations.
+	// Device is the plan-level placement pin for the hybrid configuration —
+	// a device instance label such as "CPU", "GPU" or "GPU1"; empty for
+	// single-device configurations.
 	Device string
 	// Args are the BAT operands (nil entries allowed, e.g. a nil candidate
 	// list). Rets are the placeholder BATs standing for the results.
@@ -170,9 +171,12 @@ func (in *PInstr) OpName() string {
 	}
 }
 
-// placeKey returns the operator key the hybrid engine's placement counters
+// PlaceKey returns the operator key the hybrid engine's placement counters
 // use (hybrid.Engine.note), so plan-level pins can be cross-checked against
-// the recorded placements.
+// the recorded placements (exported for cross-package accounting tests and
+// tools).
+func (in *PInstr) PlaceKey() string { return in.placeKey() }
+
 func (in *PInstr) placeKey() string {
 	switch in.Kind {
 	case OpBinop:

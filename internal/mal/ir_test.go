@@ -311,3 +311,79 @@ func TestModuleAccessors(t *testing.T) {
 		t.Fatalf("hybrid module = %q", got)
 	}
 }
+
+// TestPlacementPinsOverDeviceSet: with a 4-device hybrid engine (1 CPU + 3
+// GPUs) the placement pass must pin every compute instruction to a concrete
+// instance label, the engine must record exactly those placements, and two
+// independent GPU-worthy subtrees must land on *different* GPUs — the
+// device-affinity-aware partitioning the parallel-load term buys.
+func TestPlacementPinsOverDeviceSet(t *testing.T) {
+	const n = 1 << 20
+	mk := func(name string, seed int32) *bat.BAT {
+		raw := mem.AllocI32(n)
+		for i := range raw {
+			raw[i] = (int32(i)*seed + 17) % 1000
+		}
+		return bat.NewI32(name, raw)
+	}
+	a, b := mk("a", 3), mk("b", 7)
+
+	o := Hybrid.Build(ConfigOptions{Threads: 2, GPUMemory: 512 << 20, GPUs: 3})
+	h := o.(*hybrid.Engine)
+	labels := map[string]bool{}
+	for _, d := range h.Devices() {
+		labels[d.Label] = true
+	}
+	if len(labels) != 4 {
+		t.Fatalf("expected 4 devices, got %v", labels)
+	}
+
+	// Two independent heavy chains, combined only at the cheap final binop:
+	// nothing forces them onto one device, so contention must spread them.
+	s := NewSession(o)
+	_, err := RunQuery(s, func(s *Session) *Result {
+		s1 := s.Select(a, nil, 100, 899, true, true)
+		sumA := s.Aggr(ops.Sum, s.Project(s1, a), nil, 0)
+		s2 := s.Select(b, nil, 100, 899, true, true)
+		sumB := s.Aggr(ops.Sum, s.Project(s2, b), nil, 0)
+		return s.Result([]string{"t"}, s.Binop(ops.Add, sumA, sumB))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pinned := map[string]map[string]int{}
+	gpusUsed := map[string]bool{}
+	for _, in := range s.Plan() {
+		if !in.computes() {
+			continue
+		}
+		if in.Device == "" {
+			t.Fatalf("instruction %s has no plan-level placement pin", in.OpName())
+		}
+		if !labels[in.Device] {
+			t.Fatalf("instruction %s pinned to unknown device %q", in.OpName(), in.Device)
+		}
+		if strings.HasPrefix(in.Device, "GPU") {
+			gpusUsed[in.Device] = true
+		}
+		m := pinned[in.placeKey()]
+		if m == nil {
+			m = map[string]int{}
+			pinned[in.placeKey()] = m
+		}
+		m[in.Device]++
+	}
+	if len(gpusUsed) < 2 {
+		t.Fatalf("independent subtrees share GPUs: only %v used", gpusUsed)
+	}
+	recorded := h.Placements()
+	for op, m := range pinned {
+		for dev, cnt := range m {
+			if recorded[op][dev] != cnt {
+				t.Fatalf("placement mismatch for %s on %s: plan pinned %d, engine recorded %d (%v vs %v)",
+					op, dev, cnt, recorded[op][dev], pinned, recorded)
+			}
+		}
+	}
+}

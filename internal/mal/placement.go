@@ -1,17 +1,26 @@
 // Plan-level operator placement for the hybrid configuration (§7): instead
-// of hybrid.Engine.pick's greedy one-call-at-a-time choice, this pass walks
-// the whole plan fragment with the calibrated device profiles
-// (core.Profile), costs transfer-vs-compute over entire operator chains,
-// and pins every instruction to a device before execution. The pin is
-// stamped on the instruction (PInstr.Device) and enforced per call by the
-// executor through hybrid.Engine.On — no engine-global state is involved,
-// so pins cannot leak across plans or interleave across concurrent
-// sessions; the engine's out-of-memory fallback still applies underneath.
+// of hybrid.Engine's greedy one-call-at-a-time choice, this pass walks the
+// whole plan fragment with the calibrated device profiles (core.Profile),
+// costs transfer-vs-compute over entire operator chains, and pins every
+// instruction to a device before execution. The pin is stamped on the
+// instruction (PInstr.Device, a device *label* such as "CPU" or "GPU1") and
+// enforced per call by the executor through hybrid.Engine.On — no
+// engine-global state is involved, so pins cannot leak across plans or
+// interleave across concurrent sessions; the engine's cost-ordered
+// out-of-memory fallback still applies underneath.
+//
+// The pass relaxes over the whole device set, not a CPU/GPU binary choice:
+// each instruction carries a per-device compute estimate, transfers are
+// priced per link (a discrete→discrete hop pays both PCIe directions,
+// host↔CPU is free), and a parallel-load term spreads *independent* plan
+// subtrees across equally fast devices — two selects feeding a join may pin
+// to different GPUs, while a serial chain (whose members can never overlap)
+// pays no such penalty and stays together. Fused regions are costed per
+// device as one instruction (estimateFused).
 package mal
 
 import (
 	"repro/internal/bat"
-	"repro/internal/cl"
 	"repro/internal/hybrid"
 	"repro/internal/ops"
 )
@@ -147,26 +156,55 @@ func (e *estimator) estimateFused(f *ops.FusedOp) (outRows []float64, streamedBy
 	return []float64{out}, streamed
 }
 
+// hostLoc marks a value resident on the host (no device owns it).
+const hostLoc = -1
+
 // placementPass pins each compute instruction of the fragment to a device.
-// It seeds every pin with the pure compute argmin, then relaxes the DAG a
-// few rounds: each instruction re-chooses its device given where its
-// producers *and* consumers currently sit, so a cheap operator in the
-// middle of a GPU chain stays on the GPU instead of bouncing the
+// It seeds every pin greedily in plan order (per-device compute plus input
+// transfers plus the parallel load already assigned to the device), then
+// relaxes the DAG a few rounds: each instruction re-chooses its device given
+// where its producers *and* consumers currently sit, so a cheap operator in
+// the middle of a device chain stays on that device instead of bouncing the
 // intermediate over PCIe — the lookahead the greedy per-call model lacks.
+// The parallel-load term only counts instructions the candidate is neither
+// an ancestor nor a descendant of: work on the same dependency chain
+// serialises anyway, while independent subtrees genuinely compete for the
+// device, which is what pushes them onto distinct GPUs.
 func (s *Session) placementPass(batch []*PInstr, outputs []*bat.BAT) {
 	h, ok := s.o.(*hybrid.Engine)
 	if !ok {
 		return
 	}
-	cpuProf, gpuProf := h.Profiles()
-	_, gpuEng := h.Engines()
-	link := gpuEng.Device().Perf.TransferBandwidth
-	cpuLabel, gpuLabel := cl.ClassCPU.String(), cl.ClassGPU.String()
+	devs := h.Devices()
+	nd := len(devs)
+	if nd == 0 {
+		return
+	}
+	type devFact struct {
+		label    string
+		scan     float64 // profiled scan bandwidth, bytes/s
+		launch   float64 // profiled per-kernel overhead, seconds
+		link     float64 // host link bandwidth, bytes/s (discrete only)
+		discrete bool
+	}
+	facts := make([]devFact, nd)
+	byLabel := map[string]int{}
+	for i, d := range devs {
+		dev := d.Eng.Device()
+		facts[i] = devFact{
+			label:    d.Label,
+			scan:     d.Prof.ScanBandwidth,
+			launch:   d.Prof.LaunchOverhead.Seconds(),
+			link:     dev.Perf.TransferBandwidth,
+			discrete: dev.Discrete,
+		}
+		byLabel[d.Label] = i
+	}
 
 	est := &estimator{s: s, rows: map[*bat.BAT]float64{}}
 	type node struct {
 		in        *PInstr
-		cpu, gpu  float64 // compute seconds per device
+		comp      []float64 // compute seconds per device
 		outBytes  float64
 		producers []*bat.BAT // canonical args
 		isOutput  bool
@@ -188,12 +226,10 @@ func (s *Session) placementPass(batch []*PInstr, outputs []*bat.BAT) {
 			est.rows[r] = outRows[i]
 			outBytes += 4 * outRows[i]
 		}
-		n := &node{
-			in:  in,
-			cpu: seconds(streamed, cpuProf.ScanBandwidth) + cpuProf.LaunchOverhead.Seconds(),
-			gpu: seconds(streamed, gpuProf.ScanBandwidth) + gpuProf.LaunchOverhead.Seconds(),
+		n := &node{in: in, comp: make([]float64, nd), outBytes: outBytes}
+		for d := range facts {
+			n.comp[d] = seconds(streamed, facts[d].scan) + facts[d].launch
 		}
-		n.outBytes = outBytes
 		for _, a := range in.Args {
 			if a == nil {
 				continue
@@ -226,63 +262,151 @@ func (s *Session) placementPass(batch []*PInstr, outputs []*bat.BAT) {
 		}
 	}
 
-	// shipSeconds prices moving a value to a device: values produced on the
-	// other device (or host-resident bases headed for the GPU) cross PCIe.
-	pin := make([]bool, len(nodes)) // true = GPU
-	locGPU := func(a *bat.BAT) (onGPU, known bool) {
-		if p, ok := producerOf[a]; ok {
-			return pin[index[p]], true
+	// related[i] marks every node on i's dependency chain (ancestors,
+	// descendants and i itself): work that serialises with i regardless of
+	// placement and therefore never contends with it. Plan order is
+	// topological (instructions are appended as the plan builds), so one
+	// forward sweep closes ancestors and one backward sweep descendants.
+	words := (len(nodes) + 63) / 64
+	newSet := func() []uint64 { return make([]uint64, words) }
+	setBit := func(s []uint64, i int) { s[i/64] |= 1 << (i % 64) }
+	hasBit := func(s []uint64, i int) bool { return s[i/64]&(1<<(i%64)) != 0 }
+	orInto := func(dst, src []uint64) {
+		for w := range dst {
+			dst[w] |= src[w]
 		}
-		switch h.OwnerClass(s.resolveForCost(a)) {
-		case gpuLabel:
-			return true, true
-		case cpuLabel:
-			return false, true
-		}
-		return false, true // host-resident base or synced value
 	}
-	shipSeconds := func(a *bat.BAT, toGPU bool) float64 {
-		onGPU, _ := locGPU(a)
-		if onGPU == toGPU {
-			return 0
+	anc := make([][]uint64, len(nodes))
+	desc := make([][]uint64, len(nodes))
+	related := make([][]uint64, len(nodes))
+	for i := range nodes {
+		anc[i], desc[i], related[i] = newSet(), newSet(), newSet()
+	}
+	for i, n := range nodes { // ancestors close forward
+		for _, a := range n.producers {
+			if p, ok := producerOf[a]; ok && p != n {
+				j := index[p]
+				setBit(anc[i], j)
+				orInto(anc[i], anc[j])
+			}
 		}
-		return seconds(4*est.rowsOf(a), link)
+	}
+	for i := len(nodes) - 1; i >= 0; i-- { // descendants close backward
+		for _, cons := range consumers[i] {
+			j := index[cons]
+			setBit(desc[i], j)
+			orInto(desc[i], desc[j])
+		}
+	}
+	for i := range nodes {
+		setBit(related[i], i)
+		orInto(related[i], anc[i])
+		orInto(related[i], desc[i])
 	}
 
-	// Seed: pure compute argmin.
-	for i, n := range nodes {
-		pin[i] = n.gpu < n.cpu
+	// pin[i] is node i's device index; load[d] the summed compute seconds of
+	// the nodes currently assigned to device d.
+	pin := make([]int, len(nodes))
+	for i := range pin {
+		pin[i] = hostLoc // unassigned (seed phase)
 	}
-	// Relax: re-choose each pin given current producer and consumer pins.
+	load := make([]float64, nd)
+
+	// locOf resolves where a value lives under the current pins: its
+	// producing node's device, the device owning it from an earlier
+	// fragment, or the host.
+	locOf := func(a *bat.BAT) int {
+		if p, ok := producerOf[a]; ok {
+			return pin[index[p]]
+		}
+		if lbl := h.OwnerClass(s.resolveForCost(a)); lbl != "" {
+			if d, ok := byLabel[lbl]; ok {
+				return d
+			}
+		}
+		return hostLoc
+	}
+	// xfer prices moving bytes between two locations: each discrete endpoint
+	// pays its PCIe link once (host↔CPU is free, GPU↔GPU pays both hops).
+	xfer := func(bytes float64, from, to int) float64 {
+		if from == to {
+			return 0
+		}
+		var c float64
+		if from >= 0 && facts[from].discrete {
+			c += seconds(bytes, facts[from].link)
+		}
+		if to >= 0 && facts[to].discrete {
+			c += seconds(bytes, facts[to].link)
+		}
+		return c
+	}
+	// busy is the parallel load device d already carries from nodes off i's
+	// dependency chain — the contention term that spreads independent
+	// subtrees over equal devices.
+	busy := func(i, d int) float64 {
+		b := load[d]
+		for j, n := range nodes {
+			if pin[j] == d && hasBit(related[i], j) {
+				b -= n.comp[d]
+			}
+		}
+		if b < 0 {
+			b = 0
+		}
+		return b
+	}
+	costOn := func(i, d int, withConsumers bool) float64 {
+		n := nodes[i]
+		c := n.comp[d] + busy(i, d)
+		for _, a := range n.producers {
+			c += xfer(4*est.rowsOf(a), locOf(a), d)
+		}
+		if withConsumers {
+			for _, cons := range consumers[i] {
+				c += xfer(n.outBytes, d, pin[index[cons]])
+			}
+		}
+		if n.isOutput {
+			c += xfer(n.outBytes, d, hostLoc) // sync-back to the host
+		}
+		return c
+	}
+	choose := func(i int, withConsumers bool) int {
+		best, bestCost := pin[i], 0.0
+		if best >= 0 {
+			bestCost = costOn(i, best, withConsumers)
+		}
+		for d := 0; d < nd; d++ {
+			if d == best {
+				continue
+			}
+			if c := costOn(i, d, withConsumers); best < 0 || c < bestCost {
+				best, bestCost = d, c
+			}
+		}
+		return best
+	}
+
+	// Seed greedily in plan order (producers are already assigned, consumers
+	// are not), then relax with full producer+consumer context.
+	for i := range nodes {
+		d := choose(i, false)
+		pin[i] = d
+		load[d] += nodes[i].comp[d]
+	}
 	for round := 0; round < 3; round++ {
 		for i, n := range nodes {
-			costOn := func(gpu bool) float64 {
-				c := n.cpu
-				if gpu {
-					c = n.gpu
-				}
-				for _, a := range n.producers {
-					c += shipSeconds(a, gpu)
-				}
-				for _, cons := range consumers[i] {
-					if pin[index[cons]] != gpu {
-						c += seconds(n.outBytes, link)
-					}
-				}
-				if n.isOutput && gpu {
-					c += seconds(n.outBytes, link) // sync-back to the host
-				}
-				return c
+			d := choose(i, true)
+			if d != pin[i] {
+				load[pin[i]] -= n.comp[pin[i]]
+				load[d] += n.comp[d]
+				pin[i] = d
 			}
-			pin[i] = costOn(true) < costOn(false)
 		}
 	}
 	for i, n := range nodes {
-		if pin[i] {
-			n.in.Device = gpuLabel
-		} else {
-			n.in.Device = cpuLabel
-		}
+		n.in.Device = facts[pin[i]].label
 	}
 }
 

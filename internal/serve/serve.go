@@ -2,12 +2,19 @@
 // execution stack: the piece that turns the benchmark harness into the
 // server the paper assumes Ocelot lives inside (§3.1 — MonetDB serves many
 // client sessions against one engine). A Server multiplexes N client plan
-// executions onto one shared operator configuration: each request gets its
-// own MAL session (sessions are single-threaded; engines are shared and
-// thread-safe), admission is capped so a traffic burst queues instead of
-// oversubscribing the device, and completed plans are cached as rewritten
+// executions onto one *or more* shared operator configurations: each request
+// gets its own MAL session (sessions are single-threaded; engines are shared
+// and thread-safe), admission is capped so a traffic burst queues instead of
+// oversubscribing the devices, and completed plans are cached as rewritten
 // templates (mal.PlanCache) so repeated queries skip the plan build and the
 // whole rewriter pass pipeline, re-binding only their parameters.
+//
+// With several engines (NewBalanced) the server balances sessions across
+// them by in-flight load: each admitted request runs on the engine currently
+// executing the fewest plans, ties broken round-robin. Every engine keeps
+// its own plan cache — the mal.PlanCache contract scopes a cache to one
+// engine over one database — and Invalidate bumps all of them when base
+// data is reloaded.
 package serve
 
 import (
@@ -29,8 +36,8 @@ var ErrOverloaded = errors.New("serve: server overloaded, request rejected by ad
 
 // Options configure a Server.
 type Options struct {
-	// MaxConcurrent caps how many plans execute simultaneously on the
-	// shared engine (the admission cap); <=0 selects 4.
+	// MaxConcurrent caps how many plans execute simultaneously across the
+	// shared engines (the admission cap); <=0 selects 4 per engine.
 	MaxConcurrent int
 	// MaxQueued caps how many requests may wait for an execution slot
 	// beyond the cap before new arrivals are rejected with ErrOverloaded;
@@ -39,7 +46,7 @@ type Options struct {
 	// Passes is the rewriter pass configuration for every plan; the zero
 	// value selects mal.DefaultPasses.
 	Passes *mal.Passes
-	// NoCache disables the rewritten-plan cache: every request builds and
+	// NoCache disables the rewritten-plan caches: every request builds and
 	// rewrites its plan from scratch (ablation and tests).
 	NoCache bool
 }
@@ -60,28 +67,49 @@ type QueryStats struct {
 	Total, Max time.Duration
 }
 
-// Server dispatches concurrent plan executions onto one shared operator
-// configuration.
+// engineSlot is one balanced execution target: an engine, its plan cache,
+// and its load counters.
+type engineSlot struct {
+	o        ops.Operators
+	cache    *mal.PlanCache
+	inflight atomic.Int64 // plans executing right now
+	served   atomic.Int64 // completed executions (observability)
+}
+
+// Server dispatches concurrent plan executions onto shared operator
+// configurations.
 type Server struct {
-	o      ops.Operators
+	slots  []*engineSlot
 	passes mal.Passes
-	cache  *mal.PlanCache
 
 	sem     chan struct{}
 	maxQ    int64
 	waiting atomic.Int64
+	rr      atomic.Int64 // round-robin tie-breaker for equal loads
 
 	mu    sync.Mutex
 	stats map[string]*QueryStats
 }
 
-// New creates a server over the shared configuration o. The engine must be
+// New creates a server over one shared configuration. The engine must be
 // safe for concurrent sessions (all shipped configurations are); the
 // server's plan cache is scoped to this engine and the data its plans read,
 // per the mal.PlanCache contract.
 func New(o ops.Operators, opt Options) *Server {
+	return NewBalanced([]ops.Operators{o}, opt)
+}
+
+// NewBalanced creates a server balancing sessions across several engines.
+// The engines should be interchangeable — same module, same base data —
+// since any request may land on any of them; typically they are separate
+// instances of one configuration (e.g. per-NUMA-domain hybrid engines).
+// Each engine gets its own plan cache.
+func NewBalanced(os []ops.Operators, opt Options) *Server {
+	if len(os) == 0 {
+		panic("serve: NewBalanced needs at least one engine")
+	}
 	if opt.MaxConcurrent <= 0 {
-		opt.MaxConcurrent = 4
+		opt.MaxConcurrent = 4 * len(os)
 	}
 	if opt.MaxQueued <= 0 {
 		opt.MaxQueued = 16 * opt.MaxConcurrent
@@ -91,20 +119,75 @@ func New(o ops.Operators, opt Options) *Server {
 		passes = *opt.Passes
 	}
 	sv := &Server{
-		o:      o,
 		passes: passes,
 		sem:    make(chan struct{}, opt.MaxConcurrent),
 		maxQ:   int64(opt.MaxQueued),
 		stats:  map[string]*QueryStats{},
 	}
-	if !opt.NoCache {
-		sv.cache = mal.NewPlanCache()
+	for _, o := range os {
+		slot := &engineSlot{o: o}
+		if !opt.NoCache {
+			slot.cache = mal.NewPlanCache()
+		}
+		sv.slots = append(sv.slots, slot)
 	}
 	return sv
 }
 
-// Operators returns the shared configuration.
-func (sv *Server) Operators() ops.Operators { return sv.o }
+// Operators returns the first shared configuration (the only one for a
+// single-engine server).
+func (sv *Server) Operators() ops.Operators { return sv.slots[0].o }
+
+// Engines returns every balanced configuration in slot order.
+func (sv *Server) Engines() []ops.Operators {
+	out := make([]ops.Operators, len(sv.slots))
+	for i, s := range sv.slots {
+		out[i] = s.o
+	}
+	return out
+}
+
+// EngineLoads returns, per engine, how many executions it has completed
+// (successful or failed, like QueryStats.Runs) — the balance the dispatcher
+// achieved.
+func (sv *Server) EngineLoads() []int64 {
+	out := make([]int64, len(sv.slots))
+	for i, s := range sv.slots {
+		out[i] = s.served.Load()
+	}
+	return out
+}
+
+// Invalidate marks the base data as replaced: every engine's plan cache
+// moves to a fresh data generation (mal.PlanCache.BumpGeneration), so no
+// template captured over the old data can replay. Call it after reloading a
+// table the served plans read.
+func (sv *Server) Invalidate() {
+	for _, s := range sv.slots {
+		if s.cache != nil {
+			s.cache.BumpGeneration()
+		}
+	}
+}
+
+// pick returns the engine slot with the fewest in-flight plans, breaking
+// ties round-robin so equal-load engines share work instead of the first
+// one absorbing every burst.
+func (sv *Server) pick() *engineSlot {
+	if len(sv.slots) == 1 {
+		return sv.slots[0]
+	}
+	start := int((sv.rr.Add(1) - 1) % int64(len(sv.slots)))
+	best := sv.slots[start]
+	bestLoad := best.inflight.Load()
+	for i := 1; i < len(sv.slots); i++ {
+		s := sv.slots[(start+i)%len(sv.slots)]
+		if l := s.inflight.Load(); l < bestLoad {
+			best, bestLoad = s, l
+		}
+	}
+	return best
+}
 
 // Execute runs the named plan with the given parameter bindings, blocking
 // until an execution slot is free. Admission control rejects the request
@@ -126,17 +209,22 @@ func (sv *Server) Execute(name string, params mal.Params, plan func(*mal.Session
 	}
 	defer func() { <-sv.sem }()
 
+	slot := sv.pick()
+	slot.inflight.Add(1)
+	defer slot.inflight.Add(-1)
+
 	var res *mal.Result
 	var hit bool
 	var err error
-	if sv.cache != nil {
-		res, hit, err = sv.cache.Run(sv.o, name, params, sv.passes, plan)
+	if slot.cache != nil {
+		res, hit, err = slot.cache.Run(slot.o, name, params, sv.passes, plan)
 	} else {
-		s := mal.NewSession(sv.o)
+		s := mal.NewSession(slot.o)
 		s.SetPasses(sv.passes)
 		s.SetParams(params)
 		res, err = mal.RunQuery(s, plan)
 	}
+	slot.served.Add(1)
 	sv.note(name, start, res, hit, err)
 	return res, err
 }
@@ -177,13 +265,19 @@ func (sv *Server) note(name string, start time.Time, res *mal.Result, hit bool, 
 	}
 }
 
-// CacheStats returns plan-cache hits, misses and resident templates (zeros
-// when the cache is disabled).
+// CacheStats returns plan-cache hits, misses and resident templates summed
+// across the engines (zeros when the caches are disabled).
 func (sv *Server) CacheStats() (hits, misses int64, size int) {
-	if sv.cache == nil {
-		return 0, 0, 0
+	for _, s := range sv.slots {
+		if s.cache == nil {
+			continue
+		}
+		h, m, n := s.cache.Stats()
+		hits += h
+		misses += m
+		size += n
 	}
-	return sv.cache.Stats()
+	return hits, misses, size
 }
 
 // Stats returns a copy of the per-query statistics.
@@ -220,5 +314,8 @@ func (sv *Server) String() string {
 	}
 	hits, misses, size := sv.CacheStats()
 	fmt.Fprintf(&sb, "plan cache: %d hits, %d misses, %d templates\n", hits, misses, size)
+	if len(sv.slots) > 1 {
+		fmt.Fprintf(&sb, "engines: %d, served %v\n", len(sv.slots), sv.EngineLoads())
+	}
 	return sb.String()
 }

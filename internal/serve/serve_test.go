@@ -9,7 +9,9 @@ import (
 	"time"
 
 	"repro/internal/bat"
+	"repro/internal/hybrid"
 	"repro/internal/mal"
+	"repro/internal/ops"
 	"repro/internal/tpch"
 )
 
@@ -376,6 +378,178 @@ func TestAdmissionAcceptsBurstWithinCap(t *testing.T) {
 	for err := range errs {
 		if err != nil {
 			t.Fatalf("burst within the execution cap was rejected: %v", err)
+		}
+	}
+}
+
+// TestBalancedServerSpreadsSessions: a server over several engines must
+// route concurrent sessions across all of them (least-in-flight with a
+// round-robin tie break), keep per-engine plan caches working, and return
+// results identical to a single-engine run. Invalidate must bump every
+// engine's cache generation.
+func TestBalancedServerSpreadsSessions(t *testing.T) {
+	db := testDB()
+	engines := []ops.Operators{
+		mal.OcelotCPU.Build(engineOpts()),
+		mal.OcelotCPU.Build(engineOpts()),
+	}
+	sv := NewBalanced(engines, Options{MaxConcurrent: 4})
+	if len(sv.Engines()) != 2 {
+		t.Fatalf("server reports %d engines, want 2", len(sv.Engines()))
+	}
+
+	q := tpch.QueryByNum(6)
+	plan := func(s *mal.Session) *mal.Result { return q.Plan(s, db) }
+	// Warm both engines sequentially (idle round-robin alternates slots):
+	// concurrent cold misses on one engine would each build independently,
+	// which is documented cache behaviour but noise for this test.
+	ref, err := sv.Execute("q6", nil, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sv.Execute("q6", nil, plan); err != nil {
+		t.Fatal(err)
+	}
+
+	const rounds = 32
+	var wg sync.WaitGroup
+	errs := make(chan error, rounds)
+	for i := 0; i < rounds; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := sv.Execute("q6", nil, plan)
+			if err != nil {
+				errs <- err
+				return
+			}
+			errs <- canonEqual(res, ref)
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	loads := sv.EngineLoads()
+	var total int64
+	for i, l := range loads {
+		if l == 0 {
+			t.Fatalf("engine %d served no sessions: loads %v", i, loads)
+		}
+		total += l
+	}
+	if total != rounds+2 {
+		t.Fatalf("loads %v sum to %d, want %d", loads, total, rounds+2)
+	}
+	// Both engines built the plan once during the warm-up (their caches are
+	// separate); every later execution replayed a template.
+	hits, misses, size := sv.CacheStats()
+	if misses != 2 || size != 2 {
+		t.Fatalf("cache stats hits=%d misses=%d size=%d, want 2 misses / 2 resident", hits, misses, size)
+	}
+	if hits != rounds {
+		t.Fatalf("cache hits = %d, want %d", hits, rounds)
+	}
+
+	// Invalidation bumps every engine's cache: the next run per engine is a
+	// rebuild.
+	sv.Invalidate()
+	for i := 0; i < 2; i++ {
+		if _, err := sv.Execute("q6", nil, plan); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h2, m2, _ := sv.CacheStats(); m2 != misses+2 || h2 != hits {
+		t.Fatalf("invalidation did not force rebuilds: misses %d -> %d", misses, m2)
+	}
+}
+
+// TestNDeviceHybridConcurrentPlacementAccounting: >=4 concurrent serve
+// sessions on one shared 4-device hybrid engine (1 CPU + 3 GPUs), under
+// the race detector in CI. Afterwards the engine's per-device placement
+// accounting must be consistent: every recorded device label belongs to
+// the device set, and the per-operator totals equal the pinned compute
+// instructions the sequential plan executes times the completed runs —
+// concurrency must not lose or double-count a placement.
+func TestNDeviceHybridConcurrentPlacementAccounting(t *testing.T) {
+	db := testDB()
+	o := mal.Hybrid.Build(mal.ConfigOptions{Threads: 4, GPUMemory: 512 << 20, GPUs: 3})
+	h := o.(*hybrid.Engine)
+	labels := map[string]bool{}
+	for _, d := range h.Devices() {
+		labels[d.Label] = true
+	}
+	if len(labels) != 4 {
+		t.Fatalf("want a 4-device engine, got %v", labels)
+	}
+
+	// One sequential run (plan cache off — replays keep the same pinned
+	// instruction count, but the count is simplest to read off a fresh
+	// session) to learn the per-operator pin totals of Q6.
+	q := tpch.QueryByNum(6)
+	plan := func(s *mal.Session) *mal.Result { return q.Plan(s, db) }
+	s := mal.NewSession(o)
+	ref, err := mal.RunQuery(s, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perOp := map[string]int{}
+	for _, in := range s.Plan() {
+		if in.Device != "" {
+			perOp[in.PlaceKey()]++
+		}
+	}
+	before := h.Placements()
+
+	const sessions, rounds = 6, 4
+	sv := New(o, Options{MaxConcurrent: sessions, NoCache: true})
+	var wg sync.WaitGroup
+	errs := make(chan error, sessions*rounds)
+	for c := 0; c < sessions; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				res, err := sv.Execute("q6", nil, plan)
+				if err != nil {
+					errs <- err
+					return
+				}
+				errs <- canonEqual(res, ref)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	after := h.Placements()
+	for op, m := range after {
+		for dev := range m {
+			if !labels[dev] {
+				t.Fatalf("placement recorded for unknown device %q (op %s)", dev, op)
+			}
+		}
+	}
+	for op, want := range perOp {
+		got := 0
+		for _, n := range after[op] {
+			got += n
+		}
+		for _, n := range before[op] {
+			got -= n
+		}
+		if got != want*sessions*rounds {
+			t.Fatalf("op %s: %d placements across %d runs, want %d per run (%v)",
+				op, got, sessions*rounds, want, after[op])
 		}
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/hybrid"
 	"repro/internal/mal"
+	"repro/internal/ops"
 )
 
 func testDB(t *testing.T) *DB {
@@ -656,4 +657,80 @@ func TestWriteCSV(t *testing.T) {
 			t.Fatalf("missing export for %s: %v", tb.Name, err)
 		}
 	}
+}
+
+// TestNDeviceEquivalenceAllQueries is the PR 5 acceptance suite: the same
+// workload must produce byte-identical results on the CPU-only
+// configuration, the classic 2-device hybrid, and a 4-device hybrid (1 CPU
+// + 3 GPUs) — placement over a larger device set is a pure execution-
+// strategy change, like fusion. Each query first probes its own determinism
+// with two CPU-only runs (grouped float aggregation used to be
+// scheduling-dependent; the order-stable grouped sum makes the probe pass
+// everywhere, but the guard keeps the test honest if new nondeterministic
+// operators appear); deterministic queries demand exactness, the rest the
+// atomic-jitter tolerance. The 4-device engine must additionally pin at
+// least one query's work onto two *distinct* GPUs — the device-affinity
+// partitioning the N-device placement pass exists for.
+func TestNDeviceEquivalenceAllQueries(t *testing.T) {
+	db := testDB(t)
+	opts := mal.ConfigOptions{Threads: 4, GPUMemory: 512 << 20}
+	queries := Queries()
+	gpuCounts := []int{1, 3}
+	if testing.Short() {
+		queries = []Query{*QueryByNum(1), *QueryByNum(3), *QueryByNum(6)}
+		gpuCounts = []int{3}
+	}
+
+	cpuEng := mal.OcelotCPU.Build(opts)
+	runOn := func(o ops.Operators, q Query) (*mal.Result, *mal.Session) {
+		s := mal.NewSession(o)
+		res, err := mal.RunQuery(s, func(s *mal.Session) *mal.Result { return q.Plan(s, db) })
+		if err != nil {
+			t.Fatalf("Q%d on %s: %v", q.Num, o.Name(), err)
+		}
+		return res, s
+	}
+
+	type hybEng struct {
+		gpus int
+		o    ops.Operators
+	}
+	var hybrids []hybEng
+	for _, g := range gpuCounts {
+		o := mal.Hybrid.Build(mal.ConfigOptions{Threads: 4, GPUMemory: 512 << 20, GPUs: g})
+		hybrids = append(hybrids, hybEng{gpus: g, o: o})
+	}
+
+	multiGPUQueries := 0
+	for _, q := range queries {
+		ref, _ := runOn(cpuEng, q)
+		probe, _ := runOn(cpuEng, q)
+		deterministic := ref.EqualWithin(probe, 0) == nil
+
+		for _, he := range hybrids {
+			res, s := runOn(he.o, q)
+			if deterministic {
+				if err := res.EqualWithin(ref, 0); err != nil {
+					t.Fatalf("Q%d with %d GPUs differs byte-for-byte from CPU-only: %v", q.Num, he.gpus, err)
+				}
+			} else if err := res.EqualWithin(ref, 1e-5); err != nil {
+				t.Fatalf("Q%d with %d GPUs (nondeterministic) outside jitter tolerance: %v", q.Num, he.gpus, err)
+			}
+			if he.gpus >= 2 {
+				gpusPinned := map[string]bool{}
+				for _, in := range s.Plan() {
+					if in.Device != "" && strings.HasPrefix(in.Device, "GPU") {
+						gpusPinned[in.Device] = true
+					}
+				}
+				if len(gpusPinned) >= 2 {
+					multiGPUQueries++
+				}
+			}
+		}
+	}
+	if multiGPUQueries == 0 {
+		t.Fatal("no query's placement used two distinct GPUs on the 4-device engine")
+	}
+	t.Logf("%d query runs pinned work on >=2 distinct GPUs", multiGPUQueries)
 }

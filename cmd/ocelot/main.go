@@ -33,6 +33,7 @@ func main() {
 		threads = flag.Int("threads", 0, "parallelism (0 = all cores)")
 		gpuMem  = flag.Int64("gpumem", 1024, "simulated GPU memory in MiB")
 		gpus    = flag.Int("gpus", 1, "simulated GPUs of the HYB configuration")
+		spillMB = flag.Int64("spillmb", 0, "force a per-join device budget in MiB so hash joins partition and spill (0 = auto from free device memory, -1 = never spill)")
 	)
 	flag.Parse()
 
@@ -66,6 +67,13 @@ func main() {
 
 	for _, cfg := range configs {
 		o := cfg.Build(mal.ConfigOptions{Threads: *threads, GPUMemory: *gpuMem << 20, GPUs: *gpus})
+		if *spillMB != 0 {
+			b := *spillMB << 20
+			if *spillMB < 0 {
+				b = -1
+			}
+			mal.SetSpillBudget(o, b)
+		}
 		s := mal.NewSession(o)
 		if *explain {
 			s.EnableTrace()
@@ -87,6 +95,9 @@ func main() {
 		if isGPU {
 			vAfter, _ := mal.GPUTime(o)
 			line += fmt.Sprintf(", device time %v", (vAfter - vBefore).Round(time.Microsecond))
+		}
+		if joins, parts, bytes := mal.SpillStats(o); joins > 0 {
+			line += fmt.Sprintf(", spilled %d joins (%d partitions, %.1f MB via host)", joins, parts, float64(bytes)/(1<<20))
 		}
 		fmt.Println(line)
 		if *explain {

@@ -115,6 +115,39 @@ func TestFig7aSmallRun(t *testing.T) {
 	}
 }
 
+func TestSpillFigureSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TPC-H figure in -short mode")
+	}
+	// The figure is self-checking: it panics on any cross-mode divergence
+	// and when the forced budget fails to bind, so the smoke only needs the
+	// sweep to complete and the report to be well-formed.
+	opt := TPCHOptions{Options: Options{Runs: 1, Threads: 4, Seed: 42}}
+	r := SpillFigure(opt)
+	if len(r.Queries) != 14 {
+		t.Fatalf("spill figure covers %d queries, want 14", len(r.Queries))
+	}
+	if want := 3 * len(SpillSFs); len(r.Order) != want {
+		t.Fatalf("spill figure has %d series, want %d (3 modes × %d SFs)", len(r.Order), want, len(SpillSFs))
+	}
+	for _, c := range r.Order {
+		for i, v := range r.Seconds[c] {
+			if v < 0 {
+				t.Fatalf("Q%d on %s failed: %v", r.Queries[i], c, r.Notes)
+			}
+		}
+	}
+	spilled := 0
+	for _, n := range r.Notes {
+		if strings.Contains(n, "spilling joins") {
+			spilled++
+		}
+	}
+	if spilled < len(SpillSFs) {
+		t.Fatalf("expected a spill-stats note per scale factor, got %d of %d (notes %v)", spilled, len(SpillSFs), r.Notes)
+	}
+}
+
 func TestFig7dProducesAllSeries(t *testing.T) {
 	if testing.Short() {
 		t.Skip("TPC-H figure in -short mode")

@@ -1,0 +1,117 @@
+// The memory-pressure figure: the TPC-H workload with the partition-wise
+// spilling join forced on, against the in-memory join on identical
+// hardware, as the scale factor sweeps. It has no counterpart in the paper
+// — §5.1 sizes every run to fit — and tracks the repository's robustness
+// trajectory: spilling must stay correct at every scale and its overhead
+// must be a bounded constant factor, not a cliff. A CPU-only run anchors
+// the floor. Every mode must return the same rows; the figure verifies
+// that on the fly and reports per-query seconds per (scale factor, mode).
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/mal"
+	"repro/internal/tpch"
+)
+
+// SpillSFs is the figure's scale-factor sweep; device memory stays fixed.
+var SpillSFs = []float64{0.005, 0.01, 0.02}
+
+// SpillForcedBudget is the per-join device budget of the partition-wise
+// series: small enough that every real join in the workload partitions, so
+// the series prices the spilling machinery itself rather than the luck of
+// a particular memory-to-data ratio.
+const SpillForcedBudget = 256 << 10
+
+// SpillFigure sweeps the workload over SpillSFs and, per scale factor, runs
+// three modes on fixed hardware: the in-memory GPU baseline, the same GPU
+// with every join forced through the partition-wise spilling path
+// (SpillForcedBudget), and the CPU driver (which never spills — it computes
+// in host memory). Results are cross-checked against the in-memory run per
+// query; a divergence beyond float-atomics jitter aborts the figure —
+// spilling is an execution strategy, never a semantics change.
+func SpillFigure(o TPCHOptions) *QueryReport {
+	if o.GPUMemory == 0 {
+		o.GPUMemory = 2 << 30 // the paper's 2 GB card, fixed across the sweep
+	}
+	o = defaultTPCH(o, SpillSFs[0])
+
+	rep := &QueryReport{
+		ID: "spill",
+		Title: fmt.Sprintf("Memory pressure: TPC-H sweep, in-memory vs partition-wise (%d KiB join budget) vs CPU",
+			SpillForcedBudget>>10),
+		Seconds: map[string][]float64{},
+		Notes:   []string{"seconds per query; in-memory GPU is the per-query byte-identity reference"},
+	}
+	for _, q := range tpch.Queries() {
+		rep.Queries = append(rep.Queries, q.Num)
+	}
+
+	var spillFired bool
+	for _, sf := range SpillSFs {
+		db := tpch.Generate(sf, o.Seed)
+		queries := tpch.Queries()
+
+		type mode struct {
+			label  string
+			cfg    mal.Config
+			budget int64
+		}
+		modes := []mode{
+			{fmt.Sprintf("mem sf=%g", sf), mal.OcelotGPU, 0},
+			{fmt.Sprintf("spl sf=%g", sf), mal.OcelotGPU, SpillForcedBudget},
+			{fmt.Sprintf("CPU sf=%g", sf), mal.OcelotCPU, 0},
+		}
+		reference := make([]*mal.Result, len(queries))
+		for _, m := range modes {
+			rep.Order = append(rep.Order, m.label)
+			series := make([]float64, len(queries))
+			rep.Seconds[m.label] = series
+
+			eng := m.cfg.Build(mal.ConfigOptions{
+				Threads:        o.Threads,
+				GPUMemory:      o.GPUMemory,
+				CPULaunchPause: o.CPULaunchPause,
+			})
+			if m.budget != 0 {
+				mal.SetSpillBudget(eng, m.budget)
+			}
+			for i, q := range queries {
+				q := q
+				var last *mal.Result
+				avg, err := Measure(eng, o.Runs, func() error {
+					s := mal.NewSession(eng)
+					res, err := mal.RunQuery(s, func(s *mal.Session) *mal.Result { return q.Plan(s, db) })
+					last = res
+					return err
+				})
+				if err != nil {
+					panic(fmt.Sprintf("bench: Q%d %s: %v", q.Num, m.label, err))
+				}
+				series[i] = avg.Seconds()
+				if reference[i] == nil {
+					reference[i] = last
+				} else if err := last.EqualWithin(reference[i], 0); err != nil {
+					if err2 := last.EqualWithin(reference[i], 1e-5); err2 != nil {
+						panic(fmt.Sprintf("bench: Q%d %s diverges from in-memory: %v", q.Num, m.label, err2))
+					}
+				}
+			}
+			joins, parts, bytes := mal.SpillStats(eng)
+			if m.budget != 0 && joins == 0 {
+				panic(fmt.Sprintf("bench: %s never spilled — the forced budget does not bind", m.label))
+			}
+			if joins > 0 {
+				spillFired = true
+				rep.Notes = append(rep.Notes, fmt.Sprintf(
+					"%s: %d spilling joins, %d partitions, %.1f MB staged through host",
+					m.label, joins, parts, float64(bytes)/(1<<20)))
+			}
+		}
+	}
+	if !spillFired {
+		panic("bench: spill figure never spilled")
+	}
+	return rep
+}

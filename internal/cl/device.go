@@ -132,6 +132,11 @@ type Device struct {
 	mu        sync.Mutex
 	allocated int64 // live buffer bytes
 	peakAlloc int64
+	// Deterministic fault injection (fault.go): nil when disarmed. dead is
+	// the death latch — once set, commands and allocations fail with
+	// ErrDeviceLost until Revive.
+	faults *faultState
+	dead   bool
 	// Virtual engine timelines (ns since device creation). A kernel occupies
 	// the compute engine; a transfer occupies the copy engine. Keeping them
 	// separate lets the simulated driver overlap transfers with kernels,
@@ -252,6 +257,9 @@ func (d *Device) TimelineNow() time.Duration {
 func (d *Device) reserve(n int64) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if err := d.faultAllocLocked(); err != nil {
+		return err
+	}
 	if d.GlobalMemSize > 0 && d.allocated+n > d.GlobalMemSize {
 		return fmt.Errorf("%w: requested %d bytes, %d of %d in use",
 			ErrOutOfDeviceMemory, n, d.allocated, d.GlobalMemSize)

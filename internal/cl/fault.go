@@ -1,0 +1,145 @@
+package cl
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrDeviceLost is returned by every command and allocation on a device that
+// has died (fault injection, or — on real hardware — a driver reset). Unlike
+// ErrOutOfDeviceMemory it is not recoverable on the same device: callers must
+// re-run the work elsewhere from host-authoritative data.
+var ErrDeviceLost = errors.New("cl: device lost")
+
+// ErrTransient marks a one-shot failure (a dropped enqueue, a spurious driver
+// hiccup): re-submitting the same command on the same device is expected to
+// succeed. The hybrid layer retries transient failures once in place instead
+// of walking the cross-device fallback chain.
+var ErrTransient = errors.New("cl: transient device error")
+
+// FaultPlan describes deterministic failures to inject into one device. The
+// ordinals are 1-based and counted from the moment the plan is injected, in
+// submission order — single-session workloads submit deterministically, so a
+// plan reproduces the same failure at the same point on every run.
+type FaultPlan struct {
+	// FailAllocs lists allocation ordinals that fail with an injected
+	// ErrOutOfDeviceMemory (capacity pressure without needing a tiny device).
+	FailAllocs []int64
+	// TransientCommands lists command ordinals whose execution fails with
+	// ErrTransient. Each listed ordinal fires exactly once; the re-submitted
+	// command lands on a later ordinal and succeeds.
+	TransientCommands []int64
+	// DieAtCommand kills the device when the Nth command is submitted: that
+	// command, every later command, and every later allocation fail with
+	// ErrDeviceLost until Revive. Zero means never.
+	DieAtCommand int64
+}
+
+// faultState is the per-device injection bookkeeping, allocated only when a
+// plan is injected so the fault-free fast path stays one nil check.
+type faultState struct {
+	mu     sync.Mutex
+	plan   FaultPlan
+	allocs int64
+	cmds   int64
+}
+
+// InjectFaults arms a failure plan on the device, resetting the ordinal
+// counters. Passing the zero FaultPlan disarms injection (an earlier death
+// latch stays until Revive).
+func (d *Device) InjectFaults(p FaultPlan) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(p.FailAllocs) == 0 && len(p.TransientCommands) == 0 && p.DieAtCommand == 0 {
+		d.faults = nil
+		return
+	}
+	d.faults = &faultState{plan: FaultPlan{
+		FailAllocs:        append([]int64(nil), p.FailAllocs...),
+		TransientCommands: append([]int64(nil), p.TransientCommands...),
+		DieAtCommand:      p.DieAtCommand,
+	}}
+}
+
+// Kill marks the device dead immediately: every subsequent command and
+// allocation fails with ErrDeviceLost. Buffer releases still work — freeing
+// bookkeeping must not depend on the hardware answering.
+func (d *Device) Kill() {
+	d.mu.Lock()
+	d.dead = true
+	d.mu.Unlock()
+}
+
+// Revive clears the death latch (tests that exercise recovery of the
+// surrounding layers; real hardware would need a context rebuild).
+func (d *Device) Revive() {
+	d.mu.Lock()
+	d.dead = false
+	d.mu.Unlock()
+}
+
+// Dead reports whether the device has died (Kill, or FaultPlan.DieAtCommand).
+func (d *Device) Dead() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.dead
+}
+
+// faultAlloc is consulted by reserve before capacity accounting. Called with
+// d.mu held.
+func (d *Device) faultAllocLocked() error {
+	if d.dead {
+		return fmt.Errorf("%w: %s", ErrDeviceLost, d.Name)
+	}
+	f := d.faults
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.allocs++
+	for _, n := range f.plan.FailAllocs {
+		if n == f.allocs {
+			return fmt.Errorf("%w: injected failure at allocation %d on %s",
+				ErrOutOfDeviceMemory, n, d.Name)
+		}
+	}
+	return nil
+}
+
+// faultCommand is consulted once per submitted command. A non-nil error
+// replaces the command's work: the event machinery still runs, so dependents
+// observe the failure through the normal dependency-error propagation.
+func (d *Device) faultCommand() error {
+	d.mu.Lock()
+	if d.dead {
+		d.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrDeviceLost, d.Name)
+	}
+	f := d.faults
+	if f == nil {
+		d.mu.Unlock()
+		return nil
+	}
+	d.mu.Unlock()
+
+	f.mu.Lock()
+	f.cmds++
+	ord := f.cmds
+	if f.plan.DieAtCommand != 0 && ord >= f.plan.DieAtCommand {
+		f.mu.Unlock()
+		d.Kill()
+		return fmt.Errorf("%w: injected death at command %d on %s", ErrDeviceLost, ord, d.Name)
+	}
+	for i, n := range f.plan.TransientCommands {
+		if n == ord {
+			// Fires once: the re-submitted command takes a later ordinal.
+			f.plan.TransientCommands = append(f.plan.TransientCommands[:i], f.plan.TransientCommands[i+1:]...)
+			f.mu.Unlock()
+			return fmt.Errorf("%w: injected failure at command %d on %s", ErrTransient, ord, d.Name)
+		}
+	}
+	f.mu.Unlock()
+	return nil
+}

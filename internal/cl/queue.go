@@ -93,6 +93,12 @@ func (q *Queue) forget(ev *Event, err error) {
 // immediately onto the device's worker pool. No goroutine is parked waiting
 // for dependencies.
 func (q *Queue) submit(name string, deps []*Event, virtDur time.Duration, copyEngine bool, work func() error) *Event {
+	if ferr := q.dev.faultCommand(); ferr != nil {
+		// The command is scheduled normally but its work is replaced by the
+		// injected failure, so dependents and Finish observe it through the
+		// ordinary dependency-error propagation.
+		work = func() error { return ferr }
+	}
 	ev := &Event{name: name, done: make(chan struct{})}
 	if q.dev.Simulated {
 		ready := depsReady(deps)

@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/bat"
 	"repro/internal/cl"
@@ -22,6 +23,13 @@ type Engine struct {
 	// profile, when set via SetProfile, drives algorithm selection (the
 	// §7 future-work hook); nil falls back to device-class defaults.
 	profile *Profile
+
+	// Partition-wise join control and statistics (spill.go). spillBudget
+	// overrides the device budget: 0 automatic, >0 forced bytes, <0 disabled.
+	spillBudget atomic.Int64
+	spillJoins  atomic.Int64
+	spillParts  atomic.Int64
+	spillBytes  atomic.Int64
 }
 
 // New creates an Ocelot engine on the given device.
@@ -51,6 +59,11 @@ func (e *Engine) Memory() *MemoryManager { return e.mm }
 
 // Finish drains all outstanding device work (clFinish).
 func (e *Engine) Finish() error { return e.q.Finish() }
+
+// PurgeDeviceCache drops the Memory Manager's device-side caches (base
+// copies, hash tables, materialised bitmaps). Call it when the device has
+// latched dead so the corpse's allocation accounting returns to zero.
+func (e *Engine) PurgeDeviceCache() { e.mm.PurgeDeviceCache() }
 
 // newOwned creates the result BAT every operator returns: per the ownership
 // rules of §3.4, it is owned by Ocelot until an explicit Sync hands it back.

@@ -108,12 +108,16 @@ func (e *Engine) buildTable(col *bat.BAT, prev *cl.Buffer, prevWait []*cl.Event)
 	if err != nil {
 		return nil, err
 	}
-	wait = append(wait, prevWait...)
-	n := col.Len()
-	capacity := kernels.TableCapacity(n)
+	return e.buildTableFromBuf(col.Name, colBuf, col.Len(), prev, append(wait, prevWait...))
+}
 
+// buildTableFromBuf builds the table over a raw device buffer of n keys —
+// the entry point the partition-wise join uses for per-partition builds,
+// where the keys never exist as a BAT.
+func (e *Engine) buildTableFromBuf(name string, colBuf *cl.Buffer, n int, prev *cl.Buffer, wait []*cl.Event) (*devHashTable, error) {
+	capacity := kernels.TableCapacity(n)
 	for attempt := 0; ; attempt++ {
-		ht, retry, err := e.tryBuildTable(col, colBuf, prev, n, capacity, wait)
+		ht, retry, err := e.tryBuildTable(colBuf, prev, n, capacity, wait)
 		if err != nil {
 			return nil, err
 		}
@@ -124,7 +128,7 @@ func (e *Engine) buildTable(col *bat.BAT, prev *cl.Buffer, prevWait []*cl.Event)
 		// restart with an increased table size" (§4.1.4).
 		capacity *= 2
 		if attempt > 28 {
-			return nil, fmt.Errorf("core: hash build of %q cannot converge", col.Name)
+			return nil, fmt.Errorf("core: hash build of %q cannot converge", name)
 		}
 	}
 }
@@ -182,7 +186,7 @@ func (s *scratchSet) releaseAll(keep ...*cl.Buffer) {
 	}
 }
 
-func (e *Engine) tryBuildTable(col *bat.BAT, colBuf, prev *cl.Buffer, n, capacity int, wait []*cl.Event) (*devHashTable, bool, error) {
+func (e *Engine) tryBuildTable(colBuf, prev *cl.Buffer, n, capacity int, wait []*cl.Event) (*devHashTable, bool, error) {
 	sc := &scratchSet{mm: e.mm}
 	state := sc.alloc(capacity)
 	keys1 := sc.alloc(capacity)

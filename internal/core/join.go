@@ -15,12 +15,30 @@ import (
 // the match cardinality is unknown, and the direct (bitmap) path when the
 // build side is a key column.
 func (e *Engine) Join(l, r *bat.BAT) (*bat.BAT, *bat.BAT, error) {
+	// Joins whose estimated device footprint exceeds the budget go straight
+	// to the partition-wise path (spill.go) instead of thrashing the Memory
+	// Manager; an in-memory attempt that still hits a capacity refusal
+	// retries partitioned.
+	if budget, ok := e.joinBudget(); ok && r.Len() >= spillMinRows &&
+		joinFootprint(l.Len(), r.Len()) > budget {
+		return e.partitionedJoin(l, r, budget)
+	}
 	ht, err := e.BuildHash(r)
 	if err != nil {
+		if budget, ok := e.joinBudget(); ok && e.spillRetryable(err) {
+			return e.partitionedJoin(l, r, budget)
+		}
 		return nil, nil, err
 	}
 	defer ht.Release()
-	return e.HashProbe(l, ht)
+	lres, rres, err := e.HashProbe(l, ht)
+	if err != nil {
+		if budget, ok := e.joinBudget(); ok && e.spillRetryable(err) {
+			return e.partitionedJoin(l, r, budget)
+		}
+		return nil, nil, err
+	}
+	return lres, rres, nil
 }
 
 // HashProbe probes ht with l's values (the phase Fig. 5i measures).
@@ -243,8 +261,15 @@ func (e *Engine) AntiJoin(l, r *bat.BAT) (*bat.BAT, error) {
 }
 
 func (e *Engine) existenceJoin(l, r *bat.BAT, negate bool) (*bat.BAT, error) {
+	if budget, ok := e.joinBudget(); ok && r.Len() >= spillMinRows &&
+		joinFootprint(l.Len(), r.Len()) > budget {
+		return e.partitionedExists(l, r, negate, budget)
+	}
 	ht, err := e.BuildHash(r)
 	if err != nil {
+		if budget, ok := e.joinBudget(); ok && e.spillRetryable(err) {
+			return e.partitionedExists(l, r, negate, budget)
+		}
 		return nil, err
 	}
 	defer ht.Release()

@@ -162,6 +162,51 @@ func (m *MemoryManager) onBATFree(b *bat.BAT) {
 	}
 }
 
+// PurgeDeviceCache force-releases every *cache* the manager keeps on the
+// device: cached copies of host-resident base BATs, the hash-table cache,
+// and materialised-oid caches of bitmaps. It exists for exactly one
+// situation — the device has latched dead — where the cached bytes are
+// unreachable anyway and releasing them is pure bookkeeping that keeps the
+// allocation accounting exact (a corpse must report zero bytes, not hold its
+// caches forever). Resident Ocelot-owned intermediates are deliberately NOT
+// touched: their registration must stay so a later Release/Sync fails
+// loudly instead of silently re-uploading never-written host bytes; their
+// buffers are released when the owning session closes. Idempotent and cheap
+// once the caches are empty.
+func (m *MemoryManager) PurgeDeviceCache() {
+	m.mu.Lock()
+	var ents []*entry
+	for b, e := range m.entries {
+		if e.isBase && e.pins == 0 {
+			// Host copy is authoritative: the device cache is disposable.
+			// (A pinned cache still gates a draining command; the next
+			// purge catches it.)
+			delete(m.entries, b)
+			ents = append(ents, e)
+			continue
+		}
+		if e.matBuf != nil {
+			// A rebuildable cache even on live entries; on a dead device
+			// it is unreadable, so shed it.
+			_ = e.matBuf.Release()
+			e.matBuf = nil
+			e.matProducer = nil
+		}
+	}
+	var hts []*devHashTable
+	for b, ht := range m.hashCache {
+		delete(m.hashCache, b)
+		hts = append(hts, ht)
+	}
+	m.mu.Unlock()
+	for _, e := range ents {
+		releaseEntry(e)
+	}
+	for _, ht := range hts {
+		ht.release()
+	}
+}
+
 func releaseEntry(e *entry) {
 	if e.buf != nil {
 		_ = e.buf.Release()

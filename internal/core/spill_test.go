@@ -1,0 +1,272 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/bat"
+	"repro/internal/cl"
+)
+
+// uniqueKeys returns a deterministic permutation of 0..n-1 as int32.
+func uniqueShuffledI32(n int, seed int64) []int32 {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(i)
+	}
+	r.Shuffle(n, func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// joinBytes runs e.Join and syncs both sides back to host oid slices.
+func joinBytes(t *testing.T, e *Engine, l, r *bat.BAT) ([]uint32, []uint32) {
+	t.Helper()
+	lres, rres, err := e.Join(l, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo := append([]uint32(nil), syncedOIDs(t, e, lres)...)
+	ro := append([]uint32(nil), syncedOIDs(t, e, rres)...)
+	e.Release(lres)
+	e.Release(rres)
+	return lo, ro
+}
+
+func TestPartitionedJoinMatchesInMemoryUnique(t *testing.T) {
+	const nr, nl = 50_000, 120_000
+	rvals := uniqueShuffledI32(nr, 7)
+	lvals := randI32(nl, nr*2, 8) // ~half the probes miss
+
+	ref := New(cl.NewGPUDevice(512 << 20))
+	wantL, wantR := joinBytes(t, ref, i32Col("l", lvals), i32Col("r", rvals))
+
+	spill := New(cl.NewGPUDevice(512 << 20))
+	spill.SetSpillBudget(64 << 10) // far below the table: forces partitioning
+	gotL, gotR := joinBytes(t, spill, i32Col("l", lvals), i32Col("r", rvals))
+
+	joins, parts, bytes := spill.SpillStats()
+	if joins == 0 || parts < 2 || bytes == 0 {
+		t.Fatalf("join did not partition: joins=%d parts=%d spilled=%d", joins, parts, bytes)
+	}
+	if len(gotL) != len(wantL) {
+		t.Fatalf("match count %d, want %d", len(gotL), len(wantL))
+	}
+	for i := range wantL {
+		if gotL[i] != wantL[i] || gotR[i] != wantR[i] {
+			t.Fatalf("pair %d = (%d,%d), want (%d,%d)", i, gotL[i], gotR[i], wantL[i], wantR[i])
+		}
+	}
+	if j, _, _ := ref.SpillStats(); j != 0 {
+		t.Fatalf("reference engine must not spill (joins=%d)", j)
+	}
+}
+
+func TestPartitionedJoinDuplicateBuildKeys(t *testing.T) {
+	// With duplicate build keys the within-row match order is not pinned by
+	// either path (atomic scatter cursors), so compare the sorted pair sets.
+	const nr, nl = 30_000, 40_000
+	rvals := randI32(nr, 5_000, 3) // ~6 rows per key
+	lvals := randI32(nl, 10_000, 4)
+
+	ref := New(cl.NewGPUDevice(512 << 20))
+	wantL, wantR := joinBytes(t, ref, i32Col("l", lvals), i32Col("r", rvals))
+
+	spill := New(cl.NewGPUDevice(512 << 20))
+	spill.SetSpillBudget(64 << 10)
+	gotL, gotR := joinBytes(t, spill, i32Col("l", lvals), i32Col("r", rvals))
+
+	if joins, _, _ := spill.SpillStats(); joins == 0 {
+		t.Fatal("join did not take the partitioned path")
+	}
+	if len(gotL) != len(wantL) {
+		t.Fatalf("match count %d, want %d", len(gotL), len(wantL))
+	}
+	type pair struct{ l, r uint32 }
+	canon := func(ls, rs []uint32) []pair {
+		ps := make([]pair, len(ls))
+		for i := range ls {
+			ps[i] = pair{ls[i], rs[i]}
+		}
+		sort.Slice(ps, func(i, j int) bool {
+			if ps[i].l != ps[j].l {
+				return ps[i].l < ps[j].l
+			}
+			return ps[i].r < ps[j].r
+		})
+		return ps
+	}
+	want, got := canon(wantL, wantR), canon(gotL, gotR)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("pair set diverges at %d: (%d,%d) vs (%d,%d)",
+				i, got[i].l, got[i].r, want[i].l, want[i].r)
+		}
+	}
+}
+
+func TestPartitionedSemiAntiMatchesInMemory(t *testing.T) {
+	const nr, nl = 40_000, 60_000
+	rvals := uniqueShuffledI32(nr, 11)
+	lvals := randI32(nl, nr*2, 12)
+
+	ref := New(cl.NewGPUDevice(512 << 20))
+	spill := New(cl.NewGPUDevice(512 << 20))
+	spill.SetSpillBudget(64 << 10)
+
+	for _, anti := range []bool{false, true} {
+		join := func(e *Engine) []uint32 {
+			l, r := i32Col("l", lvals), i32Col("r", rvals)
+			var res *bat.BAT
+			var err error
+			if anti {
+				res, err = e.AntiJoin(l, r)
+			} else {
+				res, err = e.SemiJoin(l, r)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			out := append([]uint32(nil), syncedOIDs(t, e, res)...)
+			e.Release(res)
+			return out
+		}
+		want, got := join(ref), join(spill)
+		if len(got) != len(want) {
+			t.Fatalf("anti=%v: count %d, want %d", anti, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("anti=%v: oid[%d] = %d, want %d", anti, i, got[i], want[i])
+			}
+		}
+	}
+	if joins, _, _ := spill.SpillStats(); joins < 2 {
+		t.Fatalf("existence joins did not partition (joins=%d)", joins)
+	}
+}
+
+// TestJoinSpillsInsteadOfFailing pits a join whose table cannot fit the
+// device against the automatic budget: it must complete via the partitioned
+// path — with correct bytes — and release all device memory afterwards.
+func TestJoinSpillsInsteadOfFailing(t *testing.T) {
+	const nr, nl = 200_000, 200_000
+	rvals := uniqueShuffledI32(nr, 21)
+	lvals := randI32(nl, nr, 22)
+
+	cpu := New(cl.NewCPUDevice(4))
+	wantL, wantR := joinBytes(t, cpu, i32Col("l", lvals), i32Col("r", rvals))
+
+	dev := cl.NewGPUDevice(2 << 20) // table alone needs ~5 MiB
+	e := New(dev)
+	gotL, gotR := joinBytes(t, e, i32Col("l", lvals), i32Col("r", rvals))
+	if joins, _, _ := e.SpillStats(); joins == 0 {
+		t.Fatal("constrained join did not take the partitioned path")
+	}
+	if len(gotL) != len(wantL) {
+		t.Fatalf("match count %d, want %d", len(gotL), len(wantL))
+	}
+	for i := range wantL {
+		if gotL[i] != wantL[i] || gotR[i] != wantR[i] {
+			t.Fatalf("pair %d = (%d,%d), want (%d,%d)", i, gotL[i], gotR[i], wantL[i], wantR[i])
+		}
+	}
+	if err := e.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if got := dev.Allocated(); got != 0 {
+		t.Fatalf("device memory leaked after spilling join: %d bytes live", got)
+	}
+}
+
+// TestSpillDisabledStillFails verifies the <0 escape hatch: with
+// partitioning disabled the oversized join surfaces the capacity refusal,
+// which is what the hybrid fallback chain keys on.
+func TestSpillDisabledStillFails(t *testing.T) {
+	const n = 200_000
+	rvals := uniqueShuffledI32(n, 31)
+	e := New(cl.NewGPUDevice(2 << 20))
+	e.SetSpillBudget(-1)
+	_, _, err := e.Join(i32Col("l", rvals), i32Col("r", rvals))
+	if !errors.Is(err, cl.ErrOutOfDeviceMemory) {
+		t.Fatalf("err = %v, want ErrOutOfDeviceMemory", err)
+	}
+	_ = e.Finish()
+}
+
+// TestPartitionedJoinFromSelection routes a bitmap-backed candidate (a
+// selection result) into the spilling probe side, covering hostKeys'
+// materialised-oid path.
+func TestPartitionedJoinFromSelection(t *testing.T) {
+	const nr, nl = 40_000, 80_000
+	rvals := uniqueShuffledI32(nr, 41)
+	lvals := randI32(nl, nr, 42)
+
+	run := func(e *Engine) ([]uint32, []uint32) {
+		l, r := i32Col("l", lvals), i32Col("r", rvals)
+		sel, err := e.Select(l, nil, 0, float64(nr/2), true, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer e.Release(sel)
+		lres, rres, err := e.Join(sel, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo := append([]uint32(nil), syncedOIDs(t, e, lres)...)
+		ro := append([]uint32(nil), syncedOIDs(t, e, rres)...)
+		e.Release(lres)
+		e.Release(rres)
+		return lo, ro
+	}
+
+	ref := New(cl.NewGPUDevice(512 << 20))
+	wantL, wantR := run(ref)
+	spill := New(cl.NewGPUDevice(512 << 20))
+	spill.SetSpillBudget(64 << 10)
+	gotL, gotR := run(spill)
+
+	if joins, _, _ := spill.SpillStats(); joins == 0 {
+		t.Fatal("selection-fed join did not partition")
+	}
+	if len(gotL) != len(wantL) {
+		t.Fatalf("match count %d, want %d", len(gotL), len(wantL))
+	}
+	for i := range wantL {
+		if gotL[i] != wantL[i] || gotR[i] != wantR[i] {
+			t.Fatalf("pair %d = (%d,%d), want (%d,%d)", i, gotL[i], gotR[i], wantL[i], wantR[i])
+		}
+	}
+}
+
+// TestSpillPartHashIndependence guards the partition hash against colliding
+// with the table's slot hash: keys of one partition must still spread over
+// the partition table's slots (a multiplicative-hash reuse would funnel them
+// into a fraction of the buckets and explode the build retries).
+func TestSpillPartHashIndependence(t *testing.T) {
+	const p = 16
+	var perPart [p]int
+	var slotSpread [p]map[uint32]struct{}
+	for i := range slotSpread {
+		slotSpread[i] = make(map[uint32]struct{})
+	}
+	const slots = 1 << 12
+	for k := uint32(0); k < 1<<16; k++ {
+		b := spillPartHash(k, 0) & (p - 1)
+		perPart[b]++
+		// the table's multiplicative hash, as kernels/hash.go computes it
+		slot := (k * 2654435761) >> 20 & (slots - 1)
+		slotSpread[b][slot] = struct{}{}
+	}
+	for b := 0; b < p; b++ {
+		if perPart[b] < (1<<16)/p/2 {
+			t.Fatalf("partition %d starved: %d keys", b, perPart[b])
+		}
+		if len(slotSpread[b]) < slots/2 {
+			t.Fatalf("partition %d covers only %d/%d table slots — hashes correlate",
+				b, len(slotSpread[b]), slots)
+		}
+	}
+}

@@ -47,6 +47,11 @@ type Dev struct {
 // Class returns the device's architecture class label ("CPU"/"GPU").
 func (d *Dev) Class() string { return d.Eng.Device().Const.Class.String() }
 
+// Alive reports whether the device is usable: a device that failed with
+// ErrDeviceLost (or was killed by fault injection) latches dead and is
+// skipped by routing until revived.
+func (d *Dev) Alive() bool { return !d.Eng.Device().Dead() }
+
 // Engine is the placement layer over N Ocelot engines. It implements
 // ops.Operators, so it slots into the MAL session as a fifth configuration.
 // All state is guarded for concurrent sessions; per-call device pins are
@@ -61,6 +66,9 @@ type Engine struct {
 	// placement counters (observability for tests and tools), keyed by
 	// operator then device label.
 	placed map[string]map[string]int
+	// transientRetries counts same-device retries after an injected (or
+	// driver-reported) transient command failure.
+	transientRetries int64
 }
 
 // view is an ops.Operators facade over the engine with an optional device
@@ -139,9 +147,12 @@ func (h *Engine) Module() string { return "ocelot" }
 // forcing (migrate moves the inputs); the cost-ordered fallback through the
 // remaining devices still applies.
 func (h *Engine) On(label string) ops.Operators {
-	if d := h.byLabel(label); d != nil {
+	if d := h.byLabel(label); d != nil && d.Alive() {
 		return view{h: h, pin: d}
 	}
+	// Unknown labels and dead devices route through the cost model over the
+	// remaining devices — a plan pinned to a card that died mid-query keeps
+	// running instead of dying with it.
 	return view{h: h}
 }
 
@@ -272,17 +283,24 @@ func (h *Engine) forcedOwner(inputs []*bat.BAT) *Dev {
 // instruction arrives pinned, and the fallback chain is only priced when an
 // attempt actually fails (fallbackOrder).
 func (h *Engine) pick(pin *Dev, inputs []*bat.BAT, bytes int64) *Dev {
-	if pin != nil {
+	if pin != nil && pin.Alive() {
 		return pin
 	}
-	if forced := h.forcedOwner(inputs); forced != nil {
+	if forced := h.forcedOwner(inputs); forced != nil && forced.Alive() {
 		return forced
 	}
-	best, bestCost := h.devs[0], h.devCost(h.devs[0], inputs, bytes)
-	for _, d := range h.devs[1:] {
-		if c := h.devCost(d, inputs, bytes); c < bestCost {
+	var best *Dev
+	var bestCost float64
+	for _, d := range h.devs {
+		if !d.Alive() {
+			continue
+		}
+		if c := h.devCost(d, inputs, bytes); best == nil || c < bestCost {
 			best, bestCost = d, c
 		}
+	}
+	if best == nil {
+		best = h.devs[0] // every device dead: let the attempt surface the error
 	}
 	return best
 }
@@ -294,7 +312,7 @@ func (h *Engine) fallbackOrder(failedFirst *Dev, inputs []*bat.BAT, bytes int64)
 	out := make([]*Dev, 0, len(h.devs)-1)
 	costs := make([]float64, 0, len(h.devs)-1)
 	for _, d := range h.devs {
-		if d == failedFirst {
+		if d == failedFirst || !d.Alive() {
 			continue
 		}
 		out = append(out, d)
@@ -340,6 +358,12 @@ func (h *Engine) migrate(target *Dev, inputs ...*bat.BAT) error {
 			continue
 		}
 		if err := own.Eng.Sync(b); err != nil {
+			if !own.Alive() {
+				// The owner died with the data: drain its queue and shed
+				// its device caches so the corpse's accounting is exact.
+				_ = own.Eng.Finish()
+				own.Eng.PurgeDeviceCache()
+			}
 			return fmt.Errorf("hybrid: migrating %q: %w", b.Name, err)
 		}
 		h.mu.Lock()
@@ -399,6 +423,17 @@ func (h *Engine) discard(d *Dev, inputs, outs []*bat.BAT) {
 // deterministic refusals. Callers that *can* classify a refusal pass
 // terminal: a terminal error surfaces immediately, before any further
 // migration is paid for a retry every device would refuse identically.
+//
+// Failures are classified before falling over:
+//   - transient (cl.ErrTransient — a dropped command, not a broken device):
+//     one bounded retry on the SAME device, after discarding the attempt's
+//     partial state. The data is already resident there; migrating to
+//     another device over a hiccup would cost more than the retry.
+//   - device loss (cl.ErrDeviceLost): the device has latched dead — pick,
+//     fallbackOrder and On all skip it from now on — and the chain falls
+//     over like any failure. The discard still runs: releasing buffers on a
+//     dead device is pure bookkeeping and keeps the leak accounting exact.
+//   - everything else (capacity refusals included): cost-ordered fallback.
 func (h *Engine) chain(pin *Dev, op string, inputs []*bat.BAT, bytes int64,
 	terminal func(error) bool, try func(d *Dev) ([]*bat.BAT, error)) ([]*bat.BAT, error) {
 	var errs []error
@@ -415,6 +450,14 @@ func (h *Engine) chain(pin *Dev, op string, inputs []*bat.BAT, bytes int64,
 				h.discard(fd, inputs, nil)
 			}
 			outs, err := try(d)
+			if err != nil && errors.Is(err, cl.ErrTransient) && d.Alive() {
+				h.discard(d, inputs, outs)
+				_ = d.Eng.Finish() // consume the errors the attempt latched in the queue
+				h.mu.Lock()
+				h.transientRetries++
+				h.mu.Unlock()
+				outs, err = try(d)
+			}
 			if err == nil {
 				h.note(op, d)
 				h.adopt(d, outs...)
@@ -425,6 +468,14 @@ func (h *Engine) chain(pin *Dev, op string, inputs []*bat.BAT, bytes int64,
 			}
 			errs = append(errs, fmt.Errorf("%s: %w", d.Label, err))
 			h.discard(d, inputs, outs)
+			// Drain the device so errors the failed attempt latched in its
+			// queue cannot resurface from an unrelated later Finish.
+			_ = d.Eng.Finish()
+			if !d.Alive() {
+				// It died under us: its device caches are unreachable now,
+				// so release them — a corpse must account for zero bytes.
+				d.Eng.PurgeDeviceCache()
+			}
 			failed = append(failed, d)
 		}
 		if i == 0 {
@@ -434,6 +485,14 @@ func (h *Engine) chain(pin *Dev, op string, inputs []*bat.BAT, bytes int64,
 		}
 	}
 	return nil, fmt.Errorf("hybrid: %s failed on all devices: %w", op, errors.Join(errs...))
+}
+
+// TransientRetries reports how many transient failures were absorbed by a
+// same-device retry.
+func (h *Engine) TransientRetries() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.transientRetries
 }
 
 // run is chain over an engine-level operator closure with no terminal
@@ -716,12 +775,20 @@ func (v view) Release(b *bat.BAT) {
 	}
 }
 
-// Finish drains every device.
+// Finish drains every device. A dead device's latched ErrDeviceLost is not
+// an error of the *plan* — the chain already recovered the affected
+// operators elsewhere — so only live devices' errors surface.
 func (v view) Finish() error {
+	var first error
 	for _, d := range v.h.devs {
-		if err := d.Eng.Finish(); err != nil {
-			return err
+		err := d.Eng.Finish()
+		if !d.Alive() {
+			d.Eng.PurgeDeviceCache() // corpse accounting: shed dead caches
+			continue
+		}
+		if err != nil && first == nil && !errors.Is(err, cl.ErrDeviceLost) {
+			first = err
 		}
 	}
-	return nil
+	return first
 }

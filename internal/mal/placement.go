@@ -186,9 +186,12 @@ func (s *Session) placementPass(batch []*PInstr, outputs []*bat.BAT) {
 		launch   float64 // profiled per-kernel overhead, seconds
 		link     float64 // host link bandwidth, bytes/s (discrete only)
 		discrete bool
+		capBytes float64 // free device memory with headroom; 0 = unlimited
+		alive    bool    // dead devices (fault injection, ErrDeviceLost) take no pins
 	}
 	facts := make([]devFact, nd)
 	byLabel := map[string]int{}
+	anyAlive := false
 	for i, d := range devs {
 		dev := d.Eng.Device()
 		facts[i] = devFact{
@@ -197,8 +200,20 @@ func (s *Session) placementPass(batch []*PInstr, outputs []*bat.BAT) {
 			launch:   d.Prof.LaunchOverhead.Seconds(),
 			link:     dev.Perf.TransferBandwidth,
 			discrete: dev.Discrete,
+			alive:    !dev.Dead(),
 		}
+		if dev.GlobalMemSize > 0 {
+			free := dev.GlobalMemSize - dev.Allocated()
+			if free < 0 {
+				free = 0
+			}
+			facts[i].capBytes = float64(free) * 3 / 4
+		}
+		anyAlive = anyAlive || facts[i].alive
 		byLabel[d.Label] = i
+	}
+	if !anyAlive {
+		return // nothing sensible to pin; the executor's fallback chain decides
 	}
 
 	est := &estimator{s: s, rows: map[*bat.BAT]float64{}}
@@ -206,6 +221,7 @@ func (s *Session) placementPass(batch []*PInstr, outputs []*bat.BAT) {
 		in        *PInstr
 		comp      []float64 // compute seconds per device
 		outBytes  float64
+		resBytes  float64    // estimated peak device-resident bytes while running
 		producers []*bat.BAT // canonical args
 		isOutput  bool
 	}
@@ -229,6 +245,23 @@ func (s *Session) placementPass(batch []*PInstr, outputs []*bat.BAT) {
 		n := &node{in: in, comp: make([]float64, nd), outBytes: outBytes}
 		for d := range facts {
 			n.comp[d] = seconds(streamed, facts[d].scan) + facts[d].launch
+		}
+		n.resBytes = outBytes
+		for _, a := range in.Args {
+			if a != nil {
+				n.resBytes += 4 * est.rowsOf(a)
+			}
+		}
+		// Operator working state beyond inputs and outputs: the multi-stage
+		// hash table for joins and grouping (≈26 B/build row at the table's
+		// over-allocation), the merge-sort double buffer.
+		switch in.Kind {
+		case OpJoin, OpSemiJoin, OpAntiJoin:
+			n.resBytes += 26 * est.rowsOf(in.Args[1])
+		case OpGroup:
+			n.resBytes += 26 * est.rowsOf(in.Args[0])
+		case OpSort:
+			n.resBytes += 8 * est.rowsOf(in.Args[0])
 		}
 		for _, a := range in.Args {
 			if a == nil {
@@ -304,13 +337,15 @@ func (s *Session) placementPass(batch []*PInstr, outputs []*bat.BAT) {
 		orInto(related[i], desc[i])
 	}
 
-	// pin[i] is node i's device index; load[d] the summed compute seconds of
-	// the nodes currently assigned to device d.
+	// pin[i] is node i's device index; load[d] the summed compute seconds and
+	// memLoad[d] the summed resident bytes of the nodes currently assigned to
+	// device d.
 	pin := make([]int, len(nodes))
 	for i := range pin {
 		pin[i] = hostLoc // unassigned (seed phase)
 	}
 	load := make([]float64, nd)
+	memLoad := make([]float64, nd)
 
 	// locOf resolves where a value lives under the current pins: its
 	// producing node's device, the device owning it from an earlier
@@ -356,6 +391,21 @@ func (s *Session) placementPass(batch []*PInstr, outputs []*bat.BAT) {
 		}
 		return b
 	}
+	// busyMem is the memory the other nodes currently pinned to d keep
+	// resident. Unlike busy it counts related nodes too: a producer's
+	// intermediate stays on the device until its consumer reads it, so
+	// chain-mates compete for capacity even though they never compete for
+	// compute.
+	busyMem := func(i, d int) float64 {
+		m := memLoad[d]
+		if pin[i] == d {
+			m -= nodes[i].resBytes
+		}
+		if m < 0 {
+			m = 0
+		}
+		return m
+	}
 	costOn := func(i, d int, withConsumers bool) float64 {
 		n := nodes[i]
 		c := n.comp[d] + busy(i, d)
@@ -370,6 +420,16 @@ func (s *Session) placementPass(batch []*PInstr, outputs []*bat.BAT) {
 		if n.isOutput {
 			c += xfer(n.outBytes, d, hostLoc) // sync-back to the host
 		}
+		// Spill pressure: bytes beyond the device's capacity travel the host
+		// link at least twice (offload + reload, or evict + re-upload), so a
+		// plan that overflows a card pays its Memory Manager traffic up front
+		// and routes around the thrashing instead of discovering it at
+		// runtime.
+		if facts[d].capBytes > 0 {
+			if over := busyMem(i, d) + n.resBytes - facts[d].capBytes; over > 0 {
+				c += 2 * seconds(over, facts[d].link)
+			}
+		}
 		return c
 	}
 	choose := func(i int, withConsumers bool) int {
@@ -378,7 +438,7 @@ func (s *Session) placementPass(batch []*PInstr, outputs []*bat.BAT) {
 			bestCost = costOn(i, best, withConsumers)
 		}
 		for d := 0; d < nd; d++ {
-			if d == best {
+			if d == best || !facts[d].alive {
 				continue
 			}
 			if c := costOn(i, d, withConsumers); best < 0 || c < bestCost {
@@ -394,6 +454,7 @@ func (s *Session) placementPass(batch []*PInstr, outputs []*bat.BAT) {
 		d := choose(i, false)
 		pin[i] = d
 		load[d] += nodes[i].comp[d]
+		memLoad[d] += nodes[i].resBytes
 	}
 	for round := 0; round < 3; round++ {
 		for i, n := range nodes {
@@ -401,6 +462,8 @@ func (s *Session) placementPass(batch []*PInstr, outputs []*bat.BAT) {
 			if d != pin[i] {
 				load[pin[i]] -= n.comp[pin[i]]
 				load[d] += n.comp[d]
+				memLoad[pin[i]] -= n.resBytes
+				memLoad[d] += n.resBytes
 				pin[i] = d
 			}
 		}

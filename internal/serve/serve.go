@@ -18,6 +18,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -26,6 +27,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cl"
 	"repro/internal/mal"
 	"repro/internal/ops"
 )
@@ -60,6 +62,15 @@ type QueryStats struct {
 	// ErrOverloaded; they never executed and are not part of Runs or the
 	// latency aggregates.
 	Rejected int64
+	// Dropped counts requests whose caller's context expired or was
+	// cancelled before execution started — while waiting for a slot, or
+	// already queued when the slot finally freed. Like Rejected they never
+	// executed and are not part of Runs.
+	Dropped int64
+	// Retries counts executions re-run after a device was lost mid-plan:
+	// the retry routes around the dead device, so one lost card costs one
+	// replay, not a failed request.
+	Retries int64
 	// Rows is the total result rows returned.
 	Rows int64
 	// Total and Max aggregate end-to-end request latency (admission wait
@@ -194,7 +205,24 @@ func (sv *Server) pick() *engineSlot {
 // with ErrOverloaded when too many requests are already waiting. Execute is
 // safe to call from any number of goroutines.
 func (sv *Server) Execute(name string, params mal.Params, plan func(*mal.Session) *mal.Result) (*mal.Result, error) {
+	return sv.ExecuteCtx(context.Background(), name, params, plan)
+}
+
+// ExecuteCtx is Execute with a caller deadline: a request whose context
+// expires or is cancelled while it waits for an execution slot — or that is
+// already queued when its slot finally frees — is dropped *before* any plan
+// work starts and reports the context's own error
+// (context.DeadlineExceeded or context.Canceled), distinct from the
+// admission-control ErrOverloaded. A plan already executing is never
+// interrupted: sessions are not preemptible, so the deadline gates
+// admission and dequeue, which under load is where requests spend their
+// wait anyway.
+func (sv *Server) ExecuteCtx(ctx context.Context, name string, params mal.Params, plan func(*mal.Session) *mal.Result) (*mal.Result, error) {
 	start := time.Now()
+	if err := ctx.Err(); err != nil {
+		sv.drop(name)
+		return nil, err
+	}
 	select {
 	case sv.sem <- struct{}{}: // free execution slot: admitted immediately
 	default:
@@ -204,18 +232,42 @@ func (sv *Server) Execute(name string, params mal.Params, plan func(*mal.Session
 			sv.reject(name)
 			return nil, ErrOverloaded
 		}
-		sv.sem <- struct{}{}
+		select {
+		case sv.sem <- struct{}{}:
+		case <-ctx.Done():
+			sv.waiting.Add(-1)
+			sv.drop(name)
+			return nil, ctx.Err()
+		}
 		sv.waiting.Add(-1)
 	}
 	defer func() { <-sv.sem }()
+	// Dequeue gate: the slot may have freed long after the caller gave up.
+	if err := ctx.Err(); err != nil {
+		sv.drop(name)
+		return nil, err
+	}
 
+	res, hit, err := sv.runOnce(name, params, plan)
+	if err != nil && errors.Is(err, cl.ErrDeviceLost) {
+		// A device died mid-plan and took the plan's intermediates with it.
+		// The device is latched dead, so one replay routes around it (hybrid
+		// pick/placement skip dead devices; base data lives on the host).
+		sv.mu.Lock()
+		st := sv.statLocked(name)
+		st.Retries++
+		sv.mu.Unlock()
+		res, hit, err = sv.runOnce(name, params, plan)
+	}
+	sv.note(name, start, res, hit, err)
+	return res, err
+}
+
+// runOnce picks the least-loaded engine and executes the plan on it.
+func (sv *Server) runOnce(name string, params mal.Params, plan func(*mal.Session) *mal.Result) (res *mal.Result, hit bool, err error) {
 	slot := sv.pick()
 	slot.inflight.Add(1)
 	defer slot.inflight.Add(-1)
-
-	var res *mal.Result
-	var hit bool
-	var err error
 	if slot.cache != nil {
 		res, hit, err = slot.cache.Run(slot.o, name, params, sv.passes, plan)
 	} else {
@@ -225,30 +277,36 @@ func (sv *Server) Execute(name string, params mal.Params, plan func(*mal.Session
 		res, err = mal.RunQuery(s, plan)
 	}
 	slot.served.Add(1)
-	sv.note(name, start, res, hit, err)
-	return res, err
+	return res, hit, err
 }
 
-func (sv *Server) reject(name string) {
-	sv.mu.Lock()
-	defer sv.mu.Unlock()
+// statLocked returns (creating if needed) the named stats; sv.mu held.
+func (sv *Server) statLocked(name string) *QueryStats {
 	st := sv.stats[name]
 	if st == nil {
 		st = &QueryStats{}
 		sv.stats[name] = st
 	}
-	st.Rejected++
+	return st
+}
+
+func (sv *Server) reject(name string) {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	sv.statLocked(name).Rejected++
+}
+
+func (sv *Server) drop(name string) {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	sv.statLocked(name).Dropped++
 }
 
 func (sv *Server) note(name string, start time.Time, res *mal.Result, hit bool, err error) {
 	took := time.Since(start)
 	sv.mu.Lock()
 	defer sv.mu.Unlock()
-	st := sv.stats[name]
-	if st == nil {
-		st = &QueryStats{}
-		sv.stats[name] = st
-	}
+	st := sv.statLocked(name)
 	st.Runs++
 	if err != nil {
 		st.Errors++
@@ -300,16 +358,16 @@ func (sv *Server) String() string {
 	}
 	sort.Strings(names)
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "%-24s %6s %6s %6s %6s %10s %12s %12s\n",
-		"query", "runs", "errs", "rej", "hits", "rows", "avg", "max")
+	fmt.Fprintf(&sb, "%-24s %6s %6s %6s %6s %6s %6s %10s %12s %12s\n",
+		"query", "runs", "errs", "rej", "drop", "retry", "hits", "rows", "avg", "max")
 	for _, n := range names {
 		st := stats[n]
 		avg := time.Duration(0)
 		if st.Runs > 0 {
 			avg = st.Total / time.Duration(st.Runs)
 		}
-		fmt.Fprintf(&sb, "%-24s %6d %6d %6d %6d %10d %12v %12v\n",
-			n, st.Runs, st.Errors, st.Rejected, st.CacheHits, st.Rows,
+		fmt.Fprintf(&sb, "%-24s %6d %6d %6d %6d %6d %6d %10d %12v %12v\n",
+			n, st.Runs, st.Errors, st.Rejected, st.Dropped, st.Retries, st.CacheHits, st.Rows,
 			avg.Round(time.Microsecond), st.Max.Round(time.Microsecond))
 	}
 	hits, misses, size := sv.CacheStats()

@@ -1,0 +1,88 @@
+package tpch
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/mal"
+	"repro/internal/ops"
+)
+
+// TestSpillEquivalenceAllQueries is the memory-pressure acceptance test:
+// every workload query, run with the partition-wise join forced to spill
+// (a tiny per-join budget), must produce results identical to the same
+// configuration running fully in-memory — across the CPU and GPU drivers
+// and the hybrid engine with 1, 2 and 4 GPUs. Spilling is an execution
+// strategy, never a semantics change. Grouped float aggregation is
+// run-to-run nondeterministic (concurrent atomic adds), so each pair
+// probes its own determinism with two unconstrained runs and demands
+// byte-identity only when the probe is stable, exactly like the fusion
+// equivalence suite.
+func TestSpillEquivalenceAllQueries(t *testing.T) {
+	db := testDB(t)
+	cases := []struct {
+		cfg  mal.Config
+		gpus int
+	}{
+		{mal.OcelotCPU, 0},
+		{mal.OcelotGPU, 0},
+		{mal.Hybrid, 1},
+		{mal.Hybrid, 2},
+		{mal.Hybrid, 4},
+	}
+	queries := Queries()
+	if testing.Short() {
+		cases = cases[1:3] // GPU and HYB×1 keep both spill paths covered
+		queries = []Query{*QueryByNum(3), *QueryByNum(6)}
+	}
+	for _, c := range cases {
+		label := c.cfg.String()
+		if c.gpus > 0 {
+			label = fmt.Sprintf("%s×%dGPU", label, c.gpus)
+		}
+		t.Run(label, func(t *testing.T) {
+			opt := mal.ConfigOptions{Threads: 4, GPUMemory: 512 << 20, GPUs: c.gpus}
+			ref := c.cfg.Build(opt)
+			constrained := c.cfg.Build(opt)
+			mal.SetSpillBudget(constrained, 64<<10) // every real join partitions
+
+			run := func(o ops.Operators, q Query) *mal.Result {
+				s := mal.NewSession(o)
+				res, err := mal.RunQuery(s, func(s *mal.Session) *mal.Result {
+					return q.Plan(s, db)
+				})
+				if err != nil {
+					t.Fatalf("Q%d on %s: %v", q.Num, label, err)
+				}
+				return res
+			}
+			for _, q := range queries {
+				r1 := run(ref, q)
+				r2 := run(ref, q)
+				sp := run(constrained, q)
+				if r1.EqualWithin(r2, 0) == nil {
+					if err := sp.EqualWithin(r1, 0); err != nil {
+						t.Fatalf("Q%d on %s: spilled run differs byte-for-byte from in-memory: %v", q.Num, label, err)
+					}
+				} else if err := sp.EqualWithin(r1, 1e-5); err != nil {
+					t.Fatalf("Q%d on %s (nondeterministic grouped floats): spilled run outside jitter tolerance: %v", q.Num, label, err)
+				}
+			}
+
+			joins, parts, _ := mal.SpillStats(constrained)
+			if c.cfg == mal.OcelotCPU {
+				// The CPU driver shares host memory: no budget, no spilling.
+				if joins != 0 {
+					t.Fatalf("CPU driver spilled %d joins; it has no device budget", joins)
+				}
+				return
+			}
+			if joins == 0 || parts == 0 {
+				t.Fatalf("forced 64 KiB budget on %s never spilled (joins=%d, partitions=%d): the constraint did not bind", label, joins, parts)
+			}
+			if rj, _, _ := mal.SpillStats(ref); rj != 0 {
+				t.Fatalf("unconstrained %s spilled %d joins at 512 MiB", label, rj)
+			}
+		})
+	}
+}

@@ -216,7 +216,9 @@ func serveRun(cfg mal.Config, db *tpch.DB, o TPCHOptions, clients, rounds int) (
 
 func serveWorkload(cfg mal.Config, db *tpch.DB, o TPCHOptions, clients, rounds int) (*serve.Server, int64, float64) {
 	eng := cfg.Build(mal.ConfigOptions{Threads: o.Threads, GPUMemory: o.GPUMemory})
-	sv := serve.New(eng, serve.Options{MaxConcurrent: clients})
+	// NoCoalesce: the figure measures raw execution throughput; the serve
+	// coalescing paths get their own figure (par.go).
+	sv := serve.New(eng, serve.Options{MaxConcurrent: clients, NoCoalesce: true})
 	queries := tpch.Queries()
 
 	// Query errors (e.g. a workload query that cannot run at a tiny scale

@@ -63,6 +63,12 @@ type Engine struct {
 
 	mu    sync.Mutex
 	owner map[*bat.BAT]*Dev // device owning each Ocelot-owned BAT
+	// moving single-flights per-BAT host hand-overs: while a sync for b is
+	// in flight the channel is present, and concurrent migrations or syncs
+	// of b wait for it to close instead of racing a second sync. The owner
+	// entry is removed only after the host copy is complete, so owner==nil
+	// with no gate means host-resident-and-complete.
+	moving map[*bat.BAT]chan struct{}
 	// placement counters (observability for tests and tools), keyed by
 	// operator then device label.
 	placed map[string]map[string]int
@@ -97,6 +103,7 @@ func NewN(threads int, gpuMem int64, gpus int) (*Engine, error) {
 	}
 	h := &Engine{
 		owner:  map[*bat.BAT]*Dev{},
+		moving: map[*bat.BAT]chan struct{}{},
 		placed: map[string]map[string]int{},
 	}
 	add := func(eng *core.Engine, label string) error {
@@ -257,13 +264,16 @@ func (h *Engine) devCost(d *Dev, inputs []*bat.BAT, bytes int64) float64 {
 
 // forcedOwner returns the single device owning Ocelot-owned inputs, or nil
 // when no input is owned or the ownership is split across devices (then
-// everything syncs to the host and the cost model decides).
+// everything syncs to the host and the cost model decides). Ownership is
+// the owner map's word alone — the map is only populated for Ocelot-owned
+// BATs (adopt), and unlike the OcelotOwned field it is read under h.mu, so
+// concurrent device lanes can consult it without racing a producer.
 func (h *Engine) forcedOwner(inputs []*bat.BAT) *Dev {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	var forced *Dev
 	for _, b := range inputs {
-		if b == nil || !b.OcelotOwned {
+		if b == nil {
 			continue
 		}
 		if own := h.owner[b]; own != nil {
@@ -345,19 +355,57 @@ func secs(bytes int64, rate float64) float64 {
 
 // migrate makes every input readable by target: inputs owned by another
 // engine are synchronised back to the host (the §3.4 ownership hand-over),
-// after which target uploads them like any base BAT.
+// after which target uploads them like any base BAT. Under the parallel
+// plan executor two device lanes can need the same input at once, so each
+// BAT's hand-over is single-flighted through the moving gate: one caller
+// performs the sync, concurrent callers wait for the gate to close and
+// re-check ownership.
 func (h *Engine) migrate(target *Dev, inputs ...*bat.BAT) error {
 	for _, b := range inputs {
-		if b == nil || !b.OcelotOwned {
+		if b == nil {
 			continue
 		}
+		if err := h.migrateOne(target, b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// migrateOne syncs one BAT off its owning device (when that device is not
+// target), waiting out any concurrent hand-over of the same BAT — including
+// one syncing it off target itself, so target never reads a half-written
+// host copy.
+func (h *Engine) migrateOne(target *Dev, b *bat.BAT) error {
+	for {
 		h.mu.Lock()
 		own := h.owner[b]
-		h.mu.Unlock()
+		ch := h.moving[b]
 		if own == nil || own == target {
+			h.mu.Unlock()
+			if ch != nil {
+				<-ch
+				continue
+			}
+			return nil
+		}
+		if ch != nil {
+			h.mu.Unlock()
+			<-ch
 			continue
 		}
-		if err := own.Eng.Sync(b); err != nil {
+		ch = make(chan struct{})
+		h.moving[b] = ch
+		h.mu.Unlock()
+		err := own.Eng.Sync(b)
+		h.mu.Lock()
+		if err == nil {
+			delete(h.owner, b)
+		}
+		delete(h.moving, b)
+		h.mu.Unlock()
+		close(ch)
+		if err != nil {
 			if !own.Alive() {
 				// The owner died with the data: drain its queue and shed
 				// its device caches so the corpse's accounting is exact.
@@ -366,11 +414,8 @@ func (h *Engine) migrate(target *Dev, inputs ...*bat.BAT) error {
 			}
 			return fmt.Errorf("hybrid: migrating %q: %w", b.Name, err)
 		}
-		h.mu.Lock()
-		delete(h.owner, b)
-		h.mu.Unlock()
+		return nil
 	}
-	return nil
 }
 
 // adopt records target as the owner of freshly produced BATs.
@@ -739,20 +784,55 @@ func (v view) OIDUnion(a, b *bat.BAT) (*bat.BAT, error) {
 	return outs[0], nil
 }
 
-// Sync hands a BAT back to the host via its owning device.
+// Sync hands a BAT back to the host via its owning device, single-flighted
+// per BAT through the moving gate so a concurrent migration of the same
+// value (another lane shipping it as an input) and this hand-over never run
+// two syncs at once. The owner entry is removed only after the host copy is
+// complete.
 func (v view) Sync(b *bat.BAT) error {
 	h := v.h
-	if b == nil || !b.OcelotOwned {
+	if b == nil {
 		return nil
 	}
-	h.mu.Lock()
-	own := h.owner[b]
-	delete(h.owner, b)
-	h.mu.Unlock()
-	if own == nil {
-		own = h.devs[0]
+	for {
+		h.mu.Lock()
+		own := h.owner[b]
+		ch := h.moving[b]
+		if own == nil {
+			h.mu.Unlock()
+			if ch != nil {
+				<-ch
+				continue
+			}
+			// No recorded owner and no hand-over in flight: either a plain
+			// host BAT (nothing to do), or an Ocelot value whose ownership
+			// was already handed off — conservatively sync via the first
+			// device, as before. OcelotOwned is safe to read here: its only
+			// writer is the producing engine, ordered before this consumer
+			// by the plan's dependency edges.
+			if !b.OcelotOwned {
+				return nil
+			}
+			return h.devs[0].Eng.Sync(b)
+		}
+		if ch != nil {
+			h.mu.Unlock()
+			<-ch
+			continue
+		}
+		ch = make(chan struct{})
+		h.moving[b] = ch
+		h.mu.Unlock()
+		err := own.Eng.Sync(b)
+		h.mu.Lock()
+		if err == nil {
+			delete(h.owner, b)
+		}
+		delete(h.moving, b)
+		h.mu.Unlock()
+		close(ch)
+		return err
 	}
-	return own.Eng.Sync(b)
 }
 
 // Release drops device state on the owning device — or on every device when

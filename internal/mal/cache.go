@@ -165,6 +165,7 @@ func (t *Template) newExec(o ops.Operators, params Params) (*Session, error) {
 		passes:   t.passes,
 		tpl:      t,
 		replay:   true,
+		parallel: true,
 		env:      map[*bat.BAT]*bat.BAT{},
 		released: map[*bat.BAT]bool{},
 		slots:    make([]int, t.nSlots),
@@ -280,6 +281,23 @@ type PlanCache struct {
 	hits    int64
 	misses  int64
 	evicted int64
+	// building single-flights template builds: the first miss for a key
+	// registers a buildCall here and builds; concurrent misses for the same
+	// key wait on it and replay the built template instead of each running
+	// the plan function and the whole rewriter pipeline (the miss-storm a
+	// cold popular query used to pay N times).
+	building map[string]*buildCall
+	// coalesced counts Run calls that waited on another call's in-flight
+	// build instead of building themselves.
+	coalesced int64
+}
+
+// buildCall is one in-flight template build. done is closed when the build
+// finishes; tpl is set (before the close) only if the build succeeded and
+// the template was cached.
+type buildCall struct {
+	done chan struct{}
+	tpl  *Template
 }
 
 // cacheSlot is one resident template plus its key (for map removal on
@@ -297,7 +315,12 @@ const DefaultPlanCacheCapacity = 256
 
 // NewPlanCache creates an empty cache with the default capacity.
 func NewPlanCache() *PlanCache {
-	return &PlanCache{m: map[string]*list.Element{}, lru: list.New(), capacity: DefaultPlanCacheCapacity}
+	return &PlanCache{
+		m:        map[string]*list.Element{},
+		lru:      list.New(),
+		capacity: DefaultPlanCacheCapacity,
+		building: map[string]*buildCall{},
+	}
 }
 
 // NewPlanCacheCap creates an empty cache holding at most capacity templates
@@ -433,33 +456,71 @@ func (c *PlanCache) Evictions() int64 {
 	return c.evicted
 }
 
+// Coalesced returns how many Run calls were deduplicated onto another
+// call's in-flight template build.
+func (c *PlanCache) Coalesced() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.coalesced
+}
+
 // Run executes the named query on o: on a hit the cached template is
 // replayed with params re-bound; on a miss the plan function builds,
 // rewrites and executes the plan, and the resulting template is cached for
 // the next call. hit reports which path ran. Parameter names the plan never
 // declared are rejected (on both paths) instead of silently executing with
-// capture-time constants. Concurrent misses for the same key each build
-// independently; the last completed build wins the slot.
+// capture-time constants.
+//
+// Concurrent misses for the same key single-flight: the first registers an
+// in-flight build and runs the plan function; the rest wait and replay the
+// built template with their own parameters (counted as hits — they never
+// ran the pipeline). If the build fails or the data generation moved while
+// they waited, waiters retry from the top and one of them becomes the next
+// builder. The key is captured at lookup time, so a generation bump during
+// a build strands the finished template (and its buildCall) under the old
+// generation's key, where no fresh lookup — and no fresh waiter — reaches
+// it: a plan built over replaced data can never replay.
 func (c *PlanCache) Run(o ops.Operators, name string, params Params, passes Passes, plan func(*Session) *Result) (res *Result, hit bool, err error) {
-	c.mu.Lock()
-	// The key is captured once, at lookup time: if the data generation bumps
-	// while a miss is still building, the finished template is stored under
-	// the *old* generation's key, where no future lookup reaches it — a plan
-	// built over replaced data can never replay.
-	key := c.keyLocked(name, o, passes)
-	t := c.lookupLocked(key)
-	if t != nil {
-		c.hits++
-	} else {
+	for {
+		c.mu.Lock()
+		key := c.keyLocked(name, o, passes)
+		if t := c.lookupLocked(key); t != nil {
+			c.hits++
+			c.mu.Unlock()
+			res, err = t.Run(o, params)
+			return res, true, err
+		}
+		if bc := c.building[key]; bc != nil {
+			c.coalesced++
+			c.mu.Unlock()
+			<-bc.done
+			if bc.tpl != nil {
+				c.mu.Lock()
+				c.hits++
+				c.mu.Unlock()
+				res, err = bc.tpl.Run(o, params)
+				return res, true, err
+			}
+			continue
+		}
 		c.misses++
+		bc := &buildCall{done: make(chan struct{})}
+		c.building[key] = bc
+		c.mu.Unlock()
+		return c.build(o, key, params, passes, plan, bc)
 	}
-	c.mu.Unlock()
+}
 
-	if t != nil {
-		res, err = t.Run(o, params)
-		return res, true, err
-	}
-
+// build runs the miss path of Run as the registered builder for key. The
+// buildCall is always resolved — entry removed, done closed — even on a
+// plan panic, so waiters can never be stranded.
+func (c *PlanCache) build(o ops.Operators, key string, params Params, passes Passes, plan func(*Session) *Result, bc *buildCall) (res *Result, hit bool, err error) {
+	defer func() {
+		c.mu.Lock()
+		delete(c.building, key)
+		c.mu.Unlock()
+		close(bc.done)
+	}()
 	s := NewSession(o)
 	s.SetPasses(passes)
 	s.SetParams(params)
@@ -469,6 +530,7 @@ func (c *PlanCache) Run(o ops.Operators, name string, params Params, passes Pass
 		c.mu.Lock()
 		c.putLocked(key, tpl)
 		c.mu.Unlock()
+		bc.tpl = tpl
 		// The built template is valid and cached either way, but a binding
 		// the plan never declared is the caller's bug — surface it now, the
 		// same way a replay would.

@@ -36,7 +36,10 @@ func (s *Session) resolve(b *bat.BAT) *bat.BAT {
 		return nil
 	}
 	b = s.canon(b)
-	if c, ok := s.env[b]; ok {
+	s.mu.Lock()
+	c, ok := s.env[b]
+	s.mu.Unlock()
+	if ok {
 		return c
 	}
 	if s.tpl.isPH[b] {
@@ -48,6 +51,8 @@ func (s *Session) resolve(b *bat.BAT) *bat.BAT {
 // bind records concrete results for an instruction's placeholders and
 // adopts them for end-of-plan release.
 func (s *Session) bind(in *PInstr, concrete ...*bat.BAT) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for i, c := range concrete {
 		if c == nil {
 			continue
@@ -95,8 +100,12 @@ func (s *Session) scalars(in *PInstr) (lo, hi, c float64) {
 	return lo, hi, c
 }
 
-// execute interprets a rewritten fragment in order, recording per-
-// instruction host latencies and the EXPLAIN trace.
+// execute interprets a rewritten fragment, recording per-instruction host
+// latencies and the EXPLAIN trace. Under the hybrid engine with the
+// parallel scheduler enabled, fragments whose placement pins span several
+// device lanes are dispatched concurrently (exec_parallel.go); everything
+// else — single-device configurations, pinned engine views, single-lane
+// fragments — interprets serially in plan order.
 func (s *Session) execute(batch []*PInstr) {
 	if len(batch) == 0 {
 		return
@@ -105,6 +114,13 @@ func (s *Session) execute(batch []*PInstr) {
 		s.firstExec = time.Now()
 	}
 	hyb, isHyb := s.o.(*hybrid.Engine)
+	if isHyb && s.parallel {
+		if nodes, lanes := s.planGraph(batch); len(lanes) >= 2 {
+			s.executeParallel(nodes, lanes, hyb)
+			s.lastExec = time.Now()
+			return
+		}
+	}
 	for _, in := range batch {
 		o := s.o
 		if isHyb && in.Device != "" && in.computes() {
@@ -115,12 +131,14 @@ func (s *Session) execute(batch []*PInstr) {
 		s.step(in, o)
 		took := time.Since(start)
 		s.opTime += took
+		s.critPath += took
 		if !s.replay {
 			in.Took = took
+			in.Start = start.Sub(s.firstExec)
 		}
 		s.done = append(s.done, in)
 		if s.traceOn {
-			s.record(in, took)
+			s.record(in, took, start.Sub(s.firstExec))
 		}
 	}
 	s.lastExec = time.Now()
@@ -246,7 +264,9 @@ func (s *Session) step(in *PInstr, o ops.Operators) {
 	case OpRelease:
 		conc := arg(0)
 		o.Release(conc)
+		s.mu.Lock()
 		s.released[conc] = true
+		s.mu.Unlock()
 	default:
 		s.fail("exec", fmt.Errorf("unknown plan instruction kind %d", int(in.Kind)))
 	}
@@ -285,8 +305,8 @@ func describe(b *bat.BAT) string {
 
 // record appends the executed instruction to the EXPLAIN trace, with
 // operands resolved to their concrete form.
-func (s *Session) record(in *PInstr, took time.Duration) {
-	instr := Instr{Module: in.Module, Op: in.OpName(), Device: in.Device, Took: took}
+func (s *Session) record(in *PInstr, took, start time.Duration) {
+	instr := Instr{Module: in.Module, Op: in.OpName(), Device: in.Device, Took: took, Start: start}
 	dArg := func(i int) string { return describe(s.resolve(in.Args[i])) }
 	dRet := func(i int) string { return describe(s.resolve(in.Rets[i])) }
 	switch in.Kind {

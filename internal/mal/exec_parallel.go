@@ -1,0 +1,224 @@
+// The plan-level parallel scheduler: PR 1 lifted spawn-per-command
+// execution into a dependency-counting *command* scheduler inside each
+// device; this file lifts the same idea to the *plan* level. A rewritten
+// fragment is turned into an explicit dependency graph over its PInstrs
+// (producers → consumers, group-count producers → users,
+// release-after-last-use, sync-after-producer), partitioned into device
+// lanes by placement pin, and executed by one goroutine per lane. Within a
+// lane instructions run strictly in plan order — so each device's lazy
+// command queue sees exactly the serial sequence and per-device semantics
+// (and byte-identical results, given the order-stable kernels of PR 5) are
+// preserved — while instructions pinned to disjoint devices overlap, letting
+// one session saturate all N devices instead of only overlapping through
+// the queues. Syncs are joins: a Sync waits on its producer's lane like any
+// consumer, and the post-join accounting happens single-threaded.
+package mal
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bat"
+	"repro/internal/hybrid"
+	"repro/internal/ops"
+)
+
+// pnode is one scheduled instruction: its dependency edges (indices of
+// earlier nodes in the fragment), the channel closed when it completes, the
+// device lane it runs on, and the timing the lane observed.
+type pnode struct {
+	in    *PInstr
+	deps  []int
+	done  chan struct{}
+	lane  string
+	start time.Duration
+	took  time.Duration
+}
+
+// planGraph builds the per-fragment dependency graph and the lane
+// partition. Every edge points backward (dep index < own index), which
+// makes the schedule deadlock-free by induction: node 0 is always ready,
+// and each lane processes its nodes in ascending index order.
+//
+// Edges:
+//   - data: an instruction depends on the producer of each (canonicalised)
+//     argument, including the arguments of fused-region members;
+//   - group counts: a symbolic ngrp reference depends on the Group
+//     instruction whose slot produces the count;
+//   - write-after-read: a Release depends on every earlier reader of the
+//     value it frees, not just the producer;
+//   - lane order: each node depends on its lane predecessor, keeping
+//     per-device dispatch serialized in plan order (this edge also makes the
+//     critical-path computation account for device serialization).
+//
+// Lanes: computes take their placement pin (lane "" for unpinned ones);
+// Sync and Release follow the lane of the value's producer so a device's
+// hand-backs and frees stay ordered with the work that produced the value.
+// Releases of values produced by earlier fragments (the release pass's
+// "pre" releases) have no producer here and land on lane "".
+func (s *Session) planGraph(batch []*PInstr) ([]*pnode, map[string][]int) {
+	nodes := make([]*pnode, len(batch))
+	producer := map[*bat.BAT]int{}
+	readers := map[*bat.BAT][]int{}
+	slotProd := map[int]int{}
+	lastInLane := map[string]int{}
+	for i, in := range batch {
+		n := &pnode{in: in, done: make(chan struct{})}
+		nodes[i] = n
+		depSet := map[int]bool{}
+		addDep := func(j int) {
+			if j >= 0 && j < i && !depSet[j] {
+				depSet[j] = true
+				n.deps = append(n.deps, j)
+			}
+		}
+		scan := func(in *PInstr) {
+			for _, a := range in.Args {
+				if a == nil {
+					continue
+				}
+				a = s.canon(a)
+				if p, ok := producer[a]; ok {
+					addDep(p)
+				}
+				readers[a] = append(readers[a], i)
+			}
+		}
+		scan(in)
+		for _, m := range in.Sub {
+			scan(m)
+		}
+		if in.NgrpRef >= 0 {
+			if p, ok := slotProd[s.canonSlot(in.NgrpRef)]; ok {
+				addDep(p)
+			}
+		}
+		if in.Kind == OpRelease && len(in.Args) > 0 && in.Args[0] != nil {
+			for _, r := range readers[s.canon(in.Args[0])] {
+				addDep(r)
+			}
+		}
+		if in.computes() {
+			n.lane = in.Device
+		} else if len(in.Args) > 0 && in.Args[0] != nil {
+			if p, ok := producer[s.canon(in.Args[0])]; ok {
+				n.lane = nodes[p].lane
+			}
+		}
+		if p, ok := lastInLane[n.lane]; ok {
+			addDep(p)
+		}
+		lastInLane[n.lane] = i
+		reg := func(in *PInstr) {
+			for _, r := range in.Rets {
+				producer[s.canon(r)] = i
+			}
+		}
+		reg(in)
+		for _, m := range in.Sub {
+			reg(m)
+		}
+		// slotProducer is builder state (nil on replay), so the graph keeps
+		// its own slot→producer index from the batch itself.
+		if in.NSlot >= 0 {
+			slotProd[in.NSlot] = i
+		}
+	}
+	lanes := map[string][]int{}
+	for i, n := range nodes {
+		lanes[n.lane] = append(lanes[n.lane], i)
+	}
+	return nodes, lanes
+}
+
+// executeParallel runs the fragment with one goroutine per lane. A lane
+// waits for each node's cross-lane dependencies (done-channel closes are
+// the happens-before edges the executor relies on — notably for the
+// group-count slot table), dispatches through the node's pinned view, and
+// closes the node's channel. A plan abort (or any panic) in one lane stops
+// every lane: the failing lane records the panic, marks the execution
+// aborted and closes its remaining channels so cross-lane waiters unblock,
+// observe the abort and cascade; the first panic value is re-raised on the
+// calling goroutine, where RunQuery/runTemplate recover it exactly as on
+// the serial path.
+func (s *Session) executeParallel(nodes []*pnode, lanes map[string][]int, hyb *hybrid.Engine) {
+	var (
+		wg        sync.WaitGroup
+		aborted   atomic.Bool
+		panicOnce sync.Once
+		panicVal  any
+	)
+	for _, idxs := range lanes {
+		idxs := idxs
+		wg.Add(1)
+		go func() {
+			pos := 0
+			defer func() {
+				if v := recover(); v != nil {
+					panicOnce.Do(func() { panicVal = v })
+					aborted.Store(true)
+				}
+				// Unblock waiters on everything this lane will not run.
+				for ; pos < len(idxs); pos++ {
+					close(nodes[idxs[pos]].done)
+				}
+				wg.Done()
+			}()
+			for ; pos < len(idxs); pos++ {
+				n := nodes[idxs[pos]]
+				for _, d := range n.deps {
+					<-nodes[d].done
+				}
+				if aborted.Load() {
+					return
+				}
+				o := ops.Operators(s.o)
+				if n.in.Device != "" && n.in.computes() {
+					o = hyb.On(n.in.Device)
+				}
+				t0 := time.Now()
+				n.start = t0.Sub(s.firstExec)
+				s.step(n.in, o)
+				n.took = time.Since(t0)
+				close(n.done)
+			}
+		}()
+	}
+	wg.Wait()
+	if aborted.Load() {
+		if panicVal != nil {
+			panic(panicVal)
+		}
+		s.fail("exec", fmt.Errorf("parallel execution aborted"))
+	}
+
+	// Post-join accounting, single-threaded, in plan order — so Plan(),
+	// the trace and the timing sums read exactly like a serial execution's.
+	cp := make([]time.Duration, len(nodes))
+	var frag time.Duration
+	for i, n := range nodes {
+		s.opTime += n.took
+		if !s.replay {
+			n.in.Took = n.took
+			n.in.Start = n.start
+		}
+		s.done = append(s.done, n.in)
+		if s.traceOn {
+			s.record(n.in, n.took, n.start)
+		}
+		longest := time.Duration(0)
+		for _, d := range n.deps {
+			if cp[d] > longest {
+				longest = cp[d]
+			}
+		}
+		cp[i] = n.took + longest
+		if cp[i] > frag {
+			frag = cp[i]
+		}
+	}
+	s.critPath += frag
+	s.parFrags++
+}

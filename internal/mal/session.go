@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/bat"
@@ -49,6 +50,11 @@ type Instr struct {
 	// for lazy engines, execution time for eager ones (Session.TimingLabel
 	// names which one honestly; Session.PlanWall has the end-to-end time).
 	Took time.Duration
+	// Start is the instruction's dispatch offset from the first interpreted
+	// instruction of the plan. Under the parallel executor instruction spans
+	// overlap, so Start+Took intervals — not the sum of Tooks — describe the
+	// schedule (Session.CriticalPath has the honest total).
+	Start time.Duration
 }
 
 func (i Instr) String() string {
@@ -89,6 +95,11 @@ type Passes struct {
 func DefaultPasses() Passes {
 	return Passes{CSE: true, DCE: true, EarlyRelease: true, Placement: true, Fusion: true}
 }
+
+// Key renders the pass configuration as a short stable string — the same
+// rendering plan-cache keys embed; the serve layer reuses it to key
+// in-flight query coalescing.
+func (p Passes) Key() string { return p.key() }
 
 // key renders the pass configuration for plan-cache keying.
 func (p Passes) key() string {
@@ -156,6 +167,17 @@ type Session struct {
 
 	// --- per-execution state ---
 
+	// mu guards env, owned and released when the parallel executor runs
+	// plan lanes concurrently (exec_parallel.go); the serial path takes the
+	// same (uncontended) lock so there is one set of access rules.
+	mu sync.Mutex
+
+	// parallel enables the plan-level scheduler: under the hybrid engine,
+	// instructions pinned to distinct devices execute concurrently (one
+	// goroutine per device lane). Single-device configurations and pinned
+	// engine views always interpret serially.
+	parallel bool
+
 	// env maps placeholders to the concrete BATs the executor produced.
 	env map[*bat.BAT]*bat.BAT
 
@@ -177,6 +199,14 @@ type Session struct {
 	traceOn bool
 	opTime  time.Duration
 
+	// critPath accumulates, per executed fragment, the longest dependency
+	// chain of instruction dispatch times — the honest lower bound on the
+	// fragment's span once dispatches overlap. Serially it equals opTime.
+	critPath time.Duration
+	// parFrags counts fragments the parallel scheduler actually ran with
+	// more than one lane (observability for tests and EXPLAIN).
+	parFrags int
+
 	firstExec time.Time
 	lastExec  time.Time
 }
@@ -187,6 +217,7 @@ func NewSession(o ops.Operators) *Session {
 		o:            o,
 		module:       o.Module(),
 		passes:       DefaultPasses(),
+		parallel:     true,
 		tpl:          newTemplate(o.Module(), DefaultPasses()),
 		cseTab:       map[string]*PInstr{},
 		slotProducer: map[int]*PInstr{},
@@ -232,7 +263,24 @@ func (s *Session) Replayed() bool { return s.replay }
 // OpTime returns the summed per-instruction dispatch time of the execution;
 // wall time minus OpTime approximates the host-side overhead of the MAL
 // layer (plan build, rewriting, interpretation) around the operators.
+// Under the parallel executor the summands overlap — CriticalPath has the
+// non-overlapping total.
 func (s *Session) OpTime() time.Duration { return s.opTime }
+
+// CriticalPath returns the dispatch time of the longest dependency chain
+// across the executed fragments: the honest schedule length once the
+// parallel executor overlaps instructions. On a serial execution it equals
+// OpTime.
+func (s *Session) CriticalPath() time.Duration { return s.critPath }
+
+// SetParallel toggles the plan-level parallel scheduler (on by default).
+// It only changes how a hybrid-engine plan is interpreted — results are
+// identical either way — and must be called before the plan runs.
+func (s *Session) SetParallel(on bool) { s.parallel = on }
+
+// ParallelFragments reports how many fragments the parallel scheduler ran
+// with two or more device lanes.
+func (s *Session) ParallelFragments() int { return s.parFrags }
 
 func (s *Session) fail(op string, err error) {
 	panic(abort{fmt.Errorf("%s.%s: %w", s.module, op, err)})

@@ -1,0 +1,233 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/bat"
+	"repro/internal/mal"
+	"repro/internal/mem"
+	"repro/internal/ops"
+)
+
+func flightCol(name string, vals []int32) *bat.BAT {
+	s := mem.AllocI32(len(vals))
+	copy(s, vals)
+	return bat.NewI32(name, s)
+}
+
+func flightFCol(name string, vals []float32) *bat.BAT {
+	s := mem.AllocF32(len(vals))
+	copy(s, vals)
+	return bat.NewF32(name, s)
+}
+
+// waitFor polls until cond holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	for start := time.Now(); !cond(); {
+		if time.Since(start) > 30*time.Second {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestSingleFlightDuplicatesShareOneExecution: N identical concurrent
+// requests must execute the plan exactly once — one leader runs, the rest
+// wait on its flight and share the result — with the coalescing visible in
+// the stats.
+func TestSingleFlightDuplicatesShareOneExecution(t *testing.T) {
+	const followers = 7
+	sv := New(mal.MS.Build(mal.ConfigOptions{}), Options{MaxConcurrent: 4})
+	var executions atomic.Int64
+	plan := func(s *mal.Session) *mal.Result {
+		executions.Add(1)
+		// Hold the leader's execution open until every follower is waiting
+		// on the flight, so none can slip past to an independent run.
+		for start := time.Now(); sv.sharedWaiting.Load() < followers; {
+			if time.Since(start) > 30*time.Second {
+				t.Error("followers never queued behind the flight")
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+		return s.Result(nil)
+	}
+
+	var wg sync.WaitGroup
+	results := make(chan *mal.Result, followers+1)
+	for i := 0; i < followers+1; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := sv.Execute("dup", nil, plan)
+			if err != nil {
+				t.Errorf("coalesced request failed: %v", err)
+				return
+			}
+			results <- res
+		}()
+	}
+	wg.Wait()
+	close(results)
+	if n := executions.Load(); n != 1 {
+		t.Fatalf("plan executed %d times for %d identical requests, want 1", n, followers+1)
+	}
+	var ref *mal.Result
+	for res := range results {
+		if ref == nil {
+			ref = res
+			continue
+		}
+		if err := canonEqual(res, ref); err != nil {
+			t.Fatalf("shared results disagree: %v", err)
+		}
+	}
+	st := sv.Stats()["dup"]
+	if st.Runs != followers+1 || st.Shared != followers || st.Errors != 0 {
+		t.Fatalf("stats = %+v, want %d runs with %d shared", st, followers+1, followers)
+	}
+}
+
+// TestSingleFlightLeaderCancelDoesNotStrandFollowers: when a flight's
+// leader is dropped before executing (context cancelled while queued), its
+// followers must not hang on the dead flight — they retry, one becomes the
+// new leader, and the request completes.
+func TestSingleFlightLeaderCancelDoesNotStrandFollowers(t *testing.T) {
+	sv := New(mal.MS.Build(mal.ConfigOptions{}), Options{MaxConcurrent: 1})
+	release := make(chan struct{})
+	started := make(chan struct{})
+	blocker := func(s *mal.Session) *mal.Result {
+		close(started)
+		<-release
+		return s.Result(nil)
+	}
+	fast := func(s *mal.Session) *mal.Result { return s.Result(nil) }
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := sv.Execute("blocker", nil, blocker); err != nil {
+			t.Errorf("blocker failed: %v", err)
+		}
+	}()
+	<-started // the only slot is held
+
+	// The leader registers the flight for "q", then queues for the slot.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, err := sv.ExecuteCtx(ctx, "q", nil, fast)
+		leaderErr <- err
+	}()
+	waitFor(t, "leader to queue", func() bool { return sv.waiting.Load() == 1 })
+
+	// The follower finds the in-flight leader and waits on it.
+	followerErr := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, err := sv.Execute("q", nil, fast)
+		followerErr <- err
+	}()
+	waitFor(t, "follower to join the flight", func() bool { return sv.sharedWaiting.Load() == 1 })
+
+	cancel()
+	if err := <-leaderErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled leader returned %v, want context.Canceled", err)
+	}
+	// The follower must have moved on from the abandoned flight: it requeues
+	// as its own leader and completes once the blocker releases the slot.
+	waitFor(t, "follower to requeue", func() bool { return sv.waiting.Load() == 1 })
+	close(release)
+	if err := <-followerErr; err != nil {
+		t.Fatalf("follower stranded by cancelled leader: %v", err)
+	}
+	wg.Wait()
+
+	st := sv.Stats()["q"]
+	if st.Dropped != 1 || st.Runs != 1 || st.Errors != 0 {
+		t.Fatalf("stats = %+v, want 1 dropped (the leader) and 1 run (the follower)", st)
+	}
+}
+
+// TestBatchRidersServedInLeadersSlot: same-query requests with different
+// parameters that find all slots busy must ride in the running leader's
+// admission slot — served as template replays re-binding each rider's own
+// parameters — instead of queueing for slots of their own.
+func TestBatchRidersServedInLeadersSlot(t *testing.T) {
+	k := flightCol("k", []int32{1, 2, 3, 4, 5})
+	v := flightFCol("v", []float32{10, 20, 30, 40, 50})
+	sv := New(mal.MS.Build(mal.ConfigOptions{}), Options{MaxConcurrent: 1})
+	plan := func(s *mal.Session) *mal.Result {
+		hi := s.Param("hi", 4)
+		sel := s.Select(k, nil, 2, hi, true, true)
+		vv := s.Project(sel, v)
+		// Hold the cold build open until both riders are queued in the batch
+		// group (replays never run this function, so only the leader waits).
+		for start := time.Now(); sv.batchWaiting.Load() < 2; {
+			if time.Since(start) > 30*time.Second {
+				t.Error("riders never joined the batch group")
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+		return s.Result([]string{"sum"}, s.Aggr(ops.Sum, vv, nil, 0))
+	}
+
+	sum := func(res *mal.Result) float64 { return res.Canonical()[0][0] }
+	type out struct {
+		hi   float64
+		want float64
+		got  float64
+		err  error
+	}
+	outs := make(chan out, 3)
+	var wg sync.WaitGroup
+	run := func(hi, want float64) {
+		defer wg.Done()
+		res, err := sv.Execute("q", mal.Params{"hi": hi}, plan)
+		if err != nil {
+			outs <- out{hi: hi, err: err}
+			return
+		}
+		outs <- out{hi: hi, want: want, got: sum(res)}
+	}
+	// Leader: k in 2..4 → 20+30+40.
+	wg.Add(1)
+	go run(4, 90)
+	waitFor(t, "leader to open the group", func() bool {
+		sv.fmu.Lock()
+		defer sv.fmu.Unlock()
+		return len(sv.groups) == 1
+	})
+	// Riders: different bounds, same template.
+	wg.Add(2)
+	go run(3, 50)  // k in 2..3
+	go run(5, 140) // k in 2..5
+	wg.Wait()
+	close(outs)
+	for o := range outs {
+		if o.err != nil {
+			t.Fatalf("hi=%v: %v", o.hi, o.err)
+		}
+		if o.got != o.want {
+			t.Fatalf("hi=%v: sum = %v, want %v (rider parameters not re-bound?)", o.hi, o.got, o.want)
+		}
+	}
+	st := sv.Stats()["q"]
+	if st.Runs != 3 || st.Batched != 2 || st.CacheHits != 2 || st.Errors != 0 {
+		t.Fatalf("stats = %+v, want 3 runs, 2 batched, 2 cache hits", st)
+	}
+	hits, misses, _ := sv.CacheStats()
+	if hits != 2 || misses != 1 {
+		t.Fatalf("cache stats %d hits / %d misses, want 2/1", hits, misses)
+	}
+}

@@ -9,6 +9,22 @@
 // templates (mal.PlanCache) so repeated queries skip the plan build and the
 // whole rewriter pass pipeline, re-binding only their parameters.
 //
+// Under load the server also shares work across requests (disable with
+// Options.NoCoalesce):
+//
+//   - Single-flight: requests for the same query with the same parameter
+//     values that arrive while an identical execution is in flight do not
+//     execute at all — they wait for the in-flight leader and share its
+//     result. The coalescing key includes the pass configuration and the
+//     data generation, so a template built over replaced data is never
+//     shared forward.
+//   - Batching: same-query requests with *different* parameters that find
+//     all execution slots busy can ride in a running leader's admission
+//     slot instead of queueing: the leader, after its own execution, drains
+//     the queued riders through its plan cache — each replay re-binds the
+//     rider's own parameters — so one admission slot amortises one plan
+//     walk across many parameterisations.
+//
 // With several engines (NewBalanced) the server balances sessions across
 // them by in-flight load: each admitted request runs on the engine currently
 // executing the fewest plans, ties broken round-robin. Every engine keeps
@@ -22,6 +38,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -49,8 +66,18 @@ type Options struct {
 	// value selects mal.DefaultPasses.
 	Passes *mal.Passes
 	// NoCache disables the rewritten-plan caches: every request builds and
-	// rewrites its plan from scratch (ablation and tests).
+	// rewrites its plan from scratch (ablation and tests). Implies
+	// NoCoalesce: without templates there is nothing to share or re-bind.
 	NoCache bool
+	// NoCoalesce disables request coalescing — single-flighting identical
+	// in-flight queries and batching same-query riders into a leader's
+	// admission slot — so every request executes independently (ablation,
+	// and tests that assert exact execution counts).
+	NoCoalesce bool
+	// MaxBatch caps how many queued riders one leader may drain through its
+	// admission slot (and how many may queue behind one group); <=0
+	// selects 16.
+	MaxBatch int
 }
 
 // QueryStats aggregate the executions of one named query.
@@ -71,6 +98,13 @@ type QueryStats struct {
 	// the retry routes around the dead device, so one lost card costs one
 	// replay, not a failed request.
 	Retries int64
+	// Shared counts requests served by single-flight coalescing: they are
+	// part of Runs but never executed a plan — they waited for an identical
+	// in-flight execution and share its result.
+	Shared int64
+	// Batched counts requests served as batch riders: part of Runs, executed
+	// as template replays inside another request's admission slot.
+	Batched int64
 	// Rows is the total result rows returned.
 	Rows int64
 	// Total and Max aggregate end-to-end request latency (admission wait
@@ -98,8 +132,64 @@ type Server struct {
 	waiting atomic.Int64
 	rr      atomic.Int64 // round-robin tie-breaker for equal loads
 
+	// Request coalescing (see the package comment). gen mirrors the plan
+	// caches' data generation so a flight keyed before Invalidate can never
+	// absorb a request arriving after it.
+	coalesce bool
+	maxBatch int
+	gen      atomic.Int64
+	fmu      sync.Mutex
+	flights  map[string]*flight
+	groups   map[string]*batchGroup
+	// Observability for deterministic tests: how many followers are
+	// currently waiting on a flight / riders queued in a batch group.
+	sharedWaiting atomic.Int64
+	batchWaiting  atomic.Int64
+
 	mu    sync.Mutex
 	stats map[string]*QueryStats
+}
+
+// flight is one in-flight execution identical requests wait on. The leader
+// fills res/err, removes the flight from the map and closes done (the
+// happens-before edge followers read through). A leader that never gets to
+// publish — dropped, rejected, or panicked — abandons instead: followers
+// observe abandoned and retry from admission, so a cancelled leader cannot
+// strand them.
+type flight struct {
+	done      chan struct{}
+	res       *mal.Result
+	err       error
+	abandoned bool
+}
+
+// batchGroup queues same-query riders behind a running leader's admission
+// slot. closed means the leader finished draining: late arrivals must not
+// append (no one would ever serve them).
+type batchGroup struct {
+	mu     sync.Mutex
+	closed bool
+	items  []*batchItem
+}
+
+// batchItem is one queued rider. ch is buffered so the leader can always
+// complete its send even when the rider already gave up on its context.
+type batchItem struct {
+	params mal.Params
+	ctx    context.Context
+	plan   func(*mal.Session) *mal.Result
+	ch     chan batchDone
+}
+
+// batchDone is the leader's answer to a rider. served=false means the
+// leader closed the group without executing this rider (drain cap reached,
+// or the rider's context was already dead): the rider retries through
+// normal admission.
+type batchDone struct {
+	res    *mal.Result
+	err    error
+	hit    bool
+	served bool
 }
 
 // New creates a server over one shared configuration. The engine must be
@@ -125,15 +215,22 @@ func NewBalanced(os []ops.Operators, opt Options) *Server {
 	if opt.MaxQueued <= 0 {
 		opt.MaxQueued = 16 * opt.MaxConcurrent
 	}
+	if opt.MaxBatch <= 0 {
+		opt.MaxBatch = 16
+	}
 	passes := mal.DefaultPasses()
 	if opt.Passes != nil {
 		passes = *opt.Passes
 	}
 	sv := &Server{
-		passes: passes,
-		sem:    make(chan struct{}, opt.MaxConcurrent),
-		maxQ:   int64(opt.MaxQueued),
-		stats:  map[string]*QueryStats{},
+		passes:   passes,
+		sem:      make(chan struct{}, opt.MaxConcurrent),
+		maxQ:     int64(opt.MaxQueued),
+		coalesce: !opt.NoCoalesce && !opt.NoCache,
+		maxBatch: opt.MaxBatch,
+		flights:  map[string]*flight{},
+		groups:   map[string]*batchGroup{},
+		stats:    map[string]*QueryStats{},
 	}
 	for _, o := range os {
 		slot := &engineSlot{o: o}
@@ -174,6 +271,7 @@ func (sv *Server) EngineLoads() []int64 {
 // template captured over the old data can replay. Call it after reloading a
 // table the served plans read.
 func (sv *Server) Invalidate() {
+	sv.gen.Add(1)
 	for _, s := range sv.slots {
 		if s.cache != nil {
 			s.cache.BumpGeneration()
@@ -217,27 +315,93 @@ func (sv *Server) Execute(name string, params mal.Params, plan func(*mal.Session
 // interrupted: sessions are not preemptible, so the deadline gates
 // admission and dequeue, which under load is where requests spend their
 // wait anyway.
+//
+// With coalescing enabled a request may be served without executing: by
+// the result of an identical in-flight execution (single-flight), or as a
+// template replay inside another request's admission slot (batching). An
+// attempt whose leader or batch group dissolves underneath it retries from
+// the top; the context gates every retry.
 func (sv *Server) ExecuteCtx(ctx context.Context, name string, params mal.Params, plan func(*mal.Session) *mal.Result) (*mal.Result, error) {
 	start := time.Now()
+	for {
+		res, err, retry := sv.attempt(ctx, start, name, params, plan)
+		if !retry {
+			return res, err
+		}
+	}
+}
+
+// attempt is one pass through coalescing, admission and execution. retry
+// means the request was neither served nor terminally refused (its flight
+// leader abandoned, or its batch group closed unserved): the caller loops.
+func (sv *Server) attempt(ctx context.Context, start time.Time, name string, params mal.Params, plan func(*mal.Session) *mal.Result) (_ *mal.Result, _ error, retry bool) {
 	if err := ctx.Err(); err != nil {
 		sv.drop(name)
-		return nil, err
+		return nil, err, false
 	}
+
+	// Single-flight: identical request already executing → wait for it;
+	// none → register as leader so duplicates arriving from here on wait
+	// for us. The deferred abandon covers every exit that does not publish
+	// (reject, drop, panic), so followers can never be stranded.
+	var fl *flight
+	var fkey string
+	if sv.coalesce {
+		fkey = sv.flightKey(name, params)
+		sv.fmu.Lock()
+		if other := sv.flights[fkey]; other != nil {
+			sv.fmu.Unlock()
+			return sv.followFlight(ctx, start, name, other)
+		}
+		fl = &flight{done: make(chan struct{})}
+		sv.flights[fkey] = fl
+		sv.fmu.Unlock()
+		defer func() {
+			if fl != nil {
+				sv.abandonFlight(fkey, fl)
+			}
+		}()
+	}
+
 	select {
 	case sv.sem <- struct{}{}: // free execution slot: admitted immediately
 	default:
-		// All slots busy: join the bounded wait queue.
+		// All slots busy. Before queueing, try to ride in an open batch
+		// group: a same-query leader will replay its template with our
+		// parameters from inside its own slot.
+		if sv.coalesce {
+			if it, ok := sv.joinBatch(ctx, name, params, plan); ok {
+				select {
+				case d := <-it.ch:
+					sv.batchWaiting.Add(-1)
+					if !d.served {
+						return nil, nil, true
+					}
+					sv.noteFull(name, start, d.res, d.hit, d.err, false, true)
+					if fl != nil {
+						sv.publishFlight(fkey, fl, d.res, d.err)
+						fl = nil
+					}
+					return d.res, d.err, false
+				case <-ctx.Done():
+					sv.batchWaiting.Add(-1)
+					sv.drop(name)
+					return nil, ctx.Err(), false
+				}
+			}
+		}
+		// Join the bounded wait queue.
 		if sv.waiting.Add(1) > sv.maxQ {
 			sv.waiting.Add(-1)
 			sv.reject(name)
-			return nil, ErrOverloaded
+			return nil, ErrOverloaded, false
 		}
 		select {
 		case sv.sem <- struct{}{}:
 		case <-ctx.Done():
 			sv.waiting.Add(-1)
 			sv.drop(name)
-			return nil, ctx.Err()
+			return nil, ctx.Err(), false
 		}
 		sv.waiting.Add(-1)
 	}
@@ -245,27 +409,174 @@ func (sv *Server) ExecuteCtx(ctx context.Context, name string, params mal.Params
 	// Dequeue gate: the slot may have freed long after the caller gave up.
 	if err := ctx.Err(); err != nil {
 		sv.drop(name)
-		return nil, err
+		return nil, err, false
 	}
 
-	res, hit, err := sv.runOnce(name, params, plan)
-	if err != nil && errors.Is(err, cl.ErrDeviceLost) {
-		// A device died mid-plan and took the plan's intermediates with it.
-		// The device is latched dead, so one replay routes around it (hybrid
-		// pick/placement skip dead devices; base data lives on the host).
-		sv.mu.Lock()
-		st := sv.statLocked(name)
-		st.Retries++
-		sv.mu.Unlock()
-		res, hit, err = sv.runOnce(name, params, plan)
+	slot := sv.pick()
+	// Open a batch group before executing, so same-query arrivals that find
+	// the slots busy during our run can queue behind this slot.
+	var g *batchGroup
+	var gkey string
+	if sv.coalesce {
+		g, gkey = sv.openGroup(name)
 	}
-	sv.note(name, start, res, hit, err)
-	return res, err
+	res, hit, err := sv.runWithRetry(slot, name, params, plan)
+	sv.noteFull(name, start, res, hit, err, false, false)
+	if fl != nil {
+		// Publish before draining riders: followers should unblock the
+		// moment the shared result exists, not after unrelated replays.
+		sv.publishFlight(fkey, fl, res, err)
+		fl = nil
+	}
+	if g != nil {
+		sv.drainGroup(slot, g, gkey, name)
+	}
+	return res, err, false
+}
+
+// flightKey identifies executions that may share a result: same query, same
+// rewriter passes, same data generation, same parameter values.
+func (sv *Server) flightKey(name string, params mal.Params) string {
+	var sb strings.Builder
+	sb.WriteString(name)
+	sb.WriteByte('|')
+	sb.WriteString(sv.passes.Key())
+	fmt.Fprintf(&sb, "|g%d", sv.gen.Load())
+	keys := make([]string, 0, len(params))
+	for k := range params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		sb.WriteByte('|')
+		sb.WriteString(k)
+		sb.WriteByte('=')
+		sb.WriteString(strconv.FormatFloat(params[k], 'g', -1, 64))
+	}
+	return sb.String()
+}
+
+// followFlight waits for an identical in-flight execution and shares its
+// result. An abandoned flight (its leader never published) retries.
+func (sv *Server) followFlight(ctx context.Context, start time.Time, name string, fl *flight) (*mal.Result, error, bool) {
+	sv.sharedWaiting.Add(1)
+	defer sv.sharedWaiting.Add(-1)
+	select {
+	case <-fl.done:
+		if fl.abandoned {
+			return nil, nil, true
+		}
+		sv.noteFull(name, start, fl.res, false, fl.err, true, false)
+		return fl.res, fl.err, false
+	case <-ctx.Done():
+		sv.drop(name)
+		return nil, ctx.Err(), false
+	}
+}
+
+// publishFlight hands the leader's result to every follower: fill the
+// result, unhook the flight so new arrivals start fresh, then release the
+// followers.
+func (sv *Server) publishFlight(key string, fl *flight, res *mal.Result, err error) {
+	fl.res, fl.err = res, err
+	sv.fmu.Lock()
+	delete(sv.flights, key)
+	sv.fmu.Unlock()
+	close(fl.done)
+}
+
+// abandonFlight releases followers without a result; they retry admission.
+func (sv *Server) abandonFlight(key string, fl *flight) {
+	fl.abandoned = true
+	sv.fmu.Lock()
+	delete(sv.flights, key)
+	sv.fmu.Unlock()
+	close(fl.done)
+}
+
+// batchKey identifies the open group a rider may join: same query, same
+// data generation (parameters differ — that is the point).
+func (sv *Server) batchKey(name string) string {
+	return name + "|g" + strconv.FormatInt(sv.gen.Load(), 10)
+}
+
+// openGroup opens a batch group owned by this request's admission slot.
+// When another leader's group for the same query is already open, no new
+// group is opened (nil): only the creator drains and closes a group.
+func (sv *Server) openGroup(name string) (*batchGroup, string) {
+	key := sv.batchKey(name)
+	sv.fmu.Lock()
+	defer sv.fmu.Unlock()
+	if sv.groups[key] != nil {
+		return nil, ""
+	}
+	g := &batchGroup{}
+	sv.groups[key] = g
+	return g, key
+}
+
+// joinBatch appends the request to an open same-query group, if one exists
+// and still has room. The returned item's channel delivers the verdict.
+func (sv *Server) joinBatch(ctx context.Context, name string, params mal.Params, plan func(*mal.Session) *mal.Result) (*batchItem, bool) {
+	sv.fmu.Lock()
+	g := sv.groups[sv.batchKey(name)]
+	sv.fmu.Unlock()
+	if g == nil {
+		return nil, false
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed || len(g.items) >= sv.maxBatch {
+		return nil, false
+	}
+	it := &batchItem{params: params, ctx: ctx, plan: plan, ch: make(chan batchDone, 1)}
+	g.items = append(g.items, it)
+	sv.batchWaiting.Add(1)
+	return it, true
+}
+
+// drainGroup serves queued riders from the leader's admission slot, one
+// template replay each, until the group runs dry or the drain cap is hit;
+// then it closes the group and flushes any leftovers unserved (they retake
+// normal admission). Riders whose context already expired are flushed, not
+// executed.
+func (sv *Server) drainGroup(slot *engineSlot, g *batchGroup, key, name string) {
+	drained := 0
+	for {
+		g.mu.Lock()
+		if drained >= sv.maxBatch || len(g.items) == 0 {
+			g.closed = true
+			rest := g.items
+			g.items = nil
+			g.mu.Unlock()
+			sv.fmu.Lock()
+			delete(sv.groups, key)
+			sv.fmu.Unlock()
+			for _, it := range rest {
+				it.ch <- batchDone{}
+			}
+			return
+		}
+		it := g.items[0]
+		g.items = g.items[1:]
+		g.mu.Unlock()
+		drained++
+		if it.ctx.Err() != nil {
+			it.ch <- batchDone{}
+			continue
+		}
+		res, hit, err := sv.runWithRetry(slot, name, it.params, it.plan)
+		it.ch <- batchDone{res: res, err: err, hit: hit, served: true}
+	}
 }
 
 // runOnce picks the least-loaded engine and executes the plan on it.
-func (sv *Server) runOnce(name string, params mal.Params, plan func(*mal.Session) *mal.Result) (res *mal.Result, hit bool, err error) {
-	slot := sv.pick()
+func (sv *Server) runOnce(name string, params mal.Params, plan func(*mal.Session) *mal.Result) (*mal.Result, bool, error) {
+	return sv.runOn(sv.pick(), name, params, plan)
+}
+
+// runOn executes the plan on the given engine slot.
+func (sv *Server) runOn(slot *engineSlot, name string, params mal.Params, plan func(*mal.Session) *mal.Result) (res *mal.Result, hit bool, err error) {
 	slot.inflight.Add(1)
 	defer slot.inflight.Add(-1)
 	if slot.cache != nil {
@@ -277,6 +588,21 @@ func (sv *Server) runOnce(name string, params mal.Params, plan func(*mal.Session
 		res, err = mal.RunQuery(s, plan)
 	}
 	slot.served.Add(1)
+	return res, hit, err
+}
+
+// runWithRetry is runOn plus the device-loss replay: a device that died
+// mid-plan took the plan's intermediates with it, but it is latched dead,
+// so one replay routes around it (hybrid pick/placement skip dead devices;
+// base data lives on the host).
+func (sv *Server) runWithRetry(slot *engineSlot, name string, params mal.Params, plan func(*mal.Session) *mal.Result) (res *mal.Result, hit bool, err error) {
+	res, hit, err = sv.runOn(slot, name, params, plan)
+	if err != nil && errors.Is(err, cl.ErrDeviceLost) {
+		sv.mu.Lock()
+		sv.statLocked(name).Retries++
+		sv.mu.Unlock()
+		res, hit, err = sv.runOn(slot, name, params, plan)
+	}
 	return res, hit, err
 }
 
@@ -302,7 +628,10 @@ func (sv *Server) drop(name string) {
 	sv.statLocked(name).Dropped++
 }
 
-func (sv *Server) note(name string, start time.Time, res *mal.Result, hit bool, err error) {
+// noteFull records a completed request: every request ends in exactly one
+// of Rejected, Dropped or Runs, with shared/batched marking the coalesced
+// service paths inside Runs.
+func (sv *Server) noteFull(name string, start time.Time, res *mal.Result, hit bool, err error, shared, batched bool) {
 	took := time.Since(start)
 	sv.mu.Lock()
 	defer sv.mu.Unlock()
@@ -313,6 +642,12 @@ func (sv *Server) note(name string, start time.Time, res *mal.Result, hit bool, 
 	}
 	if hit {
 		st.CacheHits++
+	}
+	if shared {
+		st.Shared++
+	}
+	if batched {
+		st.Batched++
 	}
 	if res != nil {
 		st.Rows += int64(res.Rows())
@@ -358,16 +693,16 @@ func (sv *Server) String() string {
 	}
 	sort.Strings(names)
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "%-24s %6s %6s %6s %6s %6s %6s %10s %12s %12s\n",
-		"query", "runs", "errs", "rej", "drop", "retry", "hits", "rows", "avg", "max")
+	fmt.Fprintf(&sb, "%-24s %6s %6s %6s %6s %6s %6s %6s %6s %10s %12s %12s\n",
+		"query", "runs", "errs", "rej", "drop", "retry", "hits", "shr", "bat", "rows", "avg", "max")
 	for _, n := range names {
 		st := stats[n]
 		avg := time.Duration(0)
 		if st.Runs > 0 {
 			avg = st.Total / time.Duration(st.Runs)
 		}
-		fmt.Fprintf(&sb, "%-24s %6d %6d %6d %6d %6d %6d %10d %12v %12v\n",
-			n, st.Runs, st.Errors, st.Rejected, st.Dropped, st.Retries, st.CacheHits, st.Rows,
+		fmt.Fprintf(&sb, "%-24s %6d %6d %6d %6d %6d %6d %6d %6d %10d %12v %12v\n",
+			n, st.Runs, st.Errors, st.Rejected, st.Dropped, st.Retries, st.CacheHits, st.Shared, st.Batched, st.Rows,
 			avg.Round(time.Microsecond), st.Max.Round(time.Microsecond))
 	}
 	hits, misses, size := sv.CacheStats()

@@ -34,8 +34,12 @@ func main() {
 		gpuMem  = flag.Int64("gpumem", 1024, "simulated GPU memory in MiB")
 		gpus    = flag.Int("gpus", 1, "simulated GPUs of the HYB configuration")
 		spillMB = flag.Int64("spillmb", 0, "force a per-join device budget in MiB so hash joins partition and spill (0 = auto from free device memory, -1 = never spill)")
+		verify  = flag.Bool("verify", false, "run the plan-IR verifier after every rewriter pass")
 	)
 	flag.Parse()
+	if *verify {
+		mal.SetDefaultVerify(true)
+	}
 
 	q := tpch.QueryByNum(*qnum)
 	if q == nil {

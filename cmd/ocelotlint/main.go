@@ -1,0 +1,15 @@
+// Command ocelotlint is the repo's vet tool: four static analyzers that
+// enforce the dispatch, error-handling, buffer-ownership and lock-order
+// conventions the runtime relies on. Run it through the go command:
+//
+//	go build -o /tmp/ocelotlint ./cmd/ocelotlint
+//	go vet -vettool=/tmp/ocelotlint ./...
+//
+// or standalone (it re-executes itself through go vet):
+//
+//	/tmp/ocelotlint ./...
+package main
+
+import "repro/internal/lint"
+
+func main() { lint.Main() }

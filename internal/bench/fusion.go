@@ -96,6 +96,44 @@ func FigFus(opt Options) *Report {
 		a.Free()
 		b.Free()
 	}
+
+	// With the verifier on, prove its cost model on the fused chain: the
+	// template is verified once while the plan is built and sealed, and
+	// cached replays re-enter the verifier zero times — fusion's measured
+	// advantage cannot be polluted by verification overhead.
+	if mal.DefaultVerify() {
+		rows := opt.SizesMB[0] * rowsPerMB
+		k := uniformI32("k", rows, 1000, opt.Seed)
+		a := uniformF32("a", rows, opt.Seed+100)
+		b := uniformF32("b", rows, opt.Seed+200)
+		o := engineFor(mal.OcelotCPU, opt)
+		s := mal.NewSession(o)
+		s.SetVerify(true)
+		if _, err := mal.RunQuery(s, func(s *mal.Session) *mal.Result {
+			sel := s.Select(k, nil, 0, 499, true, true)
+			rev := s.Binop(ops.Mul, s.Project(sel, a), s.Project(sel, b))
+			return s.Result([]string{"revenue"}, s.Aggr(ops.Sum, rev, nil, 0))
+		}); err != nil {
+			panic(fmt.Sprintf("bench: fus verify probe: %v", err))
+		}
+		tpl := s.Template()
+		base := mal.VerifyRuns()
+		const replays = 10
+		for i := 0; i < replays; i++ {
+			if _, err := tpl.Run(o, nil); err != nil {
+				panic(fmt.Sprintf("bench: fus verify replay: %v", err))
+			}
+		}
+		if d := mal.VerifyRuns() - base; d != 0 {
+			panic(fmt.Sprintf("bench: fus: %d cached replays ran the verifier %d times, want 0", replays, d))
+		}
+		retire(o)
+		k.Free()
+		a.Free()
+		b.Free()
+		r.Notes = append(r.Notes,
+			fmt.Sprintf("verifier on: fused template verified once at seal, 0 verifier runs across %d cached replays", replays))
+	}
 	return r
 }
 

@@ -176,6 +176,7 @@ func ParFigure(o TPCHOptions) *ParReport {
 			if _, err := sv.Execute("scan", nil, plan); err != nil {
 				panic(fmt.Sprintf("bench: warm-up scan: %v", err))
 			}
+			verifyBase := mal.VerifyRuns()
 
 			jobs := make(chan mal.Params, total)
 			for i := 0; i < total; i++ {
@@ -207,7 +208,18 @@ func ParFigure(o TPCHOptions) *ParReport {
 				rep.Notes = append(rep.Notes, fmt.Sprintf("%s: %d of %d served shared, %d batched",
 					key, st.Shared, st.Runs, st.Batched))
 			}
+			// Verify-once-per-template: the warmed template was verified at
+			// seal time, so the measured replays must not have re-entered
+			// the verifier at all — its overhead is confined to plan builds.
+			if mal.DefaultVerify() {
+				if d := mal.VerifyRuns() - verifyBase; d != 0 {
+					panic(fmt.Sprintf("bench: %s: cached replays ran the verifier %d times, want 0", key, d))
+				}
+			}
 		}
+	}
+	if mal.DefaultVerify() {
+		rep.Notes = append(rep.Notes, "verifier on: 0 verifier runs across all measured replays (verify-once-per-template)")
 	}
 	return rep
 }

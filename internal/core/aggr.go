@@ -66,11 +66,13 @@ func (e *Engine) aggrScalar(kind ops.Agg, vals *bat.BAT) (*bat.BAT, error) {
 
 	sp, err := e.spine()
 	if err != nil {
+		e.mm.ReleaseScratch(cast)
 		return nil, err
 	}
 	dst, err := e.mm.Alloc(4)
 	if err != nil {
 		_ = sp.Release()
+		e.mm.ReleaseScratch(cast)
 		return nil, err
 	}
 	redKind := kind
@@ -89,6 +91,7 @@ func (e *Engine) aggrScalar(kind ops.Agg, vals *bat.BAT) (*bat.BAT, error) {
 		if err != nil {
 			_ = sp.Release()
 			_ = dst.Release()
+			e.mm.ReleaseScratch(cast)
 			return nil, err
 		}
 		ev = kernels.MapBinopConst(e.q, avg, dst, true, ops.Div, float32(n), 0, false, 1, []*cl.Event{ev})

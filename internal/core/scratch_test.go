@@ -49,6 +49,8 @@ func TestScratchFreeListRecyclesBytes(t *testing.T) {
 	if len(b3.Bytes()) != 2<<10 {
 		t.Fatalf("misallocated size %d", len(b3.Bytes()))
 	}
+	m.ReleaseScratch(b2)
+	m.ReleaseScratch(b3)
 }
 
 // TestOperatorScratchReuse: the second run of the same operator sequence

@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// EnqueueCheck flags dropped errors in internal/core and internal/monet:
+// a call whose result set includes an error, used as a bare statement (or
+// the subject of go/defer) without assigning the error anywhere. Kernel
+// launches and enqueues in these packages latch device failures in the
+// returned error; dropping it silently corrupts downstream results.
+// `_ = f()` counts as an explicit acknowledgement and is not flagged.
+// Enqueue* variants that return only a *cl.Event are fine by construction:
+// their errors latch in the queue and surface at Finish.
+var EnqueueCheck = &Analyzer{
+	Name: "enqueuecheck",
+	Doc:  "flag unchecked errors from enqueues and kernel launches in internal/core and internal/monet",
+	Run:  runEnqueueCheck,
+}
+
+func runEnqueueCheck(pass *Pass) error {
+	if !pathHasSuffix(pass.Pkg, "internal/core", "internal/monet") {
+		return nil
+	}
+	check := func(call *ast.CallExpr, how string) {
+		if call == nil || !typeHasError(pass.Info.TypeOf(call)) {
+			return
+		}
+		pass.Reportf(call.Pos(), "%s drops its error result; check it or assign it to _ explicitly", how+" of "+callName(call))
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := st.X.(*ast.CallExpr); ok {
+					check(call, "statement call")
+				}
+			case *ast.GoStmt:
+				check(st.Call, "go statement")
+			case *ast.DeferStmt:
+				check(st.Call, "defer statement")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// callName renders a short human-readable name for the called function.
+func callName(call *ast.CallExpr) string {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		var parts []string
+		for cur := ast.Expr(fn); ; {
+			sel, ok := cur.(*ast.SelectorExpr)
+			if !ok {
+				if id, ok := cur.(*ast.Ident); ok {
+					parts = append(parts, id.Name)
+				}
+				break
+			}
+			parts = append(parts, sel.Sel.Name)
+			cur = sel.X
+		}
+		for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+			parts[i], parts[j] = parts[j], parts[i]
+		}
+		return strings.Join(parts, ".")
+	default:
+		return "call"
+	}
+}

@@ -1,0 +1,17 @@
+// dispatchthrough cases: direct Dev.Eng operator calls in an internal/mal
+// package are flagged; dispatch through Engine.On and non-operator
+// maintenance methods are not.
+package mal
+
+import "repro/internal/hybrid"
+
+func bad(d *hybrid.Dev) {
+	d.Eng.Select(0, 1)  // want `operator Select called directly on Dev\.Eng`
+	d.Eng.Project(1, 2) // want `operator Project called directly on Dev\.Eng`
+}
+
+func good(e *hybrid.Engine, d *hybrid.Dev) {
+	e.On("CPU").Select(0, 1) // dispatched: placement sees it
+	d.Eng.SetSpillBudget(8)  // maintenance method, not an operator
+	_ = d.Eng.Device()       // likewise
+}

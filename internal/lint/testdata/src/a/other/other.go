@@ -1,0 +1,9 @@
+// dispatchthrough scope: packages outside internal/mal and internal/serve
+// may reach Dev.Eng directly (hybrid itself must).
+package other
+
+import "repro/internal/hybrid"
+
+func fine(d *hybrid.Dev) {
+	d.Eng.Select(0, 1)
+}

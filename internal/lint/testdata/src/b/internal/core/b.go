@@ -1,0 +1,25 @@
+// enqueuecheck cases: error-returning calls used as bare statements (or
+// behind go/defer) are flagged; explicit acknowledgement and error-free
+// enqueues are not.
+package core
+
+func launch() error { return nil }
+
+type Q struct{}
+
+func (q *Q) EnqueueWrite() error  { return nil }
+func (q *Q) EnqueueMarker() int   { return 0 }
+func (q *Q) Submit() (int, error) { return 0, nil }
+
+func f(q *Q) {
+	launch()          // want `statement call of launch drops its error result`
+	q.EnqueueWrite()  // want `statement call of q\.EnqueueWrite drops its error result`
+	q.Submit()        // want `statement call of q\.Submit drops its error result`
+	go launch()       // want `go statement of launch drops its error result`
+	defer launch()    // want `defer statement of launch drops its error result`
+	q.EnqueueMarker() // event-only enqueue: errors latch in the queue
+	_ = launch()      // explicitly acknowledged
+	if err := launch(); err != nil {
+		_ = err
+	}
+}

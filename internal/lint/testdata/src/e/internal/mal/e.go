@@ -1,0 +1,28 @@
+// lockorder cases, plan-cache side: Template.Run must not execute while
+// PlanCache.mu is held.
+package mal
+
+import "sync"
+
+type Template struct{}
+
+func (t *Template) Run(p map[string]float64) (int, error) { return 0, nil }
+
+type PlanCache struct {
+	mu   sync.Mutex
+	tpls map[string]*Template
+}
+
+func bad(c *PlanCache, key string) {
+	c.mu.Lock()
+	t := c.tpls[key]
+	_, _ = t.Run(nil) // want `Template\.Run while holding c\.mu \(plan cache\)`
+	c.mu.Unlock()
+}
+
+func good(c *PlanCache, key string) {
+	c.mu.Lock()
+	t := c.tpls[key]
+	c.mu.Unlock()
+	_, _ = t.Run(nil) // lock dropped before execution
+}

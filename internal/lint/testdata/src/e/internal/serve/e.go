@@ -1,0 +1,35 @@
+// lockorder cases, serve side: plan execution must not run while the
+// flight-map mutex is held, including under a deferred unlock.
+package serve
+
+import (
+	"sync"
+
+	"repro/internal/hybrid"
+	"repro/internal/mal"
+)
+
+type Server struct {
+	fmu    sync.Mutex
+	flight map[string]int
+}
+
+func bad(sv *Server, t *mal.Template) {
+	sv.fmu.Lock()
+	sv.flight["q"] = 1
+	_, _ = t.Run(nil) // want `Template\.Run while holding sv\.fmu \(flight map\)`
+	sv.fmu.Unlock()
+}
+
+func badDeferred(sv *Server, h *hybrid.Engine) {
+	sv.fmu.Lock()
+	defer sv.fmu.Unlock()
+	h.Devices() // want `engine call Devices while holding sv\.fmu \(flight map\)`
+}
+
+func good(sv *Server, t *mal.Template) {
+	sv.fmu.Lock()
+	sv.flight["q"] = 1
+	sv.fmu.Unlock()
+	_, _ = t.Run(nil) // lock dropped before execution
+}

@@ -1,0 +1,11 @@
+// Package core mirrors the real device-engine shape for analyzer tests.
+package core
+
+type Engine struct{}
+
+func (e *Engine) Select(lo, hi int) int  { return 0 }
+func (e *Engine) Project(a, b int) int   { return 0 }
+func (e *Engine) SetSpillBudget(b int64) {}
+func (e *Engine) Device() int            { return 0 }
+func (e *Engine) SpillStats() (int, int) { return 0, 0 }
+func (e *Engine) Finish() error          { return nil }

@@ -1,0 +1,18 @@
+// Package hybrid mirrors the real hybrid-engine shape for analyzer tests:
+// Dev.Eng is the field dispatchthrough guards.
+package hybrid
+
+import (
+	"repro/internal/core"
+	"repro/internal/ops"
+)
+
+type Dev struct {
+	Eng   *core.Engine
+	Label string
+}
+
+type Engine struct{ devs []*Dev }
+
+func (e *Engine) On(label string) ops.Operators { return nil }
+func (e *Engine) Devices() []*Dev               { return e.devs }

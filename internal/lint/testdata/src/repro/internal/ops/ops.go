@@ -1,0 +1,8 @@
+// Package ops mirrors the real operator interface shape for analyzer
+// tests: dispatchthrough derives the operator method set from it.
+package ops
+
+type Operators interface {
+	Select(lo, hi int) int
+	Project(a, b int) int
+}

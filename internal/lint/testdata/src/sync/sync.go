@@ -1,0 +1,16 @@
+// Package sync is a skeletal stand-in so lockorder testdata typechecks
+// without the real standard library (the test loader resolves every import
+// from testdata/src).
+package sync
+
+type Mutex struct{}
+
+func (m *Mutex) Lock()   {}
+func (m *Mutex) Unlock() {}
+
+type RWMutex struct{}
+
+func (m *RWMutex) Lock()    {}
+func (m *RWMutex) Unlock()  {}
+func (m *RWMutex) RLock()   {}
+func (m *RWMutex) RUnlock() {}

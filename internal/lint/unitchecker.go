@@ -1,0 +1,239 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Main is the entry point of cmd/ocelotlint. It speaks the `go vet
+// -vettool` wire protocol directly (the x/tools unitchecker is not a
+// dependency of this module):
+//
+//   - `ocelotlint -V=full` prints a version line whose buildID is the
+//     content hash of the executable, so the go command can cache vet
+//     results against the tool build.
+//   - `ocelotlint -flags` prints the tool's flags as JSON so the go
+//     command knows which it may forward.
+//   - `ocelotlint [flags] <file>.cfg` — the real run: the go command
+//     hands over a JSON config describing one package (files, import
+//     map, export data locations) and expects diagnostics on stderr and
+//     a nonzero exit when there are any.
+//   - `ocelotlint [flags] <packages>` — convenience standalone mode:
+//     re-executes itself through `go vet -vettool` so the go command
+//     does the loading.
+func Main() {
+	progname := filepath.Base(os.Args[0])
+	fs := flag.NewFlagSet(progname, flag.ExitOnError)
+	enabled := map[string]*bool{}
+	for _, a := range All() {
+		enabled[a.Name] = fs.Bool(a.Name, true, a.Doc)
+	}
+	printFlags := fs.Bool("flags", false, "print analyzer flags in JSON")
+	version := fs.String("V", "", "print version and exit")
+
+	_ = fs.Parse(os.Args[1:])
+
+	if *version != "" {
+		// The go command requires the last field to be
+		// "buildID=<contentID>"; hashing the executable itself keys the
+		// vet result cache to this exact tool build.
+		fmt.Printf("%s version devel buildID=%s\n", progname, selfHash())
+		os.Exit(0)
+	}
+	if *printFlags {
+		type jsonFlag struct {
+			Name  string
+			Bool  bool
+			Usage string
+		}
+		var out []jsonFlag
+		for _, a := range All() {
+			out = append(out, jsonFlag{a.Name, true, a.Doc})
+		}
+		data, _ := json.Marshal(out)
+		os.Stdout.Write(data)
+		os.Exit(0)
+	}
+
+	args := fs.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		run := All()[:0:0]
+		for _, a := range All() {
+			if *enabled[a.Name] {
+				run = append(run, a)
+			}
+		}
+		os.Exit(runUnit(args[0], run))
+	}
+
+	// Standalone invocation: let the go command drive the loading.
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		os.Exit(2)
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, args...)...)
+	cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		os.Exit(2)
+	}
+	os.Exit(0)
+}
+
+func selfHash() string {
+	f, err := os.Open(os.Args[0])
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// vetConfig mirrors the JSON the go command writes for vet tools.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+func runUnit(cfgPath string, analyzers []*Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: bad config: %v\n", cfgPath, err)
+		return 2
+	}
+	// The go command expects the facts file regardless; this tool has no
+	// cross-package facts, so it is always empty.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	// Imports resolve through the go command's vendored view (ImportMap)
+	// and read export data from the exact files it built (PackageFile).
+	compImp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		return compImp.Import(path)
+	})
+	tc := &types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor(cfg.Compiler, build.Default.GOARCH),
+	}
+	if cfg.GoVersion != "" {
+		tc.GoVersion = cfg.GoVersion
+	}
+	info := newInfo()
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	diags := 0
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a, Fset: fset, Files: files, Pkg: pkg, Info: info,
+			report: func(pos token.Pos, msg string) {
+				fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(pos), msg)
+				diags++
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: analyzer %s: %v\n", cfg.ImportPath, a.Name, err)
+			return 2
+		}
+	}
+	if diags > 0 {
+		return 1
+	}
+	return 0
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Instances:  map[*ast.Ident]types.Instance{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}

@@ -67,6 +67,14 @@ type Template struct {
 	refsByName map[string][]boundRef
 
 	sealed bool
+
+	// Verify-once-per-template state (verify.go): a sealed template is
+	// verified at most once — at seal time if the building session already
+	// verified every fragment, else lazily on the first verified replay —
+	// and the verdict is cached, so PlanCache hits pay nothing.
+	vmu   sync.Mutex
+	vdone bool
+	verr  error
 }
 
 // boundRef is one instruction scalar field a named parameter re-binds.
@@ -105,6 +113,10 @@ func (s *Session) Template() *Template {
 		}
 	}
 	t.sealed = true
+	// A verifying build already checked every fragment after every pass, so
+	// the sealed template is pre-verified; otherwise the first verified
+	// replay proves it once.
+	t.vdone = s.verify
 	return t
 }
 
@@ -169,6 +181,7 @@ func (t *Template) newExec(o ops.Operators, params Params) (*Session, error) {
 		env:      map[*bat.BAT]*bat.BAT{},
 		released: map[*bat.BAT]bool{},
 		slots:    make([]int, t.nSlots),
+		verify:   DefaultVerify(),
 	}
 	for i := range s.slots {
 		s.slots[i] = -1
@@ -227,6 +240,11 @@ func (t *Template) RunOn(o ops.Operators, params Params) (*Result, *Session, err
 // recovering plan aborts into errors exactly like RunQuery.
 func (s *Session) runTemplate() (res *Result, err error) {
 	t := s.tpl
+	if s.verify {
+		if verr := t.verifyOnce(s); verr != nil {
+			return nil, verr
+		}
+	}
 	defer s.Close()
 	defer func() {
 		if v := recover(); v != nil {

@@ -34,26 +34,39 @@ func (s *Session) flush(final bool) {
 		return
 	}
 
+	// Each pass is followed by a verifier stage check (no-ops unless the
+	// session verifies): a pass can only be blamed for invariants whose
+	// machinery has already run, so the rule set widens down the pipeline
+	// and vcommit runs the full set over the finished fragment.
 	s.bindPass(batch)
+	s.vcheck("bind", batch, nil, vData)
 	if s.passes.CSE {
 		batch = s.csePass(batch)
+		s.vcheck("cse", batch, nil, vData)
 	}
 	if final && s.passes.DCE && len(outputs) > 0 {
 		batch = s.dcePass(batch, outputs)
+		s.vcheck("dce", batch, nil, vData)
 	}
 	if final && s.passes.Fusion {
 		// Fusion needs the full liveness picture — at intermediate
 		// boundaries later plan code may still consume any pending value —
 		// so, like DCE, it only runs at the final flush.
 		batch = s.fusePass(batch, outputs)
+		s.vcheck("fuse", batch, outputs, vData|vFuse)
 	}
 	batch = append(batch, s.syncInsertPass(outputs)...)
+	s.vcheck("sync-insert", batch, outputs, vData|vFuse|vSync)
 	if s.passes.Placement {
 		s.placementPass(batch, outputs)
+		s.vcheck("placement", batch, outputs, vData|vFuse|vSync|vPin)
 	}
+	vpass := "pipeline"
 	if final && s.passes.EarlyRelease {
 		batch = s.releaseInsertPass(batch, outputs)
+		vpass = "release-insert"
 	}
+	s.vcommit(vpass, batch, outputs, final)
 	s.tpl.frags = append(s.tpl.frags, batch)
 	s.execute(batch)
 }

@@ -33,6 +33,10 @@ func TestAbortedPinnedPlanDoesNotLeakPlacement(t *testing.T) {
 	}
 	big := bat.NewI32("big", raw)
 	s1 := NewSession(o)
+	// The scenario needs the bogus plan to reach *execution* so an abort
+	// can strand placement pins; the verifier would reject it statically at
+	// the bind stage, before placement ever stamps a pin.
+	s1.SetVerify(false)
 	_, err := RunQuery(s1, func(s *Session) *Result {
 		sel := s.Select(big, nil, 100, 899, true, true)
 		prj := s.Project(sel, big)

@@ -165,6 +165,14 @@ type Session struct {
 	nextID  int
 	nextTmp int
 
+	// verify enables the plan-IR verifier (verify.go): every rewritten
+	// fragment is checked after each pass, and replayed templates are
+	// verified once per sealed Template. Defaults to DefaultVerify() (on in
+	// test binaries, off elsewhere); vstate is the committed cross-fragment
+	// verifier state, nil until the first check.
+	verify bool
+	vstate *verifier
+
 	// --- per-execution state ---
 
 	// mu guards env, owned and released when the parallel executor runs
@@ -225,6 +233,7 @@ func NewSession(o ops.Operators) *Session {
 		paramIdx:     map[string]int{},
 		env:          map[*bat.BAT]*bat.BAT{},
 		released:     map[*bat.BAT]bool{},
+		verify:       DefaultVerify(),
 	}
 }
 

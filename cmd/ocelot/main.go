@@ -35,11 +35,14 @@ func main() {
 		gpus    = flag.Int("gpus", 1, "simulated GPUs of the HYB configuration")
 		spillMB = flag.Int64("spillmb", 0, "force a per-join device budget in MiB so hash joins partition and spill (0 = auto from free device memory, -1 = never spill)")
 		verify  = flag.Bool("verify", false, "run the plan-IR verifier after every rewriter pass")
+		skew    = flag.Float64("skew", 0, "Zipf exponent of the generated data (0 = uniform, the TPC-H default)")
+		replan  = flag.Float64("replan", mal.DefaultReplanRatio, "mid-query re-plan threshold: observed/estimated cardinality ratio that abandons a pinned tail (0 disables); re-planned instructions show in -explain")
 	)
 	flag.Parse()
 	if *verify {
 		mal.SetDefaultVerify(true)
 	}
+	mal.SetDefaultReplanThreshold(*replan)
 
 	q := tpch.QueryByNum(*qnum)
 	if q == nil {
@@ -55,8 +58,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ocelot: Q%d is neither in the modified workload (App. A.1) nor an extension\n", *qnum)
 		os.Exit(1)
 	}
-	db := tpch.Generate(*sf, *seed)
-	fmt.Printf("Q%d (%s) on TPC-H SF %g\n\n", q.Num, q.Name, *sf)
+	db := tpch.GenerateSkewed(*sf, *seed, *skew)
+	if *skew > 0 {
+		fmt.Printf("Q%d (%s) on TPC-H SF %g, Zipf θ=%g\n\n", q.Num, q.Name, *sf, *skew)
+	} else {
+		fmt.Printf("Q%d (%s) on TPC-H SF %g\n\n", q.Num, q.Name, *sf)
+	}
 
 	configs := mal.AllConfigs()
 	if *config != "" {

@@ -26,11 +26,12 @@ func main() {
 		cols   = flag.Bool("cols", false, "print per-column detail")
 		dict   = flag.String("dict", "", "print the dictionary of a string column")
 		csvDir = flag.String("csv", "", "export all tables as CSV into this directory")
+		skew   = flag.Float64("skew", 0, "Zipf exponent for the skewed foreign keys and quantities (0 = uniform, the TPC-H default)")
 	)
 	flag.Parse()
 
 	start := time.Now()
-	db := tpch.Generate(*sf, *seed)
+	db := tpch.GenerateSkewed(*sf, *seed, *skew)
 	elapsed := time.Since(start)
 
 	if *csvDir != "" {

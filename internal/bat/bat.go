@@ -96,6 +96,10 @@ type BAT struct {
 	// copy lives in a device buffer and MonetDB code must not read the BAT
 	// until an explicit sync hands ownership back (§3.4).
 	OcelotOwned bool
+	// Stats are optional load-time column statistics (stats.go). Base
+	// columns carry them for the placement cost model; plan intermediates
+	// leave them nil.
+	Stats *Stats
 
 	count int
 	heap  []byte // aligned tail heap; nil for Void

@@ -1,0 +1,165 @@
+// Per-column statistics: the cheap load-time facts (min/max zone map, a
+// distinct-count sketch, an equi-width histogram) the placement pass's
+// cardinality estimator consults before falling back to its fixed
+// selectivity constants. Stats describe *base* columns — the generator (or
+// loader) computes them once over the value heap — and ride on the BAT
+// descriptor like the Properties MonetDB tracks; plan intermediates carry no
+// stats and keep the constant-based estimates.
+package bat
+
+import "math"
+
+// StatsBins is the equi-width histogram resolution ComputeStats uses. Small
+// enough that stats cost nothing to build or consult, fine enough that a
+// Zipf-skewed value distribution is visibly non-uniform across buckets.
+const StatsBins = 64
+
+// statsDistinctCap bounds the exact distinct-count table; columns with more
+// distinct values than this get an extrapolated sketch instead of an exact
+// count.
+const statsDistinctCap = 1 << 20
+
+// Stats are cheap per-column statistics over a BAT's tail values.
+type Stats struct {
+	// Min and Max bound the tail values (the zone map).
+	Min, Max float64
+	// Distinct estimates the number of distinct tail values.
+	Distinct int
+	// N is the row count the stats were computed over.
+	N int
+	// Hist counts values per equi-width bucket over [Min, Max].
+	Hist []int64
+}
+
+// ComputeStats scans a numeric (I32/F32) tail and returns its statistics;
+// other tail types (and empty columns) return nil.
+func ComputeStats(b *BAT, bins int) *Stats {
+	if b == nil || b.count == 0 || bins <= 0 {
+		return nil
+	}
+	var at func(i int) float64
+	switch b.T {
+	case I32:
+		s := b.I32s()
+		at = func(i int) float64 { return float64(s[i]) }
+	case F32:
+		s := b.F32s()
+		at = func(i int) float64 { return float64(s[i]) }
+	default:
+		return nil
+	}
+	n := b.count
+	st := &Stats{Min: at(0), Max: at(0), N: n, Hist: make([]int64, bins)}
+	for i := 1; i < n; i++ {
+		v := at(i)
+		if v < st.Min {
+			st.Min = v
+		}
+		if v > st.Max {
+			st.Max = v
+		}
+	}
+	width := (st.Max - st.Min) / float64(bins)
+	seen := make(map[float64]struct{}, 1024)
+	scanned := 0
+	for i := 0; i < n; i++ {
+		v := at(i)
+		k := bins - 1
+		if width > 0 {
+			if k = int((v - st.Min) / width); k >= bins {
+				k = bins - 1
+			}
+		} else {
+			k = 0
+		}
+		st.Hist[k]++
+		if seen != nil {
+			seen[v] = struct{}{}
+			scanned++
+			if len(seen) > statsDistinctCap {
+				// Too many distincts for an exact table: extrapolate from the
+				// prefix (a sketch, not a count) and stop feeding the map.
+				st.Distinct = int(float64(len(seen)) * float64(n) / float64(scanned))
+				seen = nil
+			}
+		}
+	}
+	if seen != nil {
+		st.Distinct = len(seen)
+	}
+	if st.Distinct < 1 {
+		st.Distinct = 1
+	}
+	return st
+}
+
+// Selectivity estimates the fraction of rows with value in [lo, hi] (an
+// equality predicate when lo == hi). Open bounds arrive as ±Inf and clamp to
+// the zone map. The result is in [0, 1].
+func (st *Stats) Selectivity(lo, hi float64) float64 {
+	if st == nil || st.N == 0 || len(st.Hist) == 0 {
+		return 1
+	}
+	if lo == hi {
+		return st.eqSelectivity(lo)
+	}
+	loC, hiC := math.Max(lo, st.Min), math.Min(hi, st.Max)
+	if loC > hiC {
+		return 0
+	}
+	if st.Max == st.Min {
+		return 1 // single-valued column, range covers it
+	}
+	bins := len(st.Hist)
+	width := (st.Max - st.Min) / float64(bins)
+	var rows float64
+	for k := 0; k < bins; k++ {
+		bLo := st.Min + float64(k)*width
+		bHi := bLo + width
+		if k == bins-1 {
+			bHi = st.Max
+		}
+		oLo, oHi := math.Max(loC, bLo), math.Min(hiC, bHi)
+		if oHi <= oLo {
+			if !(oHi == oLo && k == bins-1 && oLo == st.Max) {
+				continue
+			}
+		}
+		frac := 1.0
+		if bHi > bLo {
+			frac = (oHi - oLo) / (bHi - bLo)
+		}
+		rows += frac * float64(st.Hist[k])
+	}
+	return clamp01(rows / float64(st.N))
+}
+
+// eqSelectivity estimates an equality predicate: the containing bucket's
+// density spread over the distinct values expected to share the bucket.
+func (st *Stats) eqSelectivity(v float64) float64 {
+	if v < st.Min || v > st.Max {
+		return 0
+	}
+	bins := len(st.Hist)
+	k := 0
+	if st.Max > st.Min {
+		if k = int((v - st.Min) / (st.Max - st.Min) * float64(bins)); k >= bins {
+			k = bins - 1
+		}
+	}
+	perBucket := float64(st.Distinct) / float64(bins)
+	if perBucket < 1 {
+		perBucket = 1
+	}
+	return clamp01(float64(st.Hist[k]) / float64(st.N) / perBucket)
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

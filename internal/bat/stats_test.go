@@ -1,0 +1,110 @@
+package bat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func uniformI32(n, mod int) *BAT {
+	s := mem.AllocI32(n)
+	for i := range s {
+		s[i] = int32(i % mod)
+	}
+	return NewI32("u", s)
+}
+
+func TestComputeStatsBasics(t *testing.T) {
+	b := uniformI32(10000, 1000)
+	st := ComputeStats(b, StatsBins)
+	if st == nil {
+		t.Fatal("ComputeStats returned nil for an I32 column")
+	}
+	if st.Min != 0 || st.Max != 999 {
+		t.Fatalf("zone map [%g, %g], want [0, 999]", st.Min, st.Max)
+	}
+	if st.Distinct != 1000 {
+		t.Fatalf("distinct %d, want exactly 1000 (below the sketch cap)", st.Distinct)
+	}
+	if st.N != 10000 {
+		t.Fatalf("N %d, want 10000", st.N)
+	}
+	var total int64
+	for _, c := range st.Hist {
+		total += c
+	}
+	if total != 10000 {
+		t.Fatalf("histogram counts sum to %d, want 10000", total)
+	}
+}
+
+func TestComputeStatsUnsupported(t *testing.T) {
+	if st := ComputeStats(nil, StatsBins); st != nil {
+		t.Fatal("nil BAT must yield nil stats")
+	}
+	if st := ComputeStats(NewI32("e", nil), StatsBins); st != nil {
+		t.Fatal("empty column must yield nil stats")
+	}
+	if st := ComputeStats(uniformI32(10, 10), 0); st != nil {
+		t.Fatal("zero bins must yield nil stats")
+	}
+}
+
+func TestSelectivityRange(t *testing.T) {
+	st := ComputeStats(uniformI32(64000, 1000), StatsBins)
+	// A [100, 299] range over uniform 0..999 holds 20% of the rows.
+	got := st.Selectivity(100, 299)
+	if math.Abs(got-0.2) > 0.03 {
+		t.Fatalf("range selectivity %g, want ~0.2", got)
+	}
+	// Open upper bound clamps to the zone map: [900, +Inf) is 10%.
+	got = st.Selectivity(900, math.Inf(1))
+	if math.Abs(got-0.1) > 0.03 {
+		t.Fatalf("open-range selectivity %g, want ~0.1", got)
+	}
+	// Disjoint from the zone map: nothing qualifies.
+	if got = st.Selectivity(2000, 3000); got != 0 {
+		t.Fatalf("out-of-range selectivity %g, want 0", got)
+	}
+	// Full cover: everything qualifies.
+	if got = st.Selectivity(math.Inf(-1), math.Inf(1)); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("full-range selectivity %g, want 1", got)
+	}
+}
+
+func TestSelectivityEquality(t *testing.T) {
+	st := ComputeStats(uniformI32(64000, 1000), StatsBins)
+	got := st.Selectivity(500, 500)
+	if math.Abs(got-0.001) > 0.001 {
+		t.Fatalf("equality selectivity %g, want ~1/1000", got)
+	}
+}
+
+func TestSelectivityNilReceiver(t *testing.T) {
+	var st *Stats
+	if got := st.Selectivity(0, 1); got != 1 {
+		t.Fatalf("nil stats must be uninformative (selectivity 1), got %g", got)
+	}
+}
+
+func TestHistogramSeesSkew(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	n := 1 << 16
+	s := mem.AllocI32(n)
+	for i := range s {
+		// Crude Zipf-ish skew: low values vastly more common.
+		s[i] = int32(math.Min(999, 1000*math.Pow(r.Float64(), 4)))
+	}
+	st := ComputeStats(NewI32("z", s), StatsBins)
+	first, last := st.Hist[0], st.Hist[len(st.Hist)-1]
+	if first < last*10 {
+		t.Fatalf("skew invisible in histogram: first bucket %d, last %d", first, last)
+	}
+	// And the selectivity estimate must reflect it: the bottom 10% of the
+	// value range holds far more than 10% of the rows.
+	if got := st.Selectivity(0, 99); got < 0.3 {
+		t.Fatalf("skewed low-range selectivity %g, want well above the uniform 0.1", got)
+	}
+}

@@ -31,6 +31,9 @@ func (e *Engine) Aggr(kind ops.Agg, vals, groups *bat.BAT, ngroups int) (*bat.BA
 		return e.aggrScalar(kind, vals)
 	}
 	if ngroups <= 0 {
+		if ngroups == 0 && groups.Len() == 0 {
+			return ops.EmptyAggr(kind, vals), nil
+		}
 		return nil, fmt.Errorf("core: grouped aggregate with ngroups=%d", ngroups)
 	}
 	return e.aggrGrouped(kind, vals, groups, ngroups)

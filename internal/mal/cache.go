@@ -19,10 +19,12 @@ package mal
 import (
 	"container/list"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/bat"
+	"repro/internal/hybrid"
 	"repro/internal/ops"
 )
 
@@ -68,6 +70,18 @@ type Template struct {
 
 	sealed bool
 
+	// estRows are the build-time placement estimates (instruction ID →
+	// first-result rows) — the expectations a cold run's re-plan trigger
+	// compares observations against. Written before sealing, read-only
+	// after.
+	estRows map[int]float64
+	// pins are the pins the placement pass chose (instruction ID → device
+	// label). The adaptive layer only overrides pins it can prove placement
+	// chose: a Device rewritten by hand after sealing (tests, explicit user
+	// pinning) no longer matches and is left alone. Written before sealing,
+	// read-only after.
+	pins map[int]string
+
 	// Verify-once-per-template state (verify.go): a sealed template is
 	// verified at most once — at seal time if the building session already
 	// verified every fragment, else lazily on the first verified replay —
@@ -75,6 +89,16 @@ type Template struct {
 	vmu   sync.Mutex
 	vdone bool
 	verr  error
+
+	// Feedback state (feedback.go): observed output cardinalities of past
+	// successful executions (last run wins) and the cached result of the
+	// once-per-template adapt pass. Living on the template gives hygiene
+	// for free — PlanCache eviction drops the feedback with the template,
+	// and BumpGeneration strands it under the old generation's key.
+	fbMu      sync.Mutex
+	fb        map[int]float64
+	adapt     *adaptState
+	adaptDone bool
 }
 
 // boundRef is one instruction scalar field a named parameter re-binds.
@@ -91,6 +115,8 @@ func newTemplate(module string, passes Passes) *Template {
 		alias:     map[*bat.BAT]*bat.BAT{},
 		slotAlias: map[int]int{},
 		floatDefs: map[string]float64{},
+		estRows:   map[int]float64{},
+		pins:      map[int]string{},
 	}
 }
 
@@ -172,16 +198,18 @@ func (t *Template) newExec(o ops.Operators, params Params) (*Session, error) {
 		return nil, err
 	}
 	s := &Session{
-		o:        o,
-		module:   t.module,
-		passes:   t.passes,
-		tpl:      t,
-		replay:   true,
-		parallel: true,
-		env:      map[*bat.BAT]*bat.BAT{},
-		released: map[*bat.BAT]bool{},
-		slots:    make([]int, t.nSlots),
-		verify:   DefaultVerify(),
+		o:         o,
+		module:    t.module,
+		passes:    t.passes,
+		tpl:       t,
+		replay:    true,
+		parallel:  true,
+		env:       map[*bat.BAT]*bat.BAT{},
+		released:  map[*bat.BAT]bool{},
+		slots:     make([]int, t.nSlots),
+		verify:    DefaultVerify(),
+		fbOn:      DefaultFeedback(),
+		replanThr: DefaultReplanThreshold(),
 	}
 	for i := range s.slots {
 		s.slots[i] = -1
@@ -237,12 +265,23 @@ func (t *Template) RunOn(o ops.Operators, params Params) (*Result, *Session, err
 }
 
 // runTemplate interprets the sealed fragments and rebuilds the result set,
-// recovering plan aborts into errors exactly like RunQuery.
+// recovering plan aborts into errors exactly like RunQuery. Under the
+// hybrid configuration with placement on, it is also where adaptation
+// happens on replays: the template's feedback steers a once-per-template
+// re-placement before execution, and fragment boundaries re-check observed
+// against expected cardinalities to re-plan the remaining fragments.
 func (s *Session) runTemplate() (res *Result, err error) {
 	t := s.tpl
 	if s.verify {
 		if verr := t.verifyOnce(s); verr != nil {
 			return nil, verr
+		}
+	}
+	hyb, isHyb := s.o.(*hybrid.Engine)
+	adaptive := isHyb && s.passes.Placement
+	if adaptive && s.fbOn {
+		if aerr := s.adoptAdapt(hyb); aerr != nil {
+			return nil, aerr
 		}
 	}
 	defer s.Close()
@@ -255,12 +294,16 @@ func (s *Session) runTemplate() (res *Result, err error) {
 			panic(v)
 		}
 	}()
-	for _, frag := range t.frags {
+	for fi, frag := range t.frags {
 		s.execute(frag)
+		if adaptive && s.replanThr > 0 && fi < len(t.frags)-1 {
+			s.replanRemaining(t.frags[fi+1:], hyb)
+		}
 	}
 	if err := Finish(s.o); err != nil {
 		s.fail("finish", err)
 	}
+	s.recordFeedback()
 	if !s.firstExec.IsZero() {
 		s.lastExec = time.Now()
 	}
@@ -458,6 +501,31 @@ func (c *PlanCache) PutIfGeneration(name string, o ops.Operators, passes Passes,
 	}
 	c.putLocked(c.keyLocked(name, o, passes), t)
 	return true
+}
+
+// WarmTemplates returns how many resident templates of the *current* data
+// generation carry observed-cardinality feedback from past executions.
+// Templates stranded under old generations by BumpGeneration still occupy
+// LRU slots until they age out, but their feedback is unreachable — it is
+// deliberately not counted.
+func (c *PlanCache) WarmTemplates() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	suffix := fmt.Sprintf("|g%d", c.gen)
+	n := 0
+	for key, el := range c.m {
+		if !strings.HasSuffix(key, suffix) {
+			continue
+		}
+		t := el.Value.(*cacheSlot).tpl
+		t.fbMu.Lock()
+		warm := len(t.fb) > 0
+		t.fbMu.Unlock()
+		if warm {
+			n++
+		}
+	}
+	return n
 }
 
 // Stats returns cache hits, misses and resident templates.

@@ -49,13 +49,21 @@ func (s *Session) resolve(b *bat.BAT) *bat.BAT {
 }
 
 // bind records concrete results for an instruction's placeholders and
-// adopts them for end-of-plan release.
+// adopts them for end-of-plan release. It is also the feedback tap: the
+// first result's actual cardinality is recorded per instruction ID, feeding
+// the re-plan trigger and (on success) the template's feedback table.
 func (s *Session) bind(in *PInstr, concrete ...*bat.BAT) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for i, c := range concrete {
 		if c == nil {
 			continue
+		}
+		if i == 0 {
+			if s.obs == nil {
+				s.obs = map[int]float64{}
+			}
+			s.obs[in.ID] = float64(c.Len())
 		}
 		s.env[in.Rets[i]] = c
 		s.owned = append(s.owned, c)
@@ -121,11 +129,14 @@ func (s *Session) execute(batch []*PInstr) {
 			return
 		}
 	}
-	for _, in := range batch {
+	replanOn := isHyb && s.passes.Placement && s.replanThr > 0
+	for i, in := range batch {
 		o := s.o
-		if isHyb && in.Device != "" && in.computes() {
-			// Per-call pin: the view routes exactly this dispatch.
-			o = hyb.On(in.Device)
+		if isHyb && in.computes() {
+			if d := s.pinOf(in); d != "" {
+				// Per-call pin: the view routes exactly this dispatch.
+				o = hyb.On(d)
+			}
 		}
 		start := time.Now()
 		s.step(in, o)
@@ -139,6 +150,9 @@ func (s *Session) execute(batch []*PInstr) {
 		s.done = append(s.done, in)
 		if s.traceOn {
 			s.record(in, took, start.Sub(s.firstExec))
+		}
+		if replanOn && in.computes() {
+			s.maybeReplanTail(batch, i, hyb)
 		}
 	}
 	s.lastExec = time.Now()
@@ -249,6 +263,13 @@ func (s *Session) step(in *PInstr, o ops.Operators) {
 		for _, m := range in.Sub {
 			s.step(m, o)
 		}
+		// The exit member recorded its cardinality under its own ID; mirror
+		// it under the region's, which is what placement estimated.
+		s.mu.Lock()
+		if v, ok := s.obs[in.Sub[len(in.Sub)-1].ID]; ok {
+			s.obs[in.ID] = v
+		}
+		s.mu.Unlock()
 	case OpSync:
 		conc := arg(0)
 		if err := o.Sync(conc); err != nil {
@@ -306,7 +327,7 @@ func describe(b *bat.BAT) string {
 // record appends the executed instruction to the EXPLAIN trace, with
 // operands resolved to their concrete form.
 func (s *Session) record(in *PInstr, took, start time.Duration) {
-	instr := Instr{Module: in.Module, Op: in.OpName(), Device: in.Device, Took: took, Start: start}
+	instr := Instr{Module: in.Module, Op: in.OpName(), Device: s.pinOf(in), Took: took, Start: start}
 	dArg := func(i int) string { return describe(s.resolve(in.Args[i])) }
 	dRet := func(i int) string { return describe(s.resolve(in.Rets[i])) }
 	switch in.Kind {

@@ -101,7 +101,7 @@ func (s *Session) planGraph(batch []*PInstr) ([]*pnode, map[string][]int) {
 			}
 		}
 		if in.computes() {
-			n.lane = in.Device
+			n.lane = s.pinOf(in)
 		} else if len(in.Args) > 0 && in.Args[0] != nil {
 			if p, ok := producer[s.canon(in.Args[0])]; ok {
 				n.lane = nodes[p].lane
@@ -175,8 +175,10 @@ func (s *Session) executeParallel(nodes []*pnode, lanes map[string][]int, hyb *h
 					return
 				}
 				o := ops.Operators(s.o)
-				if n.in.Device != "" && n.in.computes() {
-					o = hyb.On(n.in.Device)
+				if n.in.computes() {
+					if d := s.pinOf(n.in); d != "" {
+						o = hyb.On(d)
+					}
 				}
 				t0 := time.Now()
 				n.start = t0.Sub(s.firstExec)

@@ -1,0 +1,428 @@
+// Adaptive execution: cardinality feedback and mid-query re-planning.
+//
+// The placement pass (placement.go) prices hybrid plans with estimates, and
+// a bad estimate under skewed data silently yields a bad device assignment
+// that every cached replay repeats. Three mechanisms make placement robust
+// to estimation error:
+//
+//   - Feedback: the executor records every instruction's actual output
+//     cardinality (Session.obs, keyed by instruction ID — IDs are unique
+//     across a plan and stable on the sealed template). A successful run
+//     merges them into the Template's feedback table, so the next placement
+//     of the same template prices with yesterday's truth. Feedback lives ON
+//     the template: PlanCache eviction drops it with the template, and
+//     BumpGeneration/Invalidate strand the whole template (feedback
+//     included) under the old generation's key — stale observations can
+//     never steer placement over reloaded data.
+//
+//   - Adapt-once: the first replay of a template with warm feedback re-runs
+//     the placement relaxation over the sealed fragments with the
+//     feedback-informed estimator, verifies the re-pinned plan through the
+//     plan-IR verifier, and caches the result on the template; every later
+//     replay adopts the adapted pins for free. Pins are never written onto
+//     the shared IR — each execution carries a per-execution override map
+//     (Session.repin) consulted through pinOf by the executor, the parallel
+//     scheduler and the verifier.
+//
+//   - Mid-query re-planning: while a plan runs, observed cardinalities are
+//     compared against the expectations placement priced with; when the
+//     ratio exceeds SetReplanThreshold (default 8×, 0 disables), the pinned
+//     tail is abandoned, the placement pass re-runs over the remaining
+//     instructions with observed sizes substituted, and the re-planned tail
+//     is verified before dispatch. Only pins change — instruction order,
+//     operands and operators are untouched — so results stay byte-identical
+//     by the same argument that makes placement itself result-neutral.
+package mal
+
+import (
+	"math"
+	"sync/atomic"
+
+	"repro/internal/bat"
+	"repro/internal/hybrid"
+)
+
+// defaultFeedback gates adaptive estimation (feedback + load-time column
+// stats) for new sessions; on by default — plans with neither stats nor
+// feedback price exactly as the fixed-constant model did.
+var defaultFeedback atomic.Bool
+
+// defaultReplanBits holds the process-wide re-plan threshold as float bits.
+var defaultReplanBits atomic.Uint64
+
+// DefaultReplanRatio is the observed/estimated cardinality ratio beyond
+// which a running plan abandons its pinned tail and re-places it.
+const DefaultReplanRatio = 8.0
+
+func init() {
+	defaultFeedback.Store(true)
+	defaultReplanBits.Store(math.Float64bits(DefaultReplanRatio))
+}
+
+// SetDefaultFeedback sets the process-wide adaptive-estimation default
+// picked up by new sessions and template replays. Off means the estimator
+// uses only its fixed constants — no feedback, no column stats — which is
+// the honest "fixed-constant estimation" baseline of the adapt figure.
+func SetDefaultFeedback(on bool) { defaultFeedback.Store(on) }
+
+// DefaultFeedback reports the process-wide adaptive-estimation default.
+func DefaultFeedback() bool { return defaultFeedback.Load() }
+
+// SetDefaultReplanThreshold sets the process-wide mid-query re-plan
+// threshold (a ratio; 1 re-plans on any mis-estimate, 0 or less disables
+// re-planning entirely).
+func SetDefaultReplanThreshold(r float64) { defaultReplanBits.Store(math.Float64bits(r)) }
+
+// DefaultReplanThreshold reports the process-wide re-plan threshold.
+func DefaultReplanThreshold() float64 { return math.Float64frombits(defaultReplanBits.Load()) }
+
+// SetFeedback overrides adaptive estimation for this session. Call it
+// before the plan runs.
+func (s *Session) SetFeedback(on bool) { s.fbOn = on }
+
+// SetReplanThreshold overrides the mid-query re-plan threshold for this
+// session (0 or less disables). Call it before the plan runs.
+func (s *Session) SetReplanThreshold(r float64) { s.replanThr = r }
+
+// ReplanEvent records one instruction whose placement pin a mid-query
+// re-plan (or the once-per-template adapt pass) changed.
+type ReplanEvent struct {
+	// Instr is the re-pinned instruction's plan ID, Op its operator label.
+	Instr int
+	Op    string
+	// OldPin and NewPin are the device labels before and after.
+	OldPin, NewPin string
+	// Observed and Estimated are the trigger's cardinalities: the actual
+	// output rows of the mis-estimated instruction and what placement had
+	// priced it at (0/0 for adapt-pass events, which have no single trigger).
+	Observed, Estimated float64
+}
+
+// Replans reports how many times this execution abandoned its pinned tail
+// and re-ran placement (counted whether or not any pin changed).
+func (s *Session) Replans() int { return s.replanned }
+
+// ReplanEvents returns the pin changes re-planning made during this
+// execution, in the order they were applied.
+func (s *Session) ReplanEvents() []ReplanEvent { return s.replans }
+
+// Adapted reports whether this execution adopted feedback-adapted pins from
+// its template (the once-per-template adapt pass).
+func (s *Session) Adapted() bool { return s.adapted }
+
+// replanVerifies counts verifier executions triggered by re-planning and
+// the adapt pass — kept separate from VerifyRuns so the verify-once-per-
+// template accounting (cached replays pay nothing) stays exact.
+var replanVerifies atomic.Int64
+
+// ReplanVerifyRuns returns how many re-planned (or adapted) instruction
+// sequences the plan-IR verifier has checked process-wide. Every re-plan
+// verifies exactly once before dispatch; replays with warm feedback and
+// accurate expectations trigger no re-plans and therefore add nothing.
+func ReplanVerifyRuns() int64 { return replanVerifies.Load() }
+
+// pinOf resolves an instruction's effective placement pin: the
+// per-execution re-plan override if one exists, else the pin stamped on the
+// (possibly shared) IR. Everything that acts on pins — the serial executor,
+// the parallel scheduler's lanes, the verifier, EXPLAIN — goes through it.
+func (s *Session) pinOf(in *PInstr) string {
+	if len(s.repin) != 0 {
+		if d, ok := s.repin[in.ID]; ok {
+			return d
+		}
+	}
+	return in.Device
+}
+
+// adaptable reports whether the adaptive layer may override an
+// instruction's pin: only pins the placement pass provably chose (recorded
+// on the template at build time) may move. A Device rewritten by hand after
+// sealing — tests and explicit user pinning do this — no longer matches the
+// record and is respected as-is.
+func (s *Session) adaptable(in *PInstr) bool {
+	p, ok := s.tpl.pins[in.ID]
+	return ok && p == in.Device
+}
+
+// expectRows returns the cardinality the current placement expects for the
+// instruction's (first) result: the freshest re-plan estimate, then the
+// template's feedback snapshot, then the adapt pass's estimates, then the
+// build-time placement estimate.
+func (s *Session) expectRows(id int) (float64, bool) {
+	if v, ok := s.estNow[id]; ok {
+		return v, true
+	}
+	if s.fbOn {
+		if v, ok := s.fbSnap[id]; ok {
+			return v, true
+		}
+		if v, ok := s.adaptEst[id]; ok {
+			return v, true
+		}
+	}
+	v, ok := s.tpl.estRows[id]
+	return v, ok
+}
+
+// misRatio is the symmetric mis-estimation factor (always >= 1; +1 damping
+// keeps empty results from dividing by zero).
+func misRatio(obs, est float64) float64 {
+	a, b := obs+1, est+1
+	if a < b {
+		a, b = b, a
+	}
+	return a / b
+}
+
+// recordFeedback merges this execution's observed cardinalities into the
+// template's feedback table (last run wins). Called only after the plan ran
+// to completion, so partial failed executions never feed the estimator.
+func (s *Session) recordFeedback() {
+	if !s.fbOn || len(s.obs) == 0 {
+		return
+	}
+	t := s.tpl
+	t.fbMu.Lock()
+	if t.fb == nil {
+		t.fb = make(map[int]float64, len(s.obs))
+	}
+	for id, v := range s.obs {
+		t.fb[id] = v
+	}
+	t.fbMu.Unlock()
+}
+
+// FeedbackSnapshot returns a copy of the template's observed-cardinality
+// feedback table (instruction ID → output rows); tests and diagnostics.
+func (t *Template) FeedbackSnapshot() map[int]float64 {
+	t.fbMu.Lock()
+	defer t.fbMu.Unlock()
+	out := make(map[int]float64, len(t.fb))
+	for id, v := range t.fb {
+		out[id] = v
+	}
+	return out
+}
+
+// AdaptedPins returns the pins the once-per-template adapt pass changed
+// (nil until the pass ran); tests and diagnostics.
+func (t *Template) AdaptedPins() map[int]string {
+	t.fbMu.Lock()
+	defer t.fbMu.Unlock()
+	if t.adapt == nil {
+		return nil
+	}
+	out := make(map[int]string, len(t.adapt.pins))
+	for id, d := range t.adapt.pins {
+		out[id] = d
+	}
+	return out
+}
+
+// adaptState is the cached result of the once-per-template adapt pass:
+// feedback-informed pin overrides (only the pins that differ from the
+// sealed IR) and the estimates they were priced with. Immutable after
+// construction; replays share it read-only.
+type adaptState struct {
+	pins map[int]string
+	est  map[int]float64
+}
+
+// adoptAdapt runs the once-per-template adapt pass (first replay with warm
+// feedback) and adopts its cached result into this execution: the template
+// feedback snapshot the estimator and the re-plan trigger consult, and the
+// adapted pin overrides. Later replays adopt the cached state without
+// re-placing or re-verifying anything.
+func (s *Session) adoptAdapt(hyb *hybrid.Engine) error {
+	t := s.tpl
+	t.fbMu.Lock()
+	defer t.fbMu.Unlock()
+	if len(t.fb) > 0 {
+		s.fbSnap = make(map[int]float64, len(t.fb))
+		for id, v := range t.fb {
+			s.fbSnap[id] = v
+		}
+	}
+	if !t.adaptDone && len(t.fb) > 0 {
+		t.adaptDone = true
+		st, err := s.buildAdapt(hyb)
+		if err != nil {
+			return err
+		}
+		t.adapt = st
+	}
+	if st := t.adapt; st != nil {
+		s.adaptEst = st.est
+		if len(st.pins) > 0 {
+			// Shared map: clone-on-write if a mid-query re-plan edits it.
+			s.repin, s.repinShared = st.pins, true
+			s.adapted = true
+		}
+	}
+	return nil
+}
+
+// buildAdapt re-runs the placement relaxation over the sealed fragments
+// with the feedback-informed estimator and verifies any changed pins. The
+// caller holds the template's feedback lock; the fragments themselves are
+// read-only throughout — candidate pins live in the returned state.
+func (s *Session) buildAdapt(hyb *hybrid.Engine) (*adaptState, error) {
+	t := s.tpl
+	var all []*PInstr
+	for _, f := range t.frags {
+		all = append(all, f...)
+	}
+	est := s.newEstimator(s.fbSnap)
+	pins := map[int]string{}
+	s.place(all, syncArgs(all), est, func(in *PInstr, label string) {
+		if label != in.Device && s.adaptable(in) {
+			pins[in.ID] = label
+		}
+	})
+	st := &adaptState{pins: pins, est: est.byID}
+	if len(pins) == 0 {
+		return st, nil
+	}
+	s.repin, s.repinShared = pins, true
+	for _, f := range t.frags {
+		if err := s.checkFragment("replan", f, syncArgs(f), vPin|vLane, false); err != nil {
+			s.repin, s.repinShared = nil, false
+			return nil, err
+		}
+	}
+	replanVerifies.Add(1)
+	s.repin, s.repinShared = nil, false
+	return st, nil
+}
+
+// syncArgs reconstructs a fragment's host-boundary outputs from its Sync
+// instructions (the same derivation verifyTemplate uses).
+func syncArgs(batch []*PInstr) []*bat.BAT {
+	var out []*bat.BAT
+	for _, in := range batch {
+		if in.Kind == OpSync && len(in.Args) > 0 && in.Args[0] != nil {
+			out = append(out, in.Args[0])
+		}
+	}
+	return out
+}
+
+func anyComputes(batch []*PInstr) bool {
+	for _, in := range batch {
+		if in.computes() {
+			return true
+		}
+	}
+	return false
+}
+
+// maybeReplanTail is the serial executor's per-instruction mis-estimate
+// check: after a compute instruction lands, its observed cardinality is
+// compared against the expectation placement priced with, and a ratio
+// beyond the threshold abandons the fragment's pinned tail. Syncs trail the
+// computes they hand back, so checking after every compute strictly covers
+// "at Sync points in the tail" and catches the mis-estimate while there is
+// still a tail left to fix.
+func (s *Session) maybeReplanTail(batch []*PInstr, i int, hyb *hybrid.Engine) {
+	in := batch[i]
+	obs, ok := s.obs[in.ID]
+	if !ok {
+		return
+	}
+	est, ok := s.expectRows(in.ID)
+	if !ok {
+		return
+	}
+	if misRatio(obs, est) <= s.replanThr {
+		return
+	}
+	s.replanTail([][]*PInstr{batch[i+1:]}, hyb, obs, est)
+}
+
+// replanRemaining is the fragment-boundary check of a template replay: the
+// worst mis-estimate among the instructions executed so far decides whether
+// the remaining fragments' pins are re-placed. It covers fragments the
+// parallel scheduler ran (which take no per-instruction checks — pins must
+// not move under a fragment whose lanes are already dispatching).
+func (s *Session) replanRemaining(frags [][]*PInstr, hyb *hybrid.Engine) {
+	worst, wObs, wEst := 1.0, 0.0, 0.0
+	for id, obs := range s.obs {
+		est, ok := s.expectRows(id)
+		if !ok {
+			continue
+		}
+		if r := misRatio(obs, est); r > worst {
+			worst, wObs, wEst = r, obs, est
+		}
+	}
+	if worst <= s.replanThr {
+		return
+	}
+	s.replanTail(frags, hyb, wObs, wEst)
+}
+
+// replanTail abandons the pinned tail: the placement pass re-runs over the
+// remaining instructions with observed cardinalities substituted (already-
+// produced values resolve through the environment, so their sizes are
+// exact), pin changes are applied to the per-execution override map, and
+// the re-planned instructions are verified through the plan-IR verifier
+// before any of them dispatches. Only pins change — re-planning is legal
+// mid-query precisely because a pin only routes a dispatch.
+func (s *Session) replanTail(frags [][]*PInstr, hyb *hybrid.Engine, obs, est float64) {
+	var tail []*PInstr
+	for _, f := range frags {
+		tail = append(tail, f...)
+	}
+	if !anyComputes(tail) {
+		return
+	}
+	s.replanned++
+	e := s.newEstimator(s.fbSnap)
+	pins := map[int]string{}
+	s.place(tail, syncArgs(tail), e, func(in *PInstr, label string) {
+		if label != s.pinOf(in) && s.adaptable(in) {
+			pins[in.ID] = label
+		}
+	})
+	// Refresh expectations so the tail is judged against the estimates it
+	// was just re-placed with instead of re-firing on the same trigger.
+	if s.estNow == nil {
+		s.estNow = map[int]float64{}
+	}
+	for id, v := range e.byID {
+		s.estNow[id] = v
+	}
+	if len(pins) > 0 {
+		if s.repinShared {
+			cp := make(map[int]string, len(s.repin)+len(pins))
+			for id, d := range s.repin {
+				cp[id] = d
+			}
+			s.repin, s.repinShared = cp, false
+		}
+		if s.repin == nil {
+			s.repin = make(map[int]string, len(pins))
+		}
+		for _, in := range tail {
+			label, ok := pins[in.ID]
+			if !ok {
+				continue
+			}
+			s.replans = append(s.replans, ReplanEvent{
+				Instr: in.ID, Op: in.OpName(),
+				OldPin: s.pinOf(in), NewPin: label,
+				Observed: obs, Estimated: est,
+			})
+			s.repin[in.ID] = label
+		}
+	}
+	// Verify the re-planned tail before dispatch — unconditionally, not
+	// gated on the session's verify flag: a re-plan is a runtime rewrite and
+	// every one of them must prove its invariants.
+	for _, f := range frags {
+		if err := s.checkFragment("replan", f, syncArgs(f), vPin|vLane, false); err != nil {
+			panic(abort{err})
+		}
+	}
+	replanVerifies.Add(1)
+}

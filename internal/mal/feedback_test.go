@@ -1,0 +1,315 @@
+package mal
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bat"
+	"repro/internal/mem"
+)
+
+// bigTestData builds columns large enough that the hybrid placement pass
+// actually weighs devices against each other (tiny inputs pin everything to
+// the CPU and the adaptive machinery has nothing to move).
+func bigTestData(n int) (k *bat.BAT, v *bat.BAT, g *bat.BAT) {
+	ks := mem.AllocI32(n)
+	vs := mem.AllocF32(n)
+	gs := mem.AllocI32(n)
+	for i := 0; i < n; i++ {
+		ks[i] = int32(i % 1000)
+		vs[i] = float32(i%97) * 0.5
+		gs[i] = int32(i % 8)
+	}
+	return bat.NewI32("k", ks), bat.NewF32("v", vs), bat.NewI32("g", gs)
+}
+
+// TestEstimatesUnchangedWithoutStatsOrFeedback is the fixed-constant
+// regression gate: with no column statistics loaded and no feedback
+// recorded, the adaptive estimator must price — and therefore pin — exactly
+// as the historical constant model, whether adaptive estimation is on or
+// off. The satellite contract of PR 9: plans without stats place exactly as
+// before.
+func TestEstimatesUnchangedWithoutStatsOrFeedback(t *testing.T) {
+	k, v, g := bigTestData(1 << 18)
+	build := func(fbOn bool) *Template {
+		o := Hybrid.Build(ConfigOptions{Threads: 2, GPUMemory: 256 << 20, GPUs: 2})
+		s := NewSession(o)
+		s.SetFeedback(fbOn)
+		if _, err := RunQuery(s, miniPlan(k, v, g)); err != nil {
+			t.Fatal(err)
+		}
+		return s.Template()
+	}
+	on, off := build(true), build(false)
+	if len(on.pins) == 0 {
+		t.Fatal("placement recorded no pins; the scenario lost its teeth")
+	}
+	if len(on.pins) != len(off.pins) || len(on.estRows) != len(off.estRows) {
+		t.Fatalf("adaptive-on build shaped differently: %d/%d pins, %d/%d estimates",
+			len(on.pins), len(off.pins), len(on.estRows), len(off.estRows))
+	}
+	for id, d := range off.pins {
+		if on.pins[id] != d {
+			t.Fatalf("instr %d: adaptive-on pinned %q, constant model pinned %q (no stats, no feedback)", id, on.pins[id], d)
+		}
+	}
+	for id, e := range off.estRows {
+		if on.estRows[id] != e {
+			t.Fatalf("instr %d: adaptive-on estimated %v rows, constant model %v (no stats, no feedback)", id, on.estRows[id], e)
+		}
+	}
+}
+
+// TestStatsSteerSelectEstimate: with statistics on the selected column, the
+// placement estimate of a selective filter must track the stats selectivity
+// instead of the /3 constant — and the constant must return exactly when
+// adaptive estimation is switched off, stats present or not.
+func TestStatsSteerSelectEstimate(t *testing.T) {
+	k, v, g := bigTestData(1 << 16)
+	k.Stats = bat.ComputeStats(k, bat.StatsBins)
+	if k.Stats == nil {
+		t.Fatal("ComputeStats returned nil for an I32 column")
+	}
+	build := func(fbOn bool) *Template {
+		o := Hybrid.Build(ConfigOptions{Threads: 2, GPUMemory: 256 << 20, GPUs: 2})
+		s := NewSession(o)
+		s.SetFeedback(fbOn)
+		if _, err := RunQuery(s, miniPlan(k, v, g)); err != nil {
+			t.Fatal(err)
+		}
+		return s.Template()
+	}
+	selEst := func(tpl *Template) float64 {
+		for _, frag := range tpl.frags {
+			for _, in := range frag {
+				if in.Kind == OpSelect {
+					return tpl.estRows[in.ID]
+				}
+				if in.Kind == OpFused {
+					for _, m := range in.Sub {
+						if m.Kind == OpSelect {
+							return tpl.estRows[in.ID]
+						}
+					}
+				}
+			}
+		}
+		t.Fatal("no select instruction in the template")
+		return 0
+	}
+	n := float64(k.Len())
+	constant := selEst(build(false))
+	if constant != n/3 {
+		t.Fatalf("adaptive-off select estimate %v, want the /3 constant %v", constant, n/3)
+	}
+	adaptive := selEst(build(true))
+	// miniPlan selects k in [2,4]: 3 of 1000 distinct values, so the stats
+	// estimate must be far below the /3 guess and near the true cardinality.
+	if adaptive >= constant/10 {
+		t.Fatalf("stats-informed select estimate %v did not move off the /3 constant %v", adaptive, constant)
+	}
+}
+
+// TestReplanFiresOnMisEstimate: a filter whose constant estimate is wildly
+// wrong (selective range, no stats → /3 guess) must, at threshold 1, make
+// the serial executor abandon and re-place its pinned tail mid-fragment —
+// verified before dispatch, byte-identical to the non-replanning run.
+func TestReplanFiresOnMisEstimate(t *testing.T) {
+	k, v, g := bigTestData(1 << 18)
+	o := Hybrid.Build(ConfigOptions{Threads: 2, GPUMemory: 256 << 20, GPUs: 2})
+	run := func(thr float64) (*Result, *Session) {
+		s := NewSession(o)
+		s.SetParallel(false)
+		s.SetReplanThreshold(thr)
+		res, err := RunQuery(s, miniPlan(k, v, g))
+		if err != nil {
+			t.Fatalf("thr=%v: %v", thr, err)
+		}
+		return res, s
+	}
+	ref, s0 := run(0)
+	if s0.Replans() != 0 {
+		t.Fatalf("threshold 0 re-planned %d times, want 0 (0 disables)", s0.Replans())
+	}
+	verifies := ReplanVerifyRuns()
+	got, s1 := run(1)
+	if s1.Replans() == 0 {
+		t.Fatal("threshold 1 never re-planned despite the /3 mis-estimate")
+	}
+	if ReplanVerifyRuns()-verifies < int64(s1.Replans()) {
+		t.Fatalf("%d re-plans but only %d re-plan verifier runs — a tail dispatched unverified",
+			s1.Replans(), ReplanVerifyRuns()-verifies)
+	}
+	if err := got.EqualWithin(ref, 0); err != nil {
+		t.Fatalf("re-planned run not byte-identical: %v", err)
+	}
+}
+
+// TestReplanEventsAnnotateExplain: when a re-plan actually moves a pin, the
+// event must carry the old and new pins and surface in EXPLAIN output.
+func TestReplanEventsAnnotateExplain(t *testing.T) {
+	k, v, g := bigTestData(1 << 18)
+	o := Hybrid.Build(ConfigOptions{Threads: 2, GPUMemory: 256 << 20, GPUs: 2})
+	s := NewSession(o)
+	s.SetParallel(false)
+	s.SetReplanThreshold(1)
+	s.EnableTrace()
+	if _, err := RunQuery(s, miniPlan(k, v, g)); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.ReplanEvents()) == 0 {
+		t.Skip("re-planning fired but moved no pins on this profile; nothing to annotate")
+	}
+	for _, ev := range s.ReplanEvents() {
+		if ev.NewPin == "" || ev.NewPin == ev.OldPin {
+			t.Fatalf("malformed replan event %+v", ev)
+		}
+	}
+	if !strings.Contains(s.Explain(), "replan: instr") {
+		t.Fatalf("EXPLAIN misses the replan annotations:\n%s", s.Explain())
+	}
+}
+
+// TestWarmFeedbackReplaysQuiet is the steady-state contract: once a
+// template's feedback is warm and adopted, replays observe exactly what
+// they expect — no re-plans fire, and neither the full verifier nor the
+// re-plan verifier runs again. Cached replays with warm feedback pay zero
+// extra verifier executions.
+func TestWarmFeedbackReplaysQuiet(t *testing.T) {
+	k, v, g := bigTestData(1 << 18)
+	o := Hybrid.Build(ConfigOptions{Threads: 2, GPUMemory: 256 << 20, GPUs: 2})
+	s := NewSession(o)
+	if _, err := RunQuery(s, miniPlan(k, v, g)); err != nil {
+		t.Fatal(err)
+	}
+	tpl := s.Template()
+	if len(tpl.FeedbackSnapshot()) == 0 {
+		t.Fatal("completed run recorded no feedback")
+	}
+	// First replay: adopts feedback, may run the once-per-template adapt
+	// pass (and its one verification).
+	ref, _, err := tpl.RunOn(o, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, replan := VerifyRuns(), ReplanVerifyRuns()
+	for i := 0; i < 4; i++ {
+		res, sess, err := tpl.RunOn(o, nil)
+		if err != nil {
+			t.Fatalf("replay %d: %v", i, err)
+		}
+		if sess.Replans() != 0 {
+			t.Fatalf("replay %d with warm feedback re-planned %d times", i, sess.Replans())
+		}
+		if err := res.EqualWithin(ref, 0); err != nil {
+			t.Fatalf("replay %d diverged: %v", i, err)
+		}
+	}
+	if d := VerifyRuns() - full; d != 0 {
+		t.Fatalf("warm replays ran the full verifier %d times, want 0", d)
+	}
+	if d := ReplanVerifyRuns() - replan; d != 0 {
+		t.Fatalf("warm replays ran the re-plan verifier %d times, want 0", d)
+	}
+}
+
+// TestReplayReplanWithoutFeedback: with adaptive estimation off but
+// re-planning on, a template replay must re-check its build-time estimates
+// at fragment boundaries and in serial tails — the estimates are the /3
+// constants, so the mis-estimate re-fires on every fresh replay session.
+func TestReplayReplanWithoutFeedback(t *testing.T) {
+	k, v, g := bigTestData(1 << 18)
+	o := Hybrid.Build(ConfigOptions{Threads: 2, GPUMemory: 256 << 20, GPUs: 2})
+	s := NewSession(o)
+	if _, err := RunQuery(s, miniPlan(k, v, g)); err != nil {
+		t.Fatal(err)
+	}
+	tpl := s.Template()
+	ref, _, err := tpl.RunOn(o, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := tpl.newExec(o, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.SetFeedback(false)
+	sess.SetReplanThreshold(1)
+	sess.SetParallel(false)
+	res, err := sess.runTemplate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Replans() == 0 {
+		t.Fatal("feedback-free replay at threshold 1 never re-planned")
+	}
+	if sess.Adapted() {
+		t.Fatal("feedback-off session adopted adapted pins")
+	}
+	if err := res.EqualWithin(ref, 0); err != nil {
+		t.Fatalf("re-planned replay diverged: %v", err)
+	}
+}
+
+// TestFeedbackHygieneAcrossGenerations: BumpGeneration must strand a warm
+// template — and its feedback — under the old generation's key, so reloaded
+// data can never be placed with stale observations. The rebuilt template
+// starts cold.
+func TestFeedbackHygieneAcrossGenerations(t *testing.T) {
+	k, v, g := bigTestData(1 << 16)
+	o := Hybrid.Build(ConfigOptions{Threads: 2, GPUMemory: 256 << 20, GPUs: 2})
+	c := NewPlanCache()
+	passes := DefaultPasses()
+	if _, _, err := c.Run(o, "q", nil, passes, miniPlan(k, v, g)); err != nil {
+		t.Fatal(err)
+	}
+	warm := c.Lookup("q", o, passes)
+	if warm == nil || len(warm.FeedbackSnapshot()) == 0 {
+		t.Fatal("built template is not feedback-warm")
+	}
+	if c.WarmTemplates() != 1 {
+		t.Fatalf("WarmTemplates = %d, want 1", c.WarmTemplates())
+	}
+
+	c.BumpGeneration()
+	if c.WarmTemplates() != 0 {
+		t.Fatalf("WarmTemplates = %d after BumpGeneration, want 0 (stale feedback reachable)", c.WarmTemplates())
+	}
+	if c.Lookup("q", o, passes) != nil {
+		t.Fatal("stale template reachable after BumpGeneration")
+	}
+
+	if _, _, err := c.Run(o, "q", nil, passes, miniPlan(k, v, g)); err != nil {
+		t.Fatal(err)
+	}
+	fresh := c.Lookup("q", o, passes)
+	if fresh == nil || fresh == warm {
+		t.Fatal("reload did not rebuild the template")
+	}
+	if _, _, size := c.Stats(); size != 2 {
+		t.Fatalf("cache holds %d templates, want 2 (stale one ages out via LRU)", size)
+	}
+}
+
+// TestFeedbackDroppedWithEviction: LRU eviction drops the template and its
+// feedback together — re-running the evicted query rebuilds from scratch.
+func TestFeedbackDroppedWithEviction(t *testing.T) {
+	k, v, g := bigTestData(1 << 14)
+	o := Hybrid.Build(ConfigOptions{Threads: 2, GPUMemory: 256 << 20, GPUs: 2})
+	c := NewPlanCacheCap(1)
+	passes := DefaultPasses()
+	for _, name := range []string{"a", "b"} {
+		if _, _, err := c.Run(o, name, nil, passes, miniPlan(k, v, g)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Lookup("a", o, passes) != nil {
+		t.Fatal("capacity-1 cache kept both templates")
+	}
+	if c.WarmTemplates() != 1 {
+		t.Fatalf("WarmTemplates = %d, want 1 (only the resident template counts)", c.WarmTemplates())
+	}
+	if c.Evictions() == 0 {
+		t.Fatal("no eviction recorded")
+	}
+}

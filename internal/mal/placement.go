@@ -31,10 +31,44 @@ import (
 const defaultGroupGuess = 64 // estimated groups when the count is symbolic
 
 // estimator carries per-fragment cardinality estimates keyed by canonical
-// plan value.
+// plan value. With adaptive estimation on (Session.fbOn, the default) it
+// consults observed-cardinality feedback and load-time column statistics
+// before the fixed constants; with neither available the estimates are
+// bit-identical to the constant model, so plans without stats or history
+// place exactly as before.
 type estimator struct {
 	s    *Session
 	rows map[*bat.BAT]float64
+	// byID records the first-result estimate per instruction ID — the
+	// expectations mid-query re-planning compares observations against, and
+	// what the template records as its build-time estimates.
+	byID map[int]float64
+	// fb is the template feedback snapshot (instruction ID → observed rows)
+	// this placement prices with; nil on a cold build.
+	fb map[int]float64
+	// adaptive gates feedback and stats consultation (Session.fbOn).
+	adaptive bool
+}
+
+// newEstimator creates a placement estimator for this session, priced with
+// the given feedback snapshot (nil for a cold build).
+func (s *Session) newEstimator(fb map[int]float64) *estimator {
+	return &estimator{
+		s:        s,
+		rows:     map[*bat.BAT]float64{},
+		byID:     map[int]float64{},
+		fb:       fb,
+		adaptive: s.fbOn,
+	}
+}
+
+// statsOf returns the load-time column statistics of a plan value, or nil
+// for intermediates (only base columns carry stats).
+func (e *estimator) statsOf(b *bat.BAT) *bat.Stats {
+	if b == nil || !e.adaptive {
+		return nil
+	}
+	return e.s.canon(b).Stats
 }
 
 // rowsOf estimates a value's cardinality: concrete values report exactly,
@@ -58,8 +92,25 @@ func (e *estimator) rowsOf(b *bat.BAT) float64 {
 }
 
 // estimate predicts an instruction's output cardinalities and streamed byte
-// volume (the bandwidth-bound footprint the profiles price).
+// volume (the bandwidth-bound footprint the profiles price). Observed
+// feedback for the instruction, when present, overrides the model's output
+// rows — the streamed volume stays model-priced, since it depends on input
+// sizes the estimator already propagates.
 func (e *estimator) estimate(in *PInstr) (outRows []float64, streamedBytes float64) {
+	outRows, streamedBytes = e.model(in)
+	if e.adaptive && len(outRows) > 0 {
+		if v, ok := e.fb[in.ID]; ok {
+			for i := range outRows {
+				outRows[i] = v
+			}
+		}
+	}
+	return outRows, streamedBytes
+}
+
+// model is the per-operator cardinality model: column statistics where the
+// column carries them, the historical fixed constants otherwise.
+func (e *estimator) model(in *PInstr) (outRows []float64, streamedBytes float64) {
 	r := func(i int) float64 { return e.rowsOf(in.Args[i]) }
 	switch in.Kind {
 	case OpSelect:
@@ -67,7 +118,12 @@ func (e *estimator) estimate(in *PInstr) (outRows []float64, streamedBytes float
 		if in.Args[1] != nil {
 			n = r(1)
 		}
-		return []float64{n / 3}, 4 * r(0)
+		out := n / 3 // the fixed per-selection selectivity guess
+		if st := e.statsOf(in.Args[0]); st != nil {
+			lo, hi, _ := e.s.scalars(in)
+			out = n * st.Selectivity(lo, hi)
+		}
+		return []float64{out}, 4 * r(0)
 	case OpSelectCmp:
 		n := r(0)
 		if in.Args[2] != nil {
@@ -91,7 +147,16 @@ func (e *estimator) estimate(in *PInstr) (outRows []float64, streamedBytes float
 		return []float64{r(0)}, 6 * 4 * r(0)
 	case OpAggr:
 		out := float64(defaultGroupGuess)
-		if in.NgrpRef < 0 {
+		if in.NgrpRef >= 0 {
+			// A symbolic count resolved by an earlier fragment's Group (or a
+			// bound integer parameter) beats the guess — consulted only under
+			// adaptive estimation so the fixed-constant baseline stays fixed.
+			if e.adaptive {
+				if slot := e.s.canonSlot(in.NgrpRef); slot >= 0 && slot < len(e.s.slots) && e.s.slots[slot] >= 0 {
+					out = float64(e.s.slots[slot])
+				}
+			}
+		} else {
 			if in.NgrpLit > 0 {
 				out = float64(in.NgrpLit)
 			} else {
@@ -147,6 +212,12 @@ func (e *estimator) estimateFused(f *ops.FusedOp) (outRows []float64, streamedBy
 		if fl.IsCmp {
 			streamed += 4 * domain
 		}
+		if st := e.statsOf(fl.Col); st != nil && !fl.IsCmp {
+			// Fused members are param-free (a verifier rule), so the
+			// descriptor's bounds are the bounds the kernel will run with.
+			out *= st.Selectivity(fl.Lo, fl.Hi)
+			continue
+		}
 		out /= 3 // the per-selection selectivity guess the unfused model uses
 	}
 	if f.HasAgg {
@@ -171,6 +242,24 @@ const hostLoc = -1
 // serialises anyway, while independent subtrees genuinely compete for the
 // device, which is what pushes them onto distinct GPUs.
 func (s *Session) placementPass(batch []*PInstr, outputs []*bat.BAT) {
+	est := s.newEstimator(nil)
+	s.place(batch, outputs, est, func(in *PInstr, label string) {
+		in.Device = label
+		s.tpl.pins[in.ID] = label
+	})
+	// Record the build-time expectations on the template: what mid-query
+	// re-planning compares observed cardinalities against on a cold run.
+	for id, v := range est.byID {
+		s.tpl.estRows[id] = v
+	}
+}
+
+// place is the placement core, shared between the build-time pass (which
+// stamps pins onto the IR) and re-planning (which collects candidate pins
+// into a per-execution override map): it prices the instructions with the
+// given estimator and reports the chosen device label per compute
+// instruction through sink.
+func (s *Session) place(batch []*PInstr, outputs []*bat.BAT, est *estimator, sink func(*PInstr, string)) {
 	h, ok := s.o.(*hybrid.Engine)
 	if !ok {
 		return
@@ -216,7 +305,6 @@ func (s *Session) placementPass(batch []*PInstr, outputs []*bat.BAT) {
 		return // nothing sensible to pin; the executor's fallback chain decides
 	}
 
-	est := &estimator{s: s, rows: map[*bat.BAT]float64{}}
 	type node struct {
 		in        *PInstr
 		comp      []float64 // compute seconds per device
@@ -241,6 +329,9 @@ func (s *Session) placementPass(batch []*PInstr, outputs []*bat.BAT) {
 		for i, r := range in.Rets {
 			est.rows[r] = outRows[i]
 			outBytes += 4 * outRows[i]
+		}
+		if len(outRows) > 0 {
+			est.byID[in.ID] = outRows[0]
 		}
 		n := &node{in: in, comp: make([]float64, nd), outBytes: outBytes}
 		for d := range facts {
@@ -469,7 +560,7 @@ func (s *Session) placementPass(batch []*PInstr, outputs []*bat.BAT) {
 		}
 	}
 	for i, n := range nodes {
-		n.in.Device = facts[pin[i]].label
+		sink(n.in, facts[pin[i]].label)
 	}
 }
 

@@ -184,5 +184,6 @@ func RunQuery(s *Session, plan func(*Session) *Result) (res *Result, err error) 
 	}()
 	res = plan(s)
 	s.drain()
+	s.recordFeedback()
 	return res, nil
 }

@@ -198,6 +198,32 @@ type Session struct {
 	// executed) and the values of slot-backed integer parameters.
 	slots []int
 
+	// --- adaptive execution state (feedback.go) ---
+
+	// fbOn gates adaptive estimation: observed-cardinality feedback and
+	// load-time column stats feeding the placement estimator. replanThr is
+	// the mid-query re-plan trigger ratio (0 or less disables re-planning).
+	fbOn      bool
+	replanThr float64
+	// obs records each executed instruction's actual output cardinality
+	// (instruction ID → first-result rows), written under mu as results
+	// bind; merged into the template's feedback table on success.
+	obs map[int]float64
+	// fbSnap is the template feedback snapshot this execution prices with;
+	// adaptEst the adapt pass's estimates (shared, read-only); estNow the
+	// refreshed expectations of mid-query re-plans (session-local).
+	fbSnap   map[int]float64
+	adaptEst map[int]float64
+	estNow   map[int]float64
+	// repin overrides placement pins per execution (instruction ID → device
+	// label) — re-plans never write the shared IR. repinShared marks repin
+	// as the template's shared adapt map (clone before writing).
+	repin       map[int]string
+	repinShared bool
+	replanned   int
+	replans     []ReplanEvent
+	adapted     bool
+
 	// over patches instruction scalars with re-bound parameter values on
 	// replay (nil when the execution binds no parameters).
 	over map[*PInstr]scalarPatch
@@ -234,6 +260,8 @@ func NewSession(o ops.Operators) *Session {
 		env:          map[*bat.BAT]*bat.BAT{},
 		released:     map[*bat.BAT]bool{},
 		verify:       DefaultVerify(),
+		fbOn:         DefaultFeedback(),
+		replanThr:    DefaultReplanThreshold(),
 	}
 }
 

@@ -334,17 +334,18 @@ func (s *Session) checkFragment(pass string, batch []*PInstr, outputs []*bat.BAT
 		}
 
 		if rules&vPin != 0 {
+			pin := s.pinOf(in)
 			switch {
 			case !in.computes():
-				if in.Device != "" {
-					return fail(i, in, "pin-resolvable", "%s instructions are never pinned (got %q)", in.OpName(), in.Device)
+				if pin != "" {
+					return fail(i, in, "pin-resolvable", "%s instructions are never pinned (got %q)", in.OpName(), pin)
 				}
-			case in.Device != "":
+			case pin != "":
 				if labels == nil {
-					return fail(i, in, "pin-resolvable", "pin %q on a non-hybrid engine", in.Device)
+					return fail(i, in, "pin-resolvable", "pin %q on a non-hybrid engine", pin)
 				}
-				if !labels[in.Device] {
-					return fail(i, in, "pin-resolvable", "pin %q resolves to no device (have %s)", in.Device, labelList(labels))
+				if !labels[pin] {
+					return fail(i, in, "pin-resolvable", "pin %q resolves to no device (have %s)", pin, labelList(labels))
 				}
 			}
 		}
@@ -400,7 +401,7 @@ func (s *Session) checkFragment(pass string, batch []*PInstr, outputs []*bat.BAT
 
 	if rules&vLane != 0 {
 		nodes, lanes := s.planGraph(batch)
-		if e := verifyLaneGraph(nodes, lanes); e != nil {
+		if e := verifyLaneGraph(nodes, lanes, s.pinOf); e != nil {
 			e.Pass, e.Frag = pass, v.frags
 			return e
 		}
@@ -449,9 +450,9 @@ func (s *Session) checkFused(batch []*PInstr, outputs []*bat.BAT, i int, in *PIn
 		if len(m.Params) > 0 {
 			return fail(i, in, "fused-param-free", "member %d (%s) binds parameter %q", mi, m.OpName(), m.Params[0].Name)
 		}
-		if m.Device != "" && m.Device != in.Device {
+		if m.Device != "" && m.Device != s.pinOf(in) {
 			return fail(i, in, "fused-pin-unit", "member %d (%s) pinned to %q, region pinned to %q",
-				mi, m.OpName(), m.Device, in.Device)
+				mi, m.OpName(), m.Device, s.pinOf(in))
 		}
 		for _, a := range m.Args {
 			if a == nil {
@@ -534,8 +535,10 @@ func (s *Session) checkFused(batch []*PInstr, outputs []*bat.BAT, i int, in *PIn
 // (acyclicity by induction), the lanes partition the nodes exactly once in
 // ascending order (per-device serial dispatch), and each compute node runs
 // on the lane its pin names (pin-disjointness: two lanes never dispatch to
-// the same pinned device out of order).
-func verifyLaneGraph(nodes []*pnode, lanes map[string][]int) *VerifyError {
+// the same pinned device out of order). pin resolves an instruction's
+// effective pin — the session override from a mid-query re-plan wins over
+// the template's sealed Device field.
+func verifyLaneGraph(nodes []*pnode, lanes map[string][]int, pin func(*PInstr) string) *VerifyError {
 	fail := func(i int, in *PInstr, rule, format string, args ...any) *VerifyError {
 		e := &VerifyError{Rule: rule, Instr: i, Detail: fmt.Sprintf(format, args...)}
 		if in != nil {
@@ -571,8 +574,8 @@ func verifyLaneGraph(nodes []*pnode, lanes map[string][]int) *VerifyError {
 			if n.lane != lane {
 				return fail(idx, n.in, "lane-partition", "node assigned lane %q but scheduled on lane %q", n.lane, lane)
 			}
-			if n.in != nil && n.in.computes() && n.in.Device != n.lane {
-				return fail(idx, n.in, "lane-pin-disjoint", "compute pinned to %q scheduled on lane %q", n.in.Device, lane)
+			if n.in != nil && n.in.computes() && pin(n.in) != n.lane {
+				return fail(idx, n.in, "lane-pin-disjoint", "compute pinned to %q scheduled on lane %q", pin(n.in), lane)
 			}
 		}
 	}

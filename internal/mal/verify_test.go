@@ -109,15 +109,16 @@ func TestVerifyRejectsCyclicLaneGraph(t *testing.T) {
 		{in: mk(""), deps: []int{1}},
 		{in: mk("")},
 	}
-	wantRule(t, verifyLaneGraph(nodes, map[string][]int{"": {0, 1}}), "lane-acyclic")
+	pin := func(in *PInstr) string { return in.Device }
+	wantRule(t, verifyLaneGraph(nodes, map[string][]int{"": {0, 1}}, pin), "lane-acyclic")
 
 	// A node scheduled on a lane other than its pin.
 	nodes = []*pnode{{in: mk("GPU"), lane: "CPU"}}
-	wantRule(t, verifyLaneGraph(nodes, map[string][]int{"CPU": {0}}), "lane-pin-disjoint")
+	wantRule(t, verifyLaneGraph(nodes, map[string][]int{"CPU": {0}}, pin), "lane-pin-disjoint")
 
 	// A node missing from the lane partition.
 	nodes = []*pnode{{in: mk("")}, {in: mk("")}}
-	wantRule(t, verifyLaneGraph(nodes, map[string][]int{"": {0}}), "lane-partition")
+	wantRule(t, verifyLaneGraph(nodes, map[string][]int{"": {0}}, pin), "lane-partition")
 }
 
 func TestVerifyRejectsMissingRelease(t *testing.T) {

@@ -27,6 +27,9 @@ func (e *Engine) Aggr(kind ops.Agg, vals, groups *bat.BAT, ngroups int) (*bat.BA
 	if groups == nil {
 		ngroups = 1
 	} else if ngroups <= 0 {
+		if ngroups == 0 && groups.Len() == 0 {
+			return ops.EmptyAggr(kind, vals), nil
+		}
 		return nil, fmt.Errorf("monet: grouped aggregate with ngroups=%d", ngroups)
 	}
 	if vals == nil && kind != ops.Count {

@@ -331,3 +331,21 @@ type FusedOperators interface {
 	// member operators unfused.
 	Fused(op *FusedOp) (*bat.BAT, error)
 }
+
+// EmptyAggr is the zero-group aggregate result: a grouped aggregate over an
+// empty input (every row filtered out upstream — routine on skewed data)
+// has no groups and therefore an empty, correctly-typed output. Engines
+// call this instead of erroring when ngroups == 0 and the input is empty;
+// ngroups == 0 with surviving rows remains a plan bug and must still fail.
+func EmptyAggr(kind Agg, vals *bat.BAT) *bat.BAT {
+	t := bat.I32
+	switch {
+	case kind == Count:
+		t = bat.I32
+	case kind == Avg:
+		t = bat.F32
+	case vals != nil:
+		t = vals.T
+	}
+	return bat.New(kind.String(), t, 0)
+}

@@ -1,0 +1,55 @@
+package serve
+
+import (
+	"testing"
+
+	"repro/internal/mal"
+	"repro/internal/tpch"
+)
+
+// TestFeedbackSurvivesSessionsAndDiesWithInvalidate: cardinality feedback
+// attaches to the engine-resident plan template, so it outlives the client
+// session that recorded it — later sessions replaying the same template
+// place with observed sizes. Invalidate (data reloaded) must strand it:
+// warm count drops to zero and the next request rebuilds cold.
+func TestFeedbackSurvivesSessionsAndDiesWithInvalidate(t *testing.T) {
+	d := testDB()
+	o := mal.Hybrid.Build(mal.ConfigOptions{Threads: 4, GPUMemory: 512 << 20, GPUs: 2})
+	sv := New(o, Options{MaxConcurrent: 2, NoCoalesce: true})
+	q := tpch.QueryByNum(6)
+	exec := func() {
+		if _, err := sv.Execute("Q6", nil, func(s *mal.Session) *mal.Result {
+			return q.Plan(s, d)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if sv.FeedbackWarm() != 0 {
+		t.Fatalf("fresh server reports %d warm templates", sv.FeedbackWarm())
+	}
+	exec()
+	if sv.FeedbackWarm() != 1 {
+		t.Fatalf("FeedbackWarm = %d after first execution, want 1", sv.FeedbackWarm())
+	}
+	exec() // a second client session replays the warm template
+	if sv.FeedbackWarm() != 1 {
+		t.Fatalf("FeedbackWarm = %d after replay, want still 1", sv.FeedbackWarm())
+	}
+	if hits, misses, _ := sv.CacheStats(); hits != 1 || misses != 1 {
+		t.Fatalf("cache hits/misses = %d/%d, want 1/1", hits, misses)
+	}
+
+	sv.Invalidate()
+	if sv.FeedbackWarm() != 0 {
+		t.Fatalf("FeedbackWarm = %d after Invalidate, want 0 (stale feedback reachable)", sv.FeedbackWarm())
+	}
+
+	exec()
+	if sv.FeedbackWarm() != 1 {
+		t.Fatalf("FeedbackWarm = %d after reload rebuild, want 1", sv.FeedbackWarm())
+	}
+	if _, misses, _ := sv.CacheStats(); misses != 2 {
+		t.Fatalf("cache misses = %d after Invalidate, want 2 (rebuilt from scratch)", misses)
+	}
+}

@@ -1,0 +1,181 @@
+package tpch
+
+import (
+	"testing"
+
+	"repro/internal/bat"
+	"repro/internal/mal"
+	"repro/internal/ops"
+)
+
+// TestGenerateSkewed pins down the Zipf knob: theta 0 is byte-identical to
+// the classic generator, positive theta visibly concentrates the foreign
+// keys, statistics ride on every numeric base column, and the whole thing
+// stays deterministic under a fixed seed.
+func TestGenerateSkewed(t *testing.T) {
+	uniform := Generate(0.01, 42)
+	zeroTheta := GenerateSkewed(0.01, 42, 0)
+	skewed := GenerateSkewed(0.01, 42, 1.2)
+	again := GenerateSkewed(0.01, 42, 1.2)
+
+	if skewed.Theta != 1.2 {
+		t.Fatalf("Theta %g, want 1.2", skewed.Theta)
+	}
+
+	freq := func(db *DB, col string) (top, n int) {
+		b := db.Orders.Cols[col]
+		counts := map[int32]int{}
+		for _, v := range b.I32s() {
+			counts[v]++
+		}
+		for _, c := range counts {
+			if c > top {
+				top = c
+			}
+		}
+		return top, b.Len()
+	}
+
+	// theta == 0 must be the uniform generator, bit for bit.
+	for i, tbl := range uniform.Tables() {
+		zt := zeroTheta.Tables()[i]
+		for _, c := range tbl.Order {
+			a, b := tbl.Cols[c], zt.Cols[c]
+			if a.Len() != b.Len() {
+				t.Fatalf("%s.%s: theta-0 length %d != uniform %d", tbl.Name, c, b.Len(), a.Len())
+			}
+		}
+	}
+	uTop, _ := freq(uniform, "o_custkey")
+	zTop, _ := freq(zeroTheta, "o_custkey")
+	if uTop != zTop {
+		t.Fatalf("theta-0 o_custkey mode %d differs from uniform %d", zTop, uTop)
+	}
+
+	// Positive theta concentrates mass: the hottest customer gets far more
+	// orders than under the uniform draw.
+	sTop, n := freq(skewed, "o_custkey")
+	if sTop < 4*uTop {
+		t.Fatalf("Zipf 1.2 hottest o_custkey has %d of %d orders, uniform mode is %d — skew invisible", sTop, n, uTop)
+	}
+
+	// Deterministic under the seed.
+	aTop, aN := freq(again, "o_custkey")
+	if aTop != sTop || aN != n {
+		t.Fatal("GenerateSkewed is not deterministic for a fixed seed")
+	}
+
+	// Load-time statistics on numeric base columns, skew visible in them.
+	for _, probe := range []struct {
+		tbl *bat.Table
+		col string
+	}{
+		{skewed.Lineitem, "l_quantity"}, {skewed.Lineitem, "l_extendedprice"},
+		{skewed.Orders, "o_custkey"}, {skewed.Part, "p_size"},
+	} {
+		st := probe.tbl.Cols[probe.col].Stats
+		if st == nil {
+			t.Fatalf("%s.%s carries no load-time stats", probe.tbl.Name, probe.col)
+		}
+		if st.N == 0 || st.Distinct < 1 || len(st.Hist) == 0 {
+			t.Fatalf("%s.%s stats degenerate: %+v", probe.tbl.Name, probe.col, st)
+		}
+	}
+	hist := skewed.Orders.Cols["o_custkey"].Stats.Hist
+	if hist[0] <= hist[len(hist)-1] {
+		t.Fatalf("Zipf skew invisible in o_custkey histogram: first bucket %d, last %d", hist[0], hist[len(hist)-1])
+	}
+}
+
+// TestAdaptiveEquivalenceAllQueries is the PR 9 acceptance suite: on
+// Zipf-skewed data, every workload query must return byte-identical results
+// whether mid-query re-planning is off, forced on at threshold 1 during the
+// build, or forced on during a feedback-free template replay — across the
+// single-device configurations (where re-planning never engages) and the
+// 1/2/4-GPU hybrids (where it must actually fire somewhere). As in the
+// parallel suite, each (query, engine) pair probes its own determinism
+// first; deterministic pairs demand exactness, the rest get the atomic
+// jitter tolerance.
+func TestAdaptiveEquivalenceAllQueries(t *testing.T) {
+	db := GenerateSkewed(0.01, 42, 1.2)
+	opts := mal.ConfigOptions{Threads: 4, GPUMemory: 512 << 20}
+
+	type engine struct {
+		name string
+		o    ops.Operators
+		gpus int
+	}
+	engines := []engine{
+		{"OcelotCPU", mal.OcelotCPU.Build(opts), 0},
+		{"OcelotGPU", mal.OcelotGPU.Build(opts), 0},
+		{"HYB g=1", mal.Hybrid.Build(mal.ConfigOptions{Threads: 4, GPUMemory: 512 << 20, GPUs: 1}), 1},
+		{"HYB g=2", mal.Hybrid.Build(mal.ConfigOptions{Threads: 4, GPUMemory: 512 << 20, GPUs: 2}), 2},
+		{"HYB g=4", mal.Hybrid.Build(mal.ConfigOptions{Threads: 4, GPUMemory: 512 << 20, GPUs: 4}), 4},
+	}
+	queries := Queries()
+	if testing.Short() {
+		queries = []Query{*QueryByNum(1), *QueryByNum(3), *QueryByNum(6), *QueryByNum(12)}
+		engines = []engine{engines[0], engines[3]}
+	}
+
+	run := func(e engine, q Query, thr float64) (*mal.Result, *mal.Session) {
+		s := mal.NewSession(e.o)
+		s.SetReplanThreshold(thr)
+		if thr > 0 {
+			// Mid-fragment re-planning lives in the serial executor; force it
+			// so the forced-replan leg actually walks that path.
+			s.SetParallel(false)
+		}
+		res, err := mal.RunQuery(s, func(s *mal.Session) *mal.Result { return q.Plan(s, db) })
+		if err != nil {
+			t.Fatalf("Q%d on %s (thr=%v): %v", q.Num, e.name, thr, err)
+		}
+		return res, s
+	}
+
+	replans := 0
+	for _, e := range engines {
+		for _, q := range queries {
+			ref, _ := run(e, q, 0)
+			probe, s0 := run(e, q, 0)
+			deterministic := ref.EqualWithin(probe, 0) == nil
+			check := func(leg string, res *mal.Result) {
+				if deterministic {
+					if err := res.EqualWithin(ref, 0); err != nil {
+						t.Fatalf("Q%d on %s: %s differs byte-for-byte from fixed plan: %v", q.Num, e.name, leg, err)
+					}
+				} else if err := res.EqualWithin(ref, 1e-5); err != nil {
+					t.Fatalf("Q%d on %s (nondeterministic grouped floats): %s outside jitter tolerance: %v", q.Num, e.name, leg, err)
+				}
+			}
+
+			// Leg 1: forced re-planning during the cold build.
+			forced, s1 := run(e, q, 1)
+			check("forced-replan build", forced)
+			if e.gpus == 0 && s1.Replans() != 0 {
+				t.Fatalf("Q%d on %s: re-planned on a configuration without placement pins", q.Num, e.name)
+			}
+			replans += s1.Replans()
+
+			// Leg 2: feedback-free template replay at threshold 1 — the
+			// build-time estimates stay the fixed constants, so the
+			// mis-estimates re-fire at fragment boundaries and serial tails.
+			tpl := s0.Template()
+			fbWas, thrWas := mal.DefaultFeedback(), mal.DefaultReplanThreshold()
+			mal.SetDefaultFeedback(false)
+			mal.SetDefaultReplanThreshold(1)
+			res, sess, err := tpl.RunOn(e.o, nil)
+			mal.SetDefaultFeedback(fbWas)
+			mal.SetDefaultReplanThreshold(thrWas)
+			if err != nil {
+				t.Fatalf("Q%d on %s: feedback-free replay: %v", q.Num, e.name, err)
+			}
+			check("feedback-free replay", res)
+			replans += sess.Replans()
+		}
+	}
+	if replans == 0 {
+		t.Fatal("no hybrid query ever re-planned its tail at threshold 1")
+	}
+	t.Logf("adaptive executor re-planned %d tails across the forced runs", replans)
+}

@@ -16,6 +16,7 @@ package tpch
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"time"
 
@@ -26,6 +27,9 @@ import (
 // DB is one generated TPC-H instance.
 type DB struct {
 	SF float64
+	// Theta is the Zipfian skew exponent the instance was generated with
+	// (0 = the uniform draws of stock TPC-H).
+	Theta float64
 
 	Region, Nation, Supplier, Customer, Part, PartSupp, Orders, Lineitem *bat.Table
 
@@ -79,11 +83,28 @@ func dateToI32(t time.Time) int32 { return Ymd(t.Year(), int(t.Month()), t.Day()
 // scale linearly; sf 0.01 ≈ 60k lineitems). The same (sf, seed) pair always
 // yields the same data.
 func Generate(sf float64, seed int64) *DB {
+	return GenerateSkewed(sf, seed, 0)
+}
+
+// GenerateSkewed is Generate with a Zipfian skew knob: theta > 0 draws the
+// skewable choices (which customer orders, which part/supplier a line names,
+// order dates, quantities, market segments) from a Zipf(theta) distribution
+// over their domains instead of uniformly, concentrating mass on a few hot
+// values the way real workloads do. theta == 0 reproduces Generate's output
+// byte for byte; the same (sf, seed, theta) triple always yields the same
+// data. Every generated numeric column also carries load-time statistics
+// (min/max, a distinct-count sketch, an equi-width histogram — bat.Stats)
+// for the placement pass's estimator.
+func GenerateSkewed(sf float64, seed int64, theta float64) *DB {
 	if sf <= 0 {
 		sf = 0.01
 	}
+	if theta < 0 {
+		theta = 0
+	}
 	db := &DB{
 		SF:    sf,
+		Theta: theta,
 		dicts: make(map[string][]string),
 		codes: make(map[string]map[string]int32),
 	}
@@ -94,7 +115,67 @@ func Generate(sf float64, seed int64) *DB {
 	db.genPart(scale(sfPart, sf), seed+3)
 	db.genPartSupp(seed + 4)
 	db.genOrdersAndLineitem(scale(sfOrders, sf), seed+5)
+	db.computeStats()
 	return db
+}
+
+// zipf draws ranks 0..n-1 with probability ∝ 1/(rank+1)^theta via an inverse
+// cumulative table (theta <= 0 degenerates to the generator's plain uniform
+// draw, consuming the identical random sequence). rand.Zipf is avoided on
+// purpose: it requires s > 1, and the classic TPC-skew literature uses
+// theta ∈ (0, 1] too.
+type zipf struct {
+	r     *rand.Rand
+	theta float64
+	cum   []float64 // cumulative weights; nil for uniform
+}
+
+func newZipf(r *rand.Rand, n int, theta float64) *zipf {
+	z := &zipf{r: r, theta: theta}
+	if theta > 0 && n > 1 {
+		z.cum = make([]float64, n)
+		total := 0.0
+		for i := 0; i < n; i++ {
+			total += 1 / powf(float64(i+1), theta)
+			z.cum[i] = total
+		}
+	}
+	return z
+}
+
+// next returns a rank in [0, n); n must equal the table size the picker was
+// built for when skewed.
+func (z *zipf) next(n int) int {
+	if z.cum == nil {
+		return z.r.Intn(n)
+	}
+	u := z.r.Float64() * z.cum[len(z.cum)-1]
+	lo, hi := 0, len(z.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func powf(x, y float64) float64 {
+	if y == 1 {
+		return x
+	}
+	return math.Pow(x, y)
+}
+
+// computeStats attaches load-time statistics to every numeric base column.
+func (db *DB) computeStats() {
+	for _, t := range db.Tables() {
+		for _, c := range t.Cols {
+			c.Stats = bat.ComputeStats(c, bat.StatsBins)
+		}
+	}
 }
 
 func scale(base int, sf float64) int {
@@ -232,12 +313,13 @@ func (db *DB) genCustomer(n int, seed int64) {
 	natpos := mem.AllocU32(n)
 	seg := mem.AllocI32(n)
 	bal := mem.AllocF32(n)
+	zseg := newZipf(r, len(segments), db.Theta)
 	for i := 0; i < n; i++ {
 		ck[i] = int32(i + 1)
 		k := int32(r.Intn(len(nationDefs)))
 		nat[i] = k
 		natpos[i] = uint32(k)
-		seg[i] = int32(r.Intn(len(segments)))
+		seg[i] = int32(zseg.next(len(segments)))
 		bal[i] = float32(r.Intn(1100000)-100000) / 100
 	}
 	db.Customer = bat.NewTable("customer").
@@ -353,12 +435,21 @@ func (db *DB) genOrdersAndLineitem(nOrders int, seed int64) {
 	)
 	retailOf := db.Part.Col("p_retailprice").F32s()
 
+	// The skewable draws (hot customers, hot order dates, hot parts and
+	// suppliers, popular quantities) go through Zipf pickers; at Theta == 0
+	// each picker is a plain r.Intn and the random sequence is unchanged.
+	zcust := newZipf(r, nCust, db.Theta)
+	zdays := newZipf(r, orderDays, db.Theta)
+	zpart := newZipf(r, nPart, db.Theta)
+	zsupp := newZipf(r, nSupp, db.Theta)
+	zqty := newZipf(r, 50, db.Theta)
+
 	for o := 0; o < nOrders; o++ {
 		ok[o] = int32(o + 1)
-		cust := r.Intn(nCust)
+		cust := zcust.next(nCust)
 		ck[o] = int32(cust + 1)
 		cpos[o] = uint32(cust)
-		od := startDate.AddDate(0, 0, r.Intn(orderDays))
+		od := startDate.AddDate(0, 0, zdays.next(orderDays))
 		odate[o] = dateToI32(od)
 		oprio[o] = int32(r.Intn(len(priorities)))
 
@@ -366,9 +457,9 @@ func (db *DB) genOrdersAndLineitem(nOrders int, seed int64) {
 		allShipped, anyShipped := true, false
 		var total float64
 		for ln := 0; ln < lines; ln++ {
-			part := r.Intn(nPart)
-			supp := r.Intn(nSupp)
-			qty := float32(r.Intn(50) + 1)
+			part := zpart.next(nPart)
+			supp := zsupp.next(nSupp)
+			qty := float32(zqty.next(50) + 1)
 			price := qty * retailOf[part]
 			disc := float32(r.Intn(11)) / 100
 			tax := float32(r.Intn(9)) / 100

@@ -42,7 +42,7 @@ func TestParallelEquivalenceAllQueries(t *testing.T) {
 	}
 	queries := Queries()
 	if testing.Short() {
-		queries = []Query{*QueryByNum(1), *QueryByNum(3), *QueryByNum(6), *QueryByNum(9)}
+		queries = []Query{*QueryByNum(1), *QueryByNum(3), *QueryByNum(6), *QueryByNum(12)}
 		engines = []engine{engines[2], engines[5]}
 	}
 

@@ -100,6 +100,17 @@ type BAT struct {
 	// columns carry them for the placement cost model; plan intermediates
 	// leave them nil.
 	Stats *Stats
+	// TableName names the Table this BAT is a base column of (stamped by
+	// Table.Add), or "" for plan intermediates and free-standing BATs. The
+	// shard compiler uses it to rebind a plan's base columns to a shard's
+	// local tables.
+	TableName string
+	// PosInto names the table whose row positions this column's values are —
+	// the precomputed join indexes of the TPC-H generator ("l_orderpos"
+	// holds positions into orders). "" for plain value columns. The shard
+	// compiler needs it to tell locally-renumbered positions (into a
+	// sharded table) from globally-stable ones (into a replicated table).
+	PosInto string
 
 	count int
 	heap  []byte // aligned tail heap; nil for Void
@@ -332,12 +343,26 @@ func (b *BAT) String() string {
 }
 
 // Table is a named collection of equally-long column BATs — the relational
-// view the SQL layer maintains over BATs.
+// view the SQL layer maintains over BATs. A table may additionally be one
+// shard of a logical table (GlobalRows non-nil) and may grow through
+// AppendDelta with generation-stamped visibility (ingest.go): readers that
+// captured column BATs before an append keep a consistent immutable
+// snapshot, readers that re-resolve columns see the new generation.
 type Table struct {
 	Name string
 	// Order preserves column declaration order for display.
 	Order []string
 	Cols  map[string]*BAT
+
+	// GlobalRows maps this shard's local row index to the row index of the
+	// logical (unsharded) table; nil for unsharded tables. It is ascending:
+	// shards are carved out of the logical table in row order.
+	GlobalRows []uint32
+	// ShardIdx/NShards locate the shard in its topology (0/0 = unsharded).
+	ShardIdx, NShards int
+
+	mu  sync.RWMutex
+	gen int64
 }
 
 // NewTable creates an empty table.
@@ -345,8 +370,12 @@ func NewTable(name string) *Table {
 	return &Table{Name: name, Cols: make(map[string]*BAT)}
 }
 
-// Add attaches a column; all columns of a table must have equal length.
+// Add attaches a column; all columns of a table must have equal length. The
+// column BAT is stamped with the table's name so plan-layer code can map it
+// back to its catalog entry.
 func (t *Table) Add(col string, b *BAT) *Table {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if len(t.Order) > 0 {
 		if first := t.Cols[t.Order[0]]; first != nil && first.Len() != b.Len() {
 			panic(fmt.Sprintf("table %s: column %s has %d rows, expected %d",
@@ -356,6 +385,7 @@ func (t *Table) Add(col string, b *BAT) *Table {
 	if _, dup := t.Cols[col]; dup {
 		panic(fmt.Sprintf("table %s: duplicate column %s", t.Name, col))
 	}
+	b.TableName = t.Name
 	t.Order = append(t.Order, col)
 	t.Cols[col] = b
 	return t
@@ -364,7 +394,9 @@ func (t *Table) Add(col string, b *BAT) *Table {
 // Col returns a column BAT, panicking on unknown names (schema errors are
 // programming errors here — queries are compiled in-process).
 func (t *Table) Col(name string) *BAT {
+	t.mu.RLock()
 	b, ok := t.Cols[name]
+	t.mu.RUnlock()
 	if !ok {
 		panic(fmt.Sprintf("table %s: no column %q", t.Name, name))
 	}
@@ -373,6 +405,8 @@ func (t *Table) Col(name string) *BAT {
 
 // Rows returns the table's row count.
 func (t *Table) Rows() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	if len(t.Order) == 0 {
 		return 0
 	}

@@ -1,0 +1,167 @@
+// The PR 10 scale-out figure: the TPC-H workload served through the
+// sharded scatter-gather path at 1, 2 and 4 shards against the unsharded
+// single-engine execution, plus a live-ingest probe (append the tail of
+// the instance while the server is warm and measure the recompile cost).
+// The figure is self-checking: the sharded path pins fusion off, the MS
+// engines are deterministic, and every sharded answer must be
+// byte-identical to the unsharded fusion-off reference — a divergence
+// panics, because partitioned execution is a pure placement change. No
+// counterpart in the paper; like the serving and parallel figures it
+// tracks the repository's production trajectory (ROADMAP: scale-out).
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/mal"
+	"repro/internal/ops"
+	"repro/internal/serve"
+	"repro/internal/tpch"
+)
+
+// ShardCounts is the scale-out sweep of the shard figure.
+var ShardCounts = []int{1, 2, 4}
+
+// shardedServer assembles a coordinator plus n shard engines of one
+// configuration over the catalog.
+func shardedServer(cfg mal.Config, o TPCHOptions, sdb *tpch.ShardedDB, n int) *serve.ShardedServer {
+	engs := make([]ops.Operators, n)
+	for i := range engs {
+		engs[i] = engineFor(cfg, o.Options)
+	}
+	return serve.NewSharded(engineFor(cfg, o.Options), engs, sdb.Catalog(),
+		serve.Options{MaxConcurrent: n + 1})
+}
+
+// ShardFigure sweeps the workload over the shard counts.
+//
+// Baseline: every query unsharded on one MS engine with fusion off — the
+// pass set the sharded path pins — so the identity check compares like
+// against like. Sharded series: per query, one cold run compiles the
+// scatter-gather plan, then Runs warm scatters are averaged; each warm
+// answer is checked byte-identical against the baseline. Afterwards a
+// 2-shard server takes a live append of the instance's last fifth while
+// warm, and the note records the ingest wall time and that exactly the
+// appended tables' plans recompiled.
+func ShardFigure(o TPCHOptions) *QueryReport {
+	o = defaultTPCH(o, 0.05)
+	queries := tpch.Queries()
+	rep := &QueryReport{
+		ID:      "shard",
+		Title:   fmt.Sprintf("sharded scale-out, TPC-H SF %g (MS engines, fusion off)", o.SF),
+		Seconds: map[string][]float64{},
+	}
+	for _, q := range queries {
+		rep.Queries = append(rep.Queries, q.Num)
+	}
+	unfused := mal.DefaultPasses()
+	unfused.Fusion = false
+
+	// --- unsharded baseline and byte-identity reference ---
+	// GenerateSharded derives every shard count from this same generation,
+	// so one baseline serves the whole sweep.
+	db := tpch.Generate(o.SF, o.Seed)
+	baseEng := engineFor(mal.MS, o.Options)
+	const base = "MS base"
+	rep.Order = append(rep.Order, base)
+	refs := map[int]*mal.Result{}
+	for _, q := range queries {
+		q := q
+		run := func() *mal.Result {
+			s := mal.NewSession(baseEng)
+			s.SetPasses(unfused)
+			res, err := mal.RunQuery(s, func(s *mal.Session) *mal.Result {
+				return q.Plan(s, db)
+			})
+			if err != nil {
+				panic(fmt.Sprintf("bench: Q%d baseline: %v", q.Num, err))
+			}
+			return res
+		}
+		refs[q.Num] = run() // warm-up doubles as the reference
+		var total time.Duration
+		for r := 0; r < o.Runs; r++ {
+			start := time.Now()
+			res := run()
+			total += time.Since(start)
+			if err := res.EqualWithin(refs[q.Num], 0); err != nil {
+				panic(fmt.Sprintf("bench: Q%d: MS baseline not reproducible: %v", q.Num, err))
+			}
+		}
+		rep.Seconds[base] = append(rep.Seconds[base], total.Seconds()/float64(o.Runs))
+	}
+
+	// --- the scale-out sweep ---
+	for _, n := range ShardCounts {
+		sdb := tpch.GenerateSharded(o.SF, o.Seed, 0, n)
+		ss := shardedServer(mal.MS, o, sdb, n)
+		label := fmt.Sprintf("MS n=%d", n)
+		rep.Order = append(rep.Order, label)
+		for _, q := range queries {
+			q := q
+			plan := func(s *mal.Session) *mal.Result { return q.Plan(s, sdb.Global) }
+			name := fmt.Sprintf("Q%d", q.Num)
+			if _, err := ss.Execute(name, nil, plan); err != nil { // cold: compile
+				panic(fmt.Sprintf("bench: Q%d n=%d cold: %v", q.Num, n, err))
+			}
+			var total time.Duration
+			for r := 0; r < o.Runs; r++ {
+				start := time.Now()
+				res, err := ss.Execute(name, nil, plan)
+				if err != nil {
+					panic(fmt.Sprintf("bench: Q%d n=%d: %v", q.Num, n, err))
+				}
+				total += time.Since(start)
+				if err := res.EqualWithin(refs[q.Num], 0); err != nil {
+					panic(fmt.Sprintf("bench: Q%d at %d shards diverges from unsharded: %v", q.Num, n, err))
+				}
+			}
+			rep.Seconds[label] = append(rep.Seconds[label], total.Seconds()/float64(o.Runs))
+		}
+		st := ss.Stats()
+		if st.Fallbacks != 0 {
+			panic(fmt.Sprintf("bench: %d scatter fallbacks at %d shards: shard executions failing silently", st.Fallbacks, n))
+		}
+		rep.Notes = append(rep.Notes, fmt.Sprintf("n=%d: %d scattered / %d degenerate warm runs, %d cold compiles",
+			n, st.Scattered, st.Degenerate, st.ColdCompiles))
+	}
+	rep.Notes = append(rep.Notes, "self-check: every sharded answer byte-identical to the unsharded fusion-off baseline")
+
+	// --- live-ingest probe at 2 shards ---
+	full := tpch.GenerateSkewed(o.SF, o.Seed, 0)
+	pre := tpch.PrefixDB(full, full.Orders.Rows()*4/5)
+	sdb := tpch.ShardDB(pre, 2)
+	ss := shardedServer(mal.MS, o, sdb, 2)
+	q6 := *tpch.QueryByNum(6)
+	plan := func(s *mal.Session) *mal.Result { return q6.Plan(s, sdb.Global) }
+	for r := 0; r < 2; r++ { // cold + warm
+		if _, err := ss.Execute("Q6", nil, plan); err != nil {
+			panic(fmt.Sprintf("bench: ingest warm-up: %v", err))
+		}
+	}
+	start := time.Now()
+	ss.Ingest(tpch.ShardTables(), func() { sdb.AppendTail(full) })
+	ingestWall := time.Since(start)
+	res, err := ss.Execute("Q6", nil, plan)
+	if err != nil {
+		panic(fmt.Sprintf("bench: post-ingest Q6: %v", err))
+	}
+	s := mal.NewSession(baseEng)
+	s.SetPasses(unfused)
+	ref, err := mal.RunQuery(s, func(s *mal.Session) *mal.Result { return q6.Plan(s, full) })
+	if err != nil {
+		panic(fmt.Sprintf("bench: post-ingest reference: %v", err))
+	}
+	if err := res.EqualWithin(ref, 0); err != nil {
+		panic(fmt.Sprintf("bench: post-ingest Q6 diverges from full instance: %v", err))
+	}
+	st := ss.Stats()
+	if st.Recompiles == 0 {
+		panic("bench: ingest did not retire the compiled plan")
+	}
+	rep.Notes = append(rep.Notes, fmt.Sprintf(
+		"live ingest (n=2): appended last 20%% of orders in %v, %d plan recompiles, post-append Q6 byte-identical to the full instance",
+		ingestWall.Round(time.Microsecond), st.Recompiles))
+	return rep
+}

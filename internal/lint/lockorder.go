@@ -6,18 +6,21 @@ import (
 	"go/types"
 )
 
-// LockOrder flags plan execution attempted while holding one of the two
+// LockOrder flags plan execution attempted while holding one of the
 // serve-path bookkeeping locks: the plan cache's mutex (internal/mal,
-// PlanCache.mu) and the server's flight-map mutex (internal/serve,
-// Server.fmu). Plan execution acquires engine locks and can block on
-// device work; taking it under a bookkeeping lock inverts the documented
-// order (engine locks are innermost) and stalls every concurrent client on
-// a map lookup. The analyzer is textual: the critical section runs from a
-// Lock call to the first following Unlock on the same mutex expression, or
-// to the end of the function when the Unlock is deferred.
+// PlanCache.mu), the server's flight-map mutex (internal/serve,
+// Server.fmu), and the shard coordinator's compiled-plan mutex
+// (internal/serve, ShardedServer.cmu). Plan execution acquires engine locks
+// and can block on device work; taking it under a bookkeeping lock inverts
+// the documented order (engine locks are innermost) and stalls every
+// concurrent client on a map lookup. The analyzer is textual: the critical
+// section runs from a Lock call to the first following Unlock on the same
+// mutex expression, or to the end of the function when the Unlock is
+// deferred. Function literals are separate scopes: a lock taken (or
+// deferred-unlocked) inside a closure never spans the enclosing body.
 var LockOrder = &Analyzer{
 	Name: "lockorder",
-	Doc:  "flag plan execution (Template.Run, Session methods, engine calls) under the plan-cache or flight-map locks",
+	Doc:  "flag plan execution (Template.Run, Session methods, Server.Execute, engine calls) under the plan-cache, flight-map or shard-coordinator locks",
 	Run:  runLockOrder,
 }
 
@@ -39,7 +42,13 @@ func runLockOrder(pass *Pass) error {
 			if !ok || fn.Body == nil {
 				continue
 			}
-			checkLockOrder(pass, fn)
+			checkLockOrder(pass, fn.Body)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					checkLockOrder(pass, lit.Body)
+				}
+				return true
+			})
 		}
 	}
 	return nil
@@ -52,10 +61,21 @@ type lockEvent struct {
 	deferred bool
 }
 
-func checkLockOrder(pass *Pass, fn *ast.FuncDecl) {
+// inspectShallow walks body without descending into nested function
+// literals — those are separate lock scopes, analyzed on their own.
+func inspectShallow(body *ast.BlockStmt, fn func(ast.Node) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return fn(n)
+	})
+}
+
+func checkLockOrder(pass *Pass, body *ast.BlockStmt) {
 	var events []lockEvent
 	deferredCalls := map[token.Pos]bool{}
-	ast.Inspect(fn.Body, func(n ast.Node) bool {
+	inspectShallow(body, func(n ast.Node) bool {
 		var call *ast.CallExpr
 		deferred := false
 		switch st := n.(type) {
@@ -92,15 +112,15 @@ func checkLockOrder(pass *Pass, fn *ast.FuncDecl) {
 			continue
 		}
 		// Critical section: Lock → first textual Unlock of the same mutex,
-		// or function end when that Unlock is deferred (or absent).
-		end := fn.Body.End()
+		// or scope end when that Unlock is deferred (or absent).
+		end := body.End()
 		for _, u := range events[i+1:] {
 			if u.unlock && u.key == ev.key && !u.deferred {
 				end = u.pos
 				break
 			}
 		}
-		ast.Inspect(fn.Body, func(n ast.Node) bool {
+		inspectShallow(body, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok || call.Pos() <= ev.pos || call.Pos() >= end {
 				return true
@@ -126,13 +146,15 @@ func guardedMutex(pass *Pass, expr ast.Expr) (string, bool) {
 	if !isNamed(pass.Info.TypeOf(sel), "sync", "Mutex") && !isNamed(pass.Info.TypeOf(sel), "sync", "RWMutex") {
 		return "", false
 	}
-	// … named mu on a PlanCache or fmu on a Server.
+	// … named mu on a PlanCache, fmu on a Server, or cmu on a ShardedServer.
 	owner := pass.Info.TypeOf(sel.X)
 	switch {
 	case sel.Sel.Name == "mu" && isNamed(owner, "internal/mal", "PlanCache"):
 		return types.ExprString(sel.X) + ".mu (plan cache)", true
 	case sel.Sel.Name == "fmu" && isNamed(owner, "internal/serve", "Server"):
 		return types.ExprString(sel.X) + ".fmu (flight map)", true
+	case sel.Sel.Name == "cmu" && isNamed(owner, "internal/serve", "ShardedServer"):
+		return types.ExprString(sel.X) + ".cmu (shard coordinator)", true
 	}
 	return "", false
 }
@@ -159,6 +181,10 @@ func execCall(pass *Pass, call *ast.CallExpr) string {
 		return "Template." + name
 	case isNamed(recv, "internal/mal", "PlanCache") && name == "Run":
 		return "PlanCache.Run"
+	case isNamed(recv, "internal/mal", "ShardPlan") && name == "Merge":
+		return "ShardPlan.Merge"
+	case isNamed(recv, "internal/serve", "Server") && (name == "Execute" || name == "ExecuteCtx"):
+		return "Server." + name
 	case isNamed(recv, "internal/mal", "Session") && sessionExecMethods[name]:
 		return "Session." + name
 	}

@@ -33,3 +33,73 @@ func good(sv *Server, t *mal.Template) {
 	sv.fmu.Unlock()
 	_, _ = t.Run(nil) // lock dropped before execution
 }
+
+// goodClosureScopedLock: a deferred unlock inside a closure ends that
+// closure's critical section; execution after the closure is clean.
+func goodClosureScopedLock(sv *Server, t *mal.Template) {
+	busy := func() bool {
+		sv.fmu.Lock()
+		defer sv.fmu.Unlock()
+		return len(sv.flight) > 0
+	}
+	for busy() {
+	}
+	_, _ = t.Run(nil) // outside any critical section
+}
+
+func badInsideClosure(sv *Server, t *mal.Template) {
+	go func() {
+		sv.fmu.Lock()
+		defer sv.fmu.Unlock()
+		_, _ = t.Run(nil) // want `Template\.Run while holding sv\.fmu \(flight map\)`
+	}()
+}
+
+func (sv *Server) Execute(name string) (int, error)    { return 0, nil }
+func (sv *Server) ExecuteCtx(name string) (int, error) { return 0, nil }
+
+// ShardedServer mirrors the shard coordinator: cmu guards the compiled-plan
+// map and must never be held across plan execution.
+type ShardedServer struct {
+	cmu     sync.Mutex
+	entries map[string]int
+	coord   *Server
+}
+
+func badShardCompileUnderLock(ss *ShardedServer, plan interface{}) {
+	ss.cmu.Lock()
+	defer ss.cmu.Unlock()
+	if _, ok := ss.entries["q"]; ok {
+		return
+	}
+	_, _ = mal.RunQuery(nil, plan) // want `RunQuery while holding ss\.cmu \(shard coordinator\)`
+	ss.entries["q"] = 1
+}
+
+func badShardDelegateUnderLock(ss *ShardedServer) {
+	ss.cmu.Lock()
+	_, _ = ss.coord.ExecuteCtx("q") // want `Server\.ExecuteCtx while holding ss\.cmu \(shard coordinator\)`
+	ss.cmu.Unlock()
+}
+
+func badShardMergeUnderLock(ss *ShardedServer, sp *mal.ShardPlan) {
+	ss.cmu.Lock()
+	defer ss.cmu.Unlock()
+	_, _ = sp.Merge(nil) // want `ShardPlan\.Merge while holding ss\.cmu \(shard coordinator\)`
+}
+
+// goodShardRegisterThenRun is the required shape: consult the map under cmu,
+// drop the lock, run cold, relock only to store the entry.
+func goodShardRegisterThenRun(ss *ShardedServer, plan interface{}, sp *mal.ShardPlan) {
+	ss.cmu.Lock()
+	_, ok := ss.entries["q"]
+	ss.cmu.Unlock()
+	if ok {
+		return
+	}
+	_, _ = mal.RunQuery(nil, plan)
+	_, _ = sp.Merge(nil)
+	ss.cmu.Lock()
+	ss.entries["q"] = 1
+	ss.cmu.Unlock()
+}

@@ -99,6 +99,11 @@ type Template struct {
 	fb        map[int]float64
 	adapt     *adaptState
 	adaptDone bool
+
+	// tables are the named base tables the plan reads (collected at seal
+	// time from the raw IR): the dependency set per-table epoch invalidation
+	// checks cached templates against (PlanCache.InvalidateTable).
+	tables []string
 }
 
 // boundRef is one instruction scalar field a named parameter re-binds.
@@ -138,6 +143,25 @@ func (s *Session) Template() *Template {
 			}
 		}
 	}
+	// Collect the base tables the plan reads from the raw IR (conservative:
+	// includes reads the rewriter later eliminated) — the per-table epoch
+	// dependency set.
+	seenTab := map[string]bool{}
+	noteTab := func(b *bat.BAT) {
+		if b == nil || t.isPH[b] || b.TableName == "" || seenTab[b.TableName] {
+			return
+		}
+		seenTab[b.TableName] = true
+		t.tables = append(t.tables, b.TableName)
+	}
+	for _, in := range s.raw {
+		for _, a := range in.Args {
+			noteTab(a)
+		}
+	}
+	for _, c := range t.cols {
+		noteTab(c)
+	}
 	t.sealed = true
 	// A verifying build already checked every fragment after every pass, so
 	// the sealed template is pre-verified; otherwise the first verified
@@ -166,6 +190,10 @@ func (t *Template) checkParams(params Params) error {
 	}
 	return nil
 }
+
+// Tables returns the named base tables the plan reads, in first-read order
+// (the per-table epoch dependency set).
+func (t *Template) Tables() []string { return append([]string(nil), t.tables...) }
 
 // Fragments returns the number of flush fragments the template holds.
 func (t *Template) Fragments() int { return len(t.frags) }
@@ -351,6 +379,13 @@ type PlanCache struct {
 	// coalesced counts Run calls that waited on another call's in-flight
 	// build instead of building themselves.
 	coalesced int64
+	// epochs are per-table data epochs: incremental appends bump only the
+	// appended table's epoch (InvalidateTable), so templates over other
+	// tables stay warm. A table never appended to is implicitly at epoch 0.
+	epochs map[string]int64
+	// epochDropped counts templates dropped at lookup because a table they
+	// read moved to a newer epoch.
+	epochDropped int64
 }
 
 // buildCall is one in-flight template build. done is closed when the build
@@ -362,10 +397,13 @@ type buildCall struct {
 }
 
 // cacheSlot is one resident template plus its key (for map removal on
-// eviction).
+// eviction) and the per-table epochs the template was built against: if any
+// of its tables has since been invalidated, the slot is stale and lookup
+// drops it.
 type cacheSlot struct {
-	key string
-	tpl *Template
+	key  string
+	tpl  *Template
+	deps map[string]int64
 }
 
 // DefaultPlanCacheCapacity bounds a cache created by NewPlanCache. Each
@@ -420,26 +458,66 @@ func (c *PlanCache) evictLocked() {
 }
 
 // lookupLocked returns the resident template for key, marking it most
-// recently used.
+// recently used. A template whose tables have moved past the epochs it was
+// built against is stale: it is dropped and the lookup misses.
 func (c *PlanCache) lookupLocked(key string) *Template {
 	el := c.m[key]
 	if el == nil {
 		return nil
 	}
+	slot := el.Value.(*cacheSlot)
+	for tab, e := range slot.deps {
+		if c.epochs[tab] != e {
+			c.lru.Remove(el)
+			delete(c.m, key)
+			c.epochDropped++
+			return nil
+		}
+	}
 	c.lru.MoveToFront(el)
-	return el.Value.(*cacheSlot).tpl
+	return slot.tpl
 }
 
-// putLocked stores (or refreshes) a template under key and applies the
-// capacity bound.
-func (c *PlanCache) putLocked(key string, t *Template) {
+// putLocked stores (or refreshes) a template under key with the given
+// per-table epoch dependencies and applies the capacity bound.
+func (c *PlanCache) putLocked(key string, t *Template, deps map[string]int64) {
 	if el := c.m[key]; el != nil {
-		el.Value.(*cacheSlot).tpl = t
+		slot := el.Value.(*cacheSlot)
+		slot.tpl, slot.deps = t, deps
 		c.lru.MoveToFront(el)
 		return
 	}
-	c.m[key] = c.lru.PushFront(&cacheSlot{key: key, tpl: t})
+	c.m[key] = c.lru.PushFront(&cacheSlot{key: key, tpl: t, deps: deps})
 	c.evictLocked()
+}
+
+// depsFor projects an epochs snapshot onto a template's table set: the
+// epoch each table was at when the template's build started (implicitly 0
+// for tables never invalidated).
+func depsFor(tables []string, epochs map[string]int64) map[string]int64 {
+	if len(tables) == 0 {
+		return nil
+	}
+	deps := make(map[string]int64, len(tables))
+	for _, tab := range tables {
+		deps[tab] = epochs[tab]
+	}
+	return deps
+}
+
+// snapshotEpochsLocked copies the current per-table epochs. The copy taken
+// when a miss starts building is what the finished template's dependencies
+// are recorded against, so an InvalidateTable racing the build leaves the
+// stored template already stale — it can never serve post-append lookups.
+func (c *PlanCache) snapshotEpochsLocked() map[string]int64 {
+	if len(c.epochs) == 0 {
+		return nil
+	}
+	snap := make(map[string]int64, len(c.epochs))
+	for k, v := range c.epochs {
+		snap[k] = v
+	}
+	return snap
 }
 
 // keyLocked renders the cache key for the *current* data generation.
@@ -459,6 +537,36 @@ func (c *PlanCache) BumpGeneration() {
 
 // Invalidate is BumpGeneration under the name the serving layer exposes.
 func (c *PlanCache) Invalidate() { c.BumpGeneration() }
+
+// InvalidateTable marks one named base table's data as changed (an
+// incremental append): only resident templates that read that table go
+// stale — checked lazily at lookup — while templates over other tables stay
+// warm. Contrast BumpGeneration/Invalidate, which strand every resident
+// template at once; use those for wholesale reloads that swap BATs out.
+func (c *PlanCache) InvalidateTable(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.epochs == nil {
+		c.epochs = map[string]int64{}
+	}
+	c.epochs[name]++
+}
+
+// TableEpoch returns the current epoch of a named table (0 if it was never
+// invalidated).
+func (c *PlanCache) TableEpoch(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epochs[name]
+}
+
+// EpochDropped returns how many templates lookups dropped because a table
+// they read moved to a newer epoch.
+func (c *PlanCache) EpochDropped() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epochDropped
+}
 
 // Generation returns the current data-generation stamp (tests/diagnostics).
 func (c *PlanCache) Generation() int64 {
@@ -484,7 +592,7 @@ func (c *PlanCache) Lookup(name string, o ops.Operators, passes Passes) *Templat
 // key.
 func (c *PlanCache) Put(name string, o ops.Operators, passes Passes, t *Template) {
 	c.mu.Lock()
-	c.putLocked(c.keyLocked(name, o, passes), t)
+	c.putLocked(c.keyLocked(name, o, passes), t, depsFor(t.tables, c.epochs))
 	c.mu.Unlock()
 }
 
@@ -499,7 +607,7 @@ func (c *PlanCache) PutIfGeneration(name string, o ops.Operators, passes Passes,
 	if c.gen != gen {
 		return false
 	}
-	c.putLocked(c.keyLocked(name, o, passes), t)
+	c.putLocked(c.keyLocked(name, o, passes), t, depsFor(t.tables, c.epochs))
 	return true
 }
 
@@ -592,15 +700,16 @@ func (c *PlanCache) Run(o ops.Operators, name string, params Params, passes Pass
 		c.misses++
 		bc := &buildCall{done: make(chan struct{})}
 		c.building[key] = bc
+		epochs := c.snapshotEpochsLocked()
 		c.mu.Unlock()
-		return c.build(o, key, params, passes, plan, bc)
+		return c.build(o, key, params, passes, plan, bc, epochs)
 	}
 }
 
 // build runs the miss path of Run as the registered builder for key. The
 // buildCall is always resolved — entry removed, done closed — even on a
 // plan panic, so waiters can never be stranded.
-func (c *PlanCache) build(o ops.Operators, key string, params Params, passes Passes, plan func(*Session) *Result, bc *buildCall) (res *Result, hit bool, err error) {
+func (c *PlanCache) build(o ops.Operators, key string, params Params, passes Passes, plan func(*Session) *Result, bc *buildCall, epochs map[string]int64) (res *Result, hit bool, err error) {
 	defer func() {
 		c.mu.Lock()
 		delete(c.building, key)
@@ -614,7 +723,7 @@ func (c *PlanCache) build(o ops.Operators, key string, params Params, passes Pas
 	if err == nil && res != nil {
 		tpl := s.Template()
 		c.mu.Lock()
-		c.putLocked(key, tpl)
+		c.putLocked(key, tpl, depsFor(tpl.tables, epochs))
 		c.mu.Unlock()
 		bc.tpl = tpl
 		// The built template is valid and cached either way, but a binding

@@ -1,0 +1,167 @@
+package mal
+
+import (
+	"testing"
+
+	"repro/internal/bat"
+	"repro/internal/ops"
+)
+
+// epochTables builds two independent named tables for epoch-scoped
+// invalidation tests.
+func epochTables() (ta, tb *bat.Table) {
+	ta = bat.NewTable("ta")
+	ta.Add("k", bat.NewI32("ta_k", []int32{1, 2, 3, 4, 5}))
+	ta.Add("v", bat.NewF32("ta_v", []float32{10, 20, 30, 40, 50}))
+	tb = bat.NewTable("tb")
+	tb.Add("k", bat.NewI32("tb_k", []int32{2, 4, 6, 8}))
+	tb.Add("v", bat.NewF32("tb_v", []float32{1, 2, 3, 4}))
+	return
+}
+
+func sumPlan(tab *bat.Table) func(*Session) *Result {
+	k, v := tab.Cols["k"], tab.Cols["v"]
+	return func(s *Session) *Result {
+		sel := s.Select(k, nil, 2, 100, true, true)
+		vv := s.Project(sel, v)
+		return s.Result([]string{"sum"}, s.Aggr(ops.Sum, vv, nil, 0))
+	}
+}
+
+// TestTemplateTablesCollected: sealing a template must record the distinct
+// named base tables the raw plan read.
+func TestTemplateTablesCollected(t *testing.T) {
+	ta, tb := epochTables()
+	o := MS.Build(ConfigOptions{})
+	s := NewSession(o)
+	plan := func(s *Session) *Result {
+		sel := s.Select(ta.Cols["k"], nil, 2, 4, true, true)
+		vv := s.Project(sel, ta.Cols["v"])
+		w := s.Project(sel, ta.Cols["v"]) // same table twice: no duplicate
+		_ = w
+		bsel := s.Select(tb.Cols["k"], nil, 0, 100, true, true)
+		bv := s.Project(bsel, tb.Cols["v"])
+		return s.Result([]string{"a", "b"},
+			s.Aggr(ops.Sum, vv, nil, 0), s.Aggr(ops.Sum, bv, nil, 0))
+	}
+	if _, err := RunQuery(s, plan); err != nil {
+		t.Fatal(err)
+	}
+	tabs := s.Template().Tables()
+	if len(tabs) != 2 || tabs[0] != "ta" || tabs[1] != "tb" {
+		t.Fatalf("template tables = %v, want [ta tb]", tabs)
+	}
+
+	// A plan over anonymous BATs (no catalog tables) records none.
+	k, v, g := testData()
+	s2 := NewSession(o)
+	if _, err := RunQuery(s2, miniPlan(k, v, g)); err != nil {
+		t.Fatal(err)
+	}
+	if tabs := s2.Template().Tables(); len(tabs) != 0 {
+		t.Fatalf("anonymous plan recorded tables %v, want none", tabs)
+	}
+}
+
+// TestInvalidateTableScopedStaleness: bumping one table's epoch must evict
+// only the cached templates that read it; templates over other tables stay
+// warm (hit counters prove neither rebuilt nor re-missed).
+func TestInvalidateTableScopedStaleness(t *testing.T) {
+	ta, tb := epochTables()
+	o := MS.Build(ConfigOptions{})
+	c := NewPlanCache()
+	passes := DefaultPasses()
+
+	builtA, builtB := 0, 0
+	planA := func(s *Session) *Result { builtA++; return sumPlan(ta)(s) }
+	planB := func(s *Session) *Result { builtB++; return sumPlan(tb)(s) }
+
+	for name, plan := range map[string]func(*Session) *Result{"qa": planA, "qb": planB} {
+		if _, hit, err := c.Run(o, name, nil, passes, plan); err != nil || hit {
+			t.Fatalf("%s warmup: hit=%v err=%v", name, hit, err)
+		}
+		if _, hit, err := c.Run(o, name, nil, passes, plan); err != nil || !hit {
+			t.Fatalf("%s re-run: hit=%v err=%v", name, hit, err)
+		}
+	}
+	if builtA != 1 || builtB != 1 {
+		t.Fatalf("builds = %d/%d, want 1/1", builtA, builtB)
+	}
+
+	c.InvalidateTable("ta")
+	if e := c.TableEpoch("ta"); e != 1 {
+		t.Fatalf("ta epoch = %d, want 1", e)
+	}
+
+	// qa is stale: the next run must rebuild. qb must still hit.
+	if _, hit, err := c.Run(o, "qa", nil, passes, planA); err != nil || hit {
+		t.Fatalf("qa after invalidate: hit=%v err=%v", hit, err)
+	}
+	if builtA != 2 {
+		t.Fatalf("qa rebuilt %d times, want 2", builtA)
+	}
+	if _, hit, err := c.Run(o, "qb", nil, passes, planB); err != nil || !hit {
+		t.Fatalf("qb after ta invalidate: hit=%v err=%v (must stay warm)", hit, err)
+	}
+	if builtB != 1 {
+		t.Fatalf("qb rebuilt (%d builds): invalidation not table-scoped", builtB)
+	}
+	if d := c.EpochDropped(); d != 1 {
+		t.Fatalf("epoch-dropped = %d, want 1", d)
+	}
+
+	// The rebuilt qa is warm again at the new epoch.
+	if _, hit, err := c.Run(o, "qa", nil, passes, planA); err != nil || !hit {
+		t.Fatalf("qa re-warm: hit=%v err=%v", hit, err)
+	}
+}
+
+// TestInvalidateTableDuringBuild: an append that lands while a template is
+// building must leave the stored template stale — dependencies are recorded
+// against the epochs at build *start*, so the template can never serve a
+// post-append lookup.
+func TestInvalidateTableDuringBuild(t *testing.T) {
+	ta, _ := epochTables()
+	o := MS.Build(ConfigOptions{})
+	c := NewPlanCache()
+	passes := DefaultPasses()
+
+	built := 0
+	plan := func(s *Session) *Result {
+		built++
+		if built == 1 {
+			c.InvalidateTable("ta") // append races the first build
+		}
+		return sumPlan(ta)(s)
+	}
+	if _, hit, err := c.Run(o, "qa", nil, passes, plan); err != nil || hit {
+		t.Fatalf("first run: hit=%v err=%v", hit, err)
+	}
+	// The template was stored, but against the pre-append epoch: it must not
+	// replay now.
+	if _, hit, err := c.Run(o, "qa", nil, passes, plan); err != nil || hit {
+		t.Fatalf("post-append run: hit=%v err=%v (stale template replayed)", hit, err)
+	}
+	if built != 2 {
+		t.Fatalf("builds = %d, want 2", built)
+	}
+	if _, hit, err := c.Run(o, "qa", nil, passes, plan); err != nil || !hit {
+		t.Fatalf("third run: hit=%v err=%v", hit, err)
+	}
+}
+
+// TestInvalidateTableUntouchedCache: invalidating a table no resident
+// template reads must not disturb anything.
+func TestInvalidateTableUntouchedCache(t *testing.T) {
+	ta, _ := epochTables()
+	o := MS.Build(ConfigOptions{})
+	c := NewPlanCache()
+	passes := DefaultPasses()
+	if _, hit, err := c.Run(o, "qa", nil, passes, sumPlan(ta)); err != nil || hit {
+		t.Fatalf("warmup: hit=%v err=%v", hit, err)
+	}
+	c.InvalidateTable("unrelated")
+	if _, hit, err := c.Run(o, "qa", nil, passes, sumPlan(ta)); err != nil || !hit {
+		t.Fatalf("after unrelated invalidate: hit=%v err=%v", hit, err)
+	}
+}

@@ -1,0 +1,65 @@
+// Scatter-gather merge helpers for sharded execution. A sharded plan runs
+// one fragment per shard and ships each shard's intermediates back aligned
+// to that shard's local row order; the coordinator interleaves them into
+// global row order before the merge fragment runs. The row-id streams being
+// merged are strictly ascending and pairwise disjoint (shards partition the
+// logical table's rows), so the merge is a deterministic K-way interleave —
+// no comparator ties, no dependence on shard arrival order — which is what
+// keeps the sharded execution byte-identical to the unsharded one.
+package ops
+
+import "fmt"
+
+// MergeAscending K-way merges strictly-ascending, pairwise-disjoint uint32
+// lists. It returns the merged list and, per input list, the rank of each of
+// its elements: ranks[s][j] is the merged position of lists[s][j]. The rank
+// arrays are how the gather layer rewrites shard-local positional values
+// (positions into a shard's slice of an intermediate) into positions into
+// the merged intermediate.
+//
+// An input that is not strictly ascending, or that overlaps another input,
+// violates the rows-partition invariant and is reported as an error rather
+// than silently mis-merged.
+func MergeAscending(lists [][]uint32) (merged []uint32, ranks [][]uint32, err error) {
+	total := 0
+	ranks = make([][]uint32, len(lists))
+	for s, l := range lists {
+		total += len(l)
+		ranks[s] = make([]uint32, len(l))
+	}
+	merged = make([]uint32, 0, total)
+	idx := make([]int, len(lists))
+	for len(merged) < total {
+		best := -1
+		var bestV uint32
+		for s, l := range lists {
+			if idx[s] >= len(l) {
+				continue
+			}
+			if v := l[idx[s]]; best < 0 || v < bestV {
+				best, bestV = s, v
+			}
+		}
+		if n := len(merged); n > 0 && merged[n-1] >= bestV {
+			return nil, nil, fmt.Errorf("ops: merge inputs not disjoint ascending (row %d after %d)", bestV, merged[n-1])
+		}
+		ranks[best][idx[best]] = uint32(len(merged))
+		merged = append(merged, bestV)
+		idx[best]++
+	}
+	return merged, ranks, nil
+}
+
+// GatherU32 maps positions through a row list: out[j] = rows[vals[j]]. It is
+// the local→global translation step of the gather layer (rows being a
+// shard's ascending local→global map, vals shard-local positions).
+func GatherU32(rows []uint32, vals []uint32) ([]uint32, error) {
+	out := make([]uint32, len(vals))
+	for j, v := range vals {
+		if int(v) >= len(rows) {
+			return nil, fmt.Errorf("ops: gather position %d out of range (%d rows)", v, len(rows))
+		}
+		out[j] = rows[v]
+	}
+	return out, nil
+}

@@ -1,0 +1,65 @@
+package ops
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestMergeAscending(t *testing.T) {
+	merged, ranks, err := MergeAscending([][]uint32{
+		{0, 3, 5},
+		{1, 2, 7},
+		{4, 6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []uint32{0, 1, 2, 3, 4, 5, 6, 7}; !reflect.DeepEqual(merged, want) {
+		t.Fatalf("merged = %v, want %v", merged, want)
+	}
+	// ranks[s][j] must be the merged position of lists[s][j].
+	if want := []uint32{0, 3, 5}; !reflect.DeepEqual(ranks[0], want) {
+		t.Fatalf("ranks[0] = %v, want %v", ranks[0], want)
+	}
+	if want := []uint32{1, 2, 7}; !reflect.DeepEqual(ranks[1], want) {
+		t.Fatalf("ranks[1] = %v, want %v", ranks[1], want)
+	}
+	if want := []uint32{4, 6}; !reflect.DeepEqual(ranks[2], want) {
+		t.Fatalf("ranks[2] = %v, want %v", ranks[2], want)
+	}
+}
+
+func TestMergeAscendingEmptyInputs(t *testing.T) {
+	merged, ranks, err := MergeAscending([][]uint32{nil, {2, 9}, nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []uint32{2, 9}; !reflect.DeepEqual(merged, want) {
+		t.Fatalf("merged = %v, want %v", merged, want)
+	}
+	if len(ranks[0]) != 0 || len(ranks[2]) != 0 {
+		t.Fatalf("empty inputs must get empty rank arrays, got %v", ranks)
+	}
+}
+
+func TestMergeAscendingRejectsOverlap(t *testing.T) {
+	if _, _, err := MergeAscending([][]uint32{{1, 4}, {4, 5}}); err == nil {
+		t.Fatal("overlapping inputs must be rejected")
+	}
+	if _, _, err := MergeAscending([][]uint32{{3, 2}}); err == nil {
+		t.Fatal("non-ascending input must be rejected")
+	}
+}
+
+func TestGatherU32(t *testing.T) {
+	out, err := GatherU32([]uint32{10, 20, 30}, []uint32{2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []uint32{30, 10}; !reflect.DeepEqual(out, want) {
+		t.Fatalf("gather = %v, want %v", out, want)
+	}
+	if _, err := GatherU32([]uint32{10}, []uint32{1}); err == nil {
+		t.Fatal("out-of-range position must be rejected")
+	}
+}

@@ -231,3 +231,87 @@ func TestBatchRidersServedInLeadersSlot(t *testing.T) {
 		t.Fatalf("cache stats %d hits / %d misses, want 2/1", hits, misses)
 	}
 }
+
+// TestBatchRiderCancelWhileQueued: a rider whose context is cancelled while
+// it waits in a running leader's batch group must unblock immediately with
+// the context's own error — not wait for the leader's drain — and the
+// leader's batch accounting must stay consistent: the dead rider is flushed
+// unserved, later riders are still served, and the group dissolves cleanly.
+func TestBatchRiderCancelWhileQueued(t *testing.T) {
+	k := flightCol("k", []int32{1, 2, 3, 4, 5})
+	v := flightFCol("v", []float32{10, 20, 30, 40, 50})
+	sv := New(mal.MS.Build(mal.ConfigOptions{}), Options{MaxConcurrent: 1})
+	release := make(chan struct{})
+	plan := func(s *mal.Session) *mal.Result {
+		hi := s.Param("hi", 4)
+		sel := s.Select(k, nil, 2, hi, true, true)
+		vv := s.Project(sel, v)
+		<-release // hold the leader's slot until the test says so
+		return s.Result([]string{"sum"}, s.Aggr(ops.Sum, vv, nil, 0))
+	}
+
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, err := sv.Execute("q", mal.Params{"hi": 4}, plan)
+		leaderErr <- err
+	}()
+	waitFor(t, "leader to open the group", func() bool {
+		sv.fmu.Lock()
+		defer sv.fmu.Unlock()
+		return len(sv.groups) == 1
+	})
+
+	// Rider A queues in the group, then its caller gives up.
+	ctx, cancel := context.WithCancel(context.Background())
+	riderAErr := make(chan error, 1)
+	go func() {
+		_, err := sv.ExecuteCtx(ctx, "q", mal.Params{"hi": 3}, plan)
+		riderAErr <- err
+	}()
+	waitFor(t, "rider A to join the group", func() bool { return sv.batchWaiting.Load() == 1 })
+	cancel()
+	select {
+	case err := <-riderAErr:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled rider returned %v, want context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled rider still blocked in the batch group (leader never released it)")
+	}
+	if w := sv.batchWaiting.Load(); w != 0 {
+		t.Fatalf("batchWaiting = %d after rider cancel, want 0", w)
+	}
+
+	// Rider B joins after the cancellation and must still be served.
+	riderB := make(chan error, 1)
+	var riderBSum float64
+	go func() {
+		res, err := sv.ExecuteCtx(context.Background(), "q", mal.Params{"hi": 5}, plan)
+		if err == nil {
+			riderBSum = res.Canonical()[0][0]
+		}
+		riderB <- err
+	}()
+	waitFor(t, "rider B to join the group", func() bool { return sv.batchWaiting.Load() == 1 })
+
+	close(release)
+	if err := <-leaderErr; err != nil {
+		t.Fatalf("leader: %v", err)
+	}
+	if err := <-riderB; err != nil {
+		t.Fatalf("rider B after a cancelled groupmate: %v", err)
+	}
+	if riderBSum != 140 { // k in 2..5
+		t.Fatalf("rider B sum = %v, want 140 (parameters not re-bound?)", riderBSum)
+	}
+	sv.fmu.Lock()
+	open := len(sv.groups)
+	sv.fmu.Unlock()
+	if open != 0 {
+		t.Fatalf("%d batch groups still open after drain", open)
+	}
+	st := sv.Stats()["q"]
+	if st.Runs != 2 || st.Batched != 1 || st.Dropped != 1 || st.Errors != 0 {
+		t.Fatalf("stats = %+v, want 2 runs (leader + rider B), 1 batched, 1 dropped (rider A)", st)
+	}
+}

@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/mal"
+	"repro/internal/tpch"
+)
+
+// TestServerInvalidateTableKeepsOtherTablesWarm is the staleness regression
+// check for per-table epochs on a plain Server: appending to lineitem must
+// force queries over lineitem to rebuild while queries over unrelated
+// tables keep replaying their cached templates (cache-hit counters prove
+// it).
+func TestServerInvalidateTableKeepsOtherTablesWarm(t *testing.T) {
+	d := testDB()
+	sv := New(mal.MS.Build(engineOpts()), Options{MaxConcurrent: 2})
+	q6, q11 := *tpch.QueryByNum(6), *tpch.QueryByNum(11) // lineitem vs partsupp-only
+	run := func(q tpch.Query) {
+		t.Helper()
+		if _, err := sv.Execute(fmt.Sprintf("Q%d", q.Num), nil, func(s *mal.Session) *mal.Result {
+			return q.Plan(s, d)
+		}); err != nil {
+			t.Fatalf("Q%d: %v", q.Num, err)
+		}
+	}
+	run(q6)
+	run(q11)
+	run(q6)
+	run(q11)
+	hits, misses, _ := sv.CacheStats()
+	if hits != 2 || misses != 2 {
+		t.Fatalf("warmup cache stats %d/%d, want 2 hits / 2 misses", hits, misses)
+	}
+
+	sv.InvalidateTable("lineitem")
+
+	run(q11) // no lineitem: template must stay warm
+	if h, m, _ := sv.CacheStats(); h != hits+1 || m != misses {
+		t.Fatalf("Q11 after lineitem invalidate: %d/%d (was %d/%d) — unrelated template went cold", h, m, hits, misses)
+	}
+	run(q6) // reads lineitem: must rebuild
+	if h, m, _ := sv.CacheStats(); h != hits+1 || m != misses+1 {
+		t.Fatalf("Q6 after lineitem invalidate: %d/%d (was %d/%d) — stale template replayed", h, m, hits, misses)
+	}
+}
+
+// TestShardedLiveIngest serves reads concurrently with an incremental
+// append. Every result observed during the append must equal either the
+// pre-append or the post-append answer (generation-stamped snapshots, no
+// torn reads); afterwards the appended rows must be visible, queries over
+// the appended tables recompile exactly once, and queries over untouched
+// tables stay warm in the coordinator's cache.
+func TestShardedLiveIngest(t *testing.T) {
+	full := tpch.GenerateSkewed(0.005, 42, 0.5)
+	pre := tpch.PrefixDB(full, full.Orders.Rows()*4/5)
+	sdb := tpch.ShardDB(pre, 2)
+
+	refEng := mal.MS.Build(engineOpts())
+	q6, q11 := *tpch.QueryByNum(6), *tpch.QueryByNum(11)
+	preRef6 := refRun(t, refEng, q6, pre)
+	postRef6 := refRun(t, refEng, q6, full)
+	ref11 := refRun(t, refEng, q11, pre) // partsupp-only: append changes nothing
+	if canonEqual(preRef6, postRef6) == nil {
+		t.Fatal("append does not change Q6's answer; the test would prove nothing")
+	}
+
+	ss := NewSharded(mal.MS.Build(engineOpts()), shardEngines(mal.MS, 2), sdb.Catalog(), Options{MaxConcurrent: 4})
+	exec := func(q tpch.Query) (*mal.Result, error) {
+		return ss.Execute(fmt.Sprintf("Q%d", q.Num), nil, func(s *mal.Session) *mal.Result {
+			return q.Plan(s, sdb.Global)
+		})
+	}
+	for i := 0; i < 3; i++ { // cold compile + warm rounds
+		res, err := exec(q6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := canonEqual(res, preRef6); err != nil {
+			t.Fatalf("pre-append Q6 round %d: %v", i, err)
+		}
+		if res, err = exec(q11); err != nil {
+			t.Fatal(err)
+		}
+		if err := canonEqual(res, ref11); err != nil {
+			t.Fatalf("pre-append Q11 round %d: %v", i, err)
+		}
+	}
+
+	// Readers hammer Q6 while the tail lands. Each read must see exactly one
+	// generation.
+	const readers, reads = 4, 8
+	var wg sync.WaitGroup
+	errs := make(chan error, readers*reads)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < reads; i++ {
+				res, err := exec(q6)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if canonEqual(res, preRef6) != nil && canonEqual(res, postRef6) != nil {
+					errs <- fmt.Errorf("read %d: result matches neither generation (torn read)", i)
+					return
+				}
+			}
+		}()
+	}
+	ss.Ingest(tpch.ShardTables(), func() { sdb.AppendTail(full) })
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// The appended rows are visible now, through a recompiled plan.
+	res, err := exec(q6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := canonEqual(res, postRef6); err != nil {
+		t.Fatalf("post-append Q6: %v", err)
+	}
+	if st := ss.Stats(); st.Recompiles == 0 {
+		t.Fatal("append did not retire the compiled Q6 plan")
+	} else if st.Fallbacks != 0 {
+		t.Fatalf("%d scatter fallbacks during ingest", st.Fallbacks)
+	}
+
+	// Q11 reads none of the appended tables: its coordinator template must
+	// still be warm — served as a hit, no rebuild.
+	h0, m0, _ := ss.Coordinator().CacheStats()
+	if res, err = exec(q11); err != nil {
+		t.Fatal(err)
+	}
+	if err := canonEqual(res, ref11); err != nil {
+		t.Fatalf("post-append Q11: %v", err)
+	}
+	h1, m1, _ := ss.Coordinator().CacheStats()
+	if m1 != m0 || h1 != h0+1 {
+		t.Fatalf("Q11 after ingest: coordinator cache %d/%d -> %d/%d — template went cold", h0, m0, h1, m1)
+	}
+}

@@ -279,6 +279,21 @@ func (sv *Server) Invalidate() {
 	}
 }
 
+// InvalidateTable marks one named base table's data as changed in place (an
+// incremental append): each engine's plan cache bumps only that table's
+// epoch, so cached templates over other tables stay warm — unlike
+// Invalidate, which strands every template. The coalescing generation still
+// advances: a flight or batch group keyed before the append must not absorb
+// requests arriving after it, since those must see the appended rows.
+func (sv *Server) InvalidateTable(name string) {
+	sv.gen.Add(1)
+	for _, s := range sv.slots {
+		if s.cache != nil {
+			s.cache.InvalidateTable(name)
+		}
+	}
+}
+
 // pick returns the engine slot with the fewest in-flight plans, breaking
 // ties round-robin so equal-load engines share work instead of the first
 // one absorbing every burst.

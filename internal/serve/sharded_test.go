@@ -1,0 +1,186 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/mal"
+	"repro/internal/ops"
+	"repro/internal/tpch"
+)
+
+// unfusedPasses is the pass set the sharded path pins (fusion off — see the
+// sharded.go package comment); references must run under it too.
+func unfusedPasses() mal.Passes {
+	p := mal.DefaultPasses()
+	p.Fusion = false
+	return p
+}
+
+func shardEngines(cfg mal.Config, n int) []ops.Operators {
+	es := make([]ops.Operators, n)
+	for i := range es {
+		es[i] = cfg.Build(engineOpts())
+	}
+	return es
+}
+
+// refRun executes a query unsharded (fusion off) on the given engine.
+func refRun(t *testing.T, eng ops.Operators, q tpch.Query, d *tpch.DB) *mal.Result {
+	t.Helper()
+	s := mal.NewSession(eng)
+	s.SetPasses(unfusedPasses())
+	res, err := mal.RunQuery(s, func(s *mal.Session) *mal.Result { return q.Plan(s, d) })
+	if err != nil {
+		t.Fatalf("Q%d reference: %v", q.Num, err)
+	}
+	return res
+}
+
+// runShardedWorkload drives every TPC-H query through a sharded server three
+// times (one cold compile run, two warm runs) and checks each result against
+// an unsharded reference on a fresh engine of the same configuration, up to
+// that engine's own serial reproducibility (probed, like the -race serve
+// tests: atomic float aggregation is not bitwise stable even sequentially).
+// It returns the warm results for cross-shard-count comparison.
+func runShardedWorkload(t *testing.T, cfg mal.Config, theta float64, nshards int) map[int]*mal.Result {
+	t.Helper()
+	sdb := tpch.GenerateSharded(0.005, 42, theta, nshards)
+	queries := tpch.Queries()
+
+	refEng := cfg.Build(engineOpts())
+	refs := map[int]*mal.Result{}
+	deterministic := true
+	for _, q := range queries {
+		refs[q.Num] = refRun(t, refEng, q, sdb.Global)
+		if canonEqual(refRun(t, refEng, q, sdb.Global), refs[q.Num]) != nil {
+			deterministic = false
+		}
+	}
+	compare := comparatorFor(deterministic)
+
+	ss := NewSharded(cfg.Build(engineOpts()), shardEngines(cfg, nshards), sdb.Catalog(), Options{MaxConcurrent: 4})
+	warm := map[int]*mal.Result{}
+	for _, q := range queries {
+		q := q
+		plan := func(s *mal.Session) *mal.Result { return q.Plan(s, sdb.Global) }
+		for round := 0; round < 3; round++ {
+			res, err := ss.Execute(fmt.Sprintf("Q%d", q.Num), nil, plan)
+			if err != nil {
+				t.Fatalf("%v theta=%v shards=%d Q%d round %d: %v", cfg, theta, nshards, q.Num, round, err)
+			}
+			if err := compare(res, refs[q.Num]); err != nil {
+				t.Fatalf("%v theta=%v shards=%d Q%d round %d differs from unsharded: %v",
+					cfg, theta, nshards, q.Num, round, err)
+			}
+			warm[q.Num] = res
+		}
+	}
+	st := ss.Stats()
+	if st.ColdCompiles != int64(len(queries)) {
+		t.Fatalf("cold compiles = %d, want %d", st.ColdCompiles, len(queries))
+	}
+	if st.Fallbacks != 0 {
+		t.Fatalf("%d scatter fallbacks: shard executions are failing silently", st.Fallbacks)
+	}
+	if st.Scattered == 0 {
+		t.Fatalf("no query scattered (degenerate=%d): shard compiler decomposed nothing", st.Degenerate)
+	}
+	if st.Scattered+st.Degenerate != int64(2*len(queries)) {
+		t.Fatalf("warm runs unaccounted: scattered=%d degenerate=%d, want %d total",
+			st.Scattered, st.Degenerate, 2*len(queries))
+	}
+	if !deterministic {
+		return nil
+	}
+	return warm
+}
+
+// TestShardedByteIdentityAcrossShardCounts is the acceptance check: every
+// TPC-H query answered by the sharded server at 1, 2 and 4 shards is
+// byte-identical to the unsharded execution — and therefore across shard
+// counts — on the deterministic engine, under uniform and Zipf-skewed data.
+func TestShardedByteIdentityAcrossShardCounts(t *testing.T) {
+	thetas := []float64{0, 0.85}
+	if testing.Short() {
+		thetas = []float64{0.85}
+	}
+	for _, theta := range thetas {
+		perCount := map[int]map[int]*mal.Result{}
+		counts := []int{1, 2, 4}
+		if testing.Short() {
+			counts = []int{2}
+		}
+		for _, nshards := range counts {
+			perCount[nshards] = runShardedWorkload(t, mal.MS, theta, nshards)
+		}
+		base := perCount[counts[0]]
+		for _, nshards := range counts[1:] {
+			for num, res := range perCount[nshards] {
+				if err := canonEqual(res, base[num]); err != nil {
+					t.Fatalf("theta=%v Q%d: %d shards differs from %d shards: %v",
+						theta, num, nshards, counts[0], err)
+				}
+			}
+		}
+	}
+}
+
+// TestShardedByteIdentityOcelotEngines runs the sharded workload with
+// OpenCL-style engines per shard — the paper's CPU configuration and the §7
+// hybrid — under Zipf skew.
+func TestShardedByteIdentityOcelotEngines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Ocelot engine matrix in -short mode")
+	}
+	for _, cfg := range []mal.Config{mal.OcelotCPU, mal.Hybrid} {
+		runShardedWorkload(t, cfg, 0.85, 2)
+	}
+}
+
+// TestShardedConcurrentClients: concurrent clients against one sharded
+// server must all get the unsharded answer (MS engines: exact), exercising
+// the compile single-flight and the per-shard admission paths under -race.
+func TestShardedConcurrentClients(t *testing.T) {
+	sdb := tpch.GenerateSharded(0.005, 42, 0, 2)
+	refEng := mal.MS.Build(engineOpts())
+	nums := []int{1, 6, 12, 15}
+	refs := map[int]*mal.Result{}
+	for _, num := range nums {
+		refs[num] = refRun(t, refEng, *tpch.QueryByNum(num), sdb.Global)
+	}
+	ss := NewSharded(mal.MS.Build(engineOpts()), shardEngines(mal.MS, 2), sdb.Catalog(), Options{MaxConcurrent: 4})
+	const clients = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, clients*len(nums))
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for i := range nums {
+				q := *tpch.QueryByNum(nums[(i+worker)%len(nums)])
+				res, err := ss.Execute(fmt.Sprintf("Q%d", q.Num), nil, func(s *mal.Session) *mal.Result {
+					return q.Plan(s, sdb.Global)
+				})
+				if err != nil {
+					errs <- fmt.Errorf("Q%d: %w", q.Num, err)
+					return
+				}
+				if err := canonEqual(res, refs[q.Num]); err != nil {
+					errs <- fmt.Errorf("Q%d differs: %w", q.Num, err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// Single-flight: 4 queries were compiled once each, not once per client.
+	if st := ss.Stats(); st.ColdCompiles != int64(len(nums)) {
+		t.Fatalf("cold compiles = %d, want %d (compile single-flight broken)", st.ColdCompiles, len(nums))
+	}
+}

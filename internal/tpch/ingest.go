@@ -1,0 +1,135 @@
+// Live-ingest helpers over the sharded TPC-H instance: a deterministic way
+// to split one generated instance into a loaded prefix plus an appendable
+// tail, so ingest tests and benchmarks can replay "the rest of the data
+// arriving" against a running server and still know the exact final state —
+// after AppendTail, every shard is byte-identical to sharding the full
+// instance directly.
+package tpch
+
+import (
+	"repro/internal/bat"
+	"repro/internal/mal"
+)
+
+// Catalog derives the shard compiler's view of the instance: the partitioned
+// fact tables with their global and per-shard *bat.Table handles. The
+// catalog shares the tables by pointer, so AppendTail-ed rows are visible to
+// plans compiled after the append without rebuilding the catalog.
+func (sdb *ShardedDB) Catalog() *mal.ShardCatalog {
+	cat := &mal.ShardCatalog{NShards: len(sdb.Shards), Tables: map[string]*mal.ShardedTable{}}
+	for name, get := range factTables {
+		st := &mal.ShardedTable{Global: get(sdb.Global)}
+		for _, sh := range sdb.Shards {
+			st.Shards = append(st.Shards, get(sh))
+		}
+		cat.Tables[name] = st
+	}
+	return cat
+}
+
+var factTables = map[string]func(*DB) *bat.Table{
+	"orders":   func(db *DB) *bat.Table { return db.Orders },
+	"lineitem": func(db *DB) *bat.Table { return db.Lineitem },
+}
+
+// PrefixDB returns the instance truncated to its first nOrders orders and
+// their lineitems (generation emits lineitems grouped by order, so both cuts
+// are row-order prefixes and every l_orderpos stays valid). Dimension tables
+// are shared with src by pointer. PrefixDB(src, n) followed by appending the
+// remaining rows reproduces src exactly.
+func PrefixDB(src *DB, nOrders int) *DB {
+	if nOrders > src.Orders.Rows() {
+		nOrders = src.Orders.Rows()
+	}
+	lopos := src.Lineitem.Col("l_orderpos").OIDs()
+	nLines := 0
+	for nLines < len(lopos) && int(lopos[nLines]) < nOrders {
+		nLines++
+	}
+	db := &DB{
+		SF:       src.SF,
+		Theta:    src.Theta,
+		Region:   src.Region,
+		Nation:   src.Nation,
+		Supplier: src.Supplier,
+		Customer: src.Customer,
+		Part:     src.Part,
+		PartSupp: src.PartSupp,
+		dicts:    src.dicts,
+		codes:    src.codes,
+	}
+	db.Orders = subsetTableRows(src.Orders, rowRange(0, nOrders))
+	db.Lineitem = subsetTableRows(src.Lineitem, rowRange(0, nLines))
+	for _, t := range []*bat.Table{db.Orders, db.Lineitem} {
+		for _, c := range t.Cols {
+			c.Stats = bat.ComputeStats(c, bat.StatsBins)
+		}
+	}
+	return db
+}
+
+// AppendTail appends to sdb every order and lineitem row of src beyond
+// sdb's current row counts — src must be a superset instance sdb was carved
+// from (typically: sdb = ShardDB(PrefixDB(src, n), k)). The global tables
+// and every affected shard get copy-on-append deltas (bat.AppendDelta), with
+// the shard lineitems' l_orderpos rebased to shard-local parent rows; orders
+// are appended before lineitems so the parents always exist.
+func (sdb *ShardedDB) AppendTail(src *DB) {
+	curO, totO := sdb.Global.Orders.Rows(), src.Orders.Rows()
+	curL, totL := sdb.Global.Lineitem.Rows(), src.Lineitem.Rows()
+	if curO == totO && curL == totL {
+		return
+	}
+	sdb.Global.Orders.AppendDelta(subsetTableRows(src.Orders, rowRange(curO, totO)), nil)
+	sdb.Global.Lineitem.AppendDelta(subsetTableRows(src.Lineitem, rowRange(curL, totL)), nil)
+
+	n := len(sdb.Shards)
+	okeys := src.Orders.Col("o_orderkey").I32s()
+	lopos := src.Lineitem.Col("l_orderpos").OIDs()
+	ordRows := make([][]uint32, n)
+	for g := curO; g < totO; g++ {
+		s := ShardOfKey(okeys[g], n)
+		ordRows[s] = append(ordRows[s], uint32(g))
+	}
+	linRows := make([][]uint32, n)
+	for g := curL; g < totL; g++ {
+		s := ShardOfKey(okeys[lopos[g]], n)
+		linRows[s] = append(linRows[s], uint32(g))
+	}
+	for s, shard := range sdb.Shards {
+		if len(ordRows[s]) > 0 {
+			shard.Orders.AppendDelta(subsetTableRows(src.Orders, ordRows[s]), ordRows[s])
+		}
+		if len(linRows[s]) == 0 {
+			continue
+		}
+		ld := subsetTableRows(src.Lineitem, linRows[s])
+		vals := ld.Col("l_orderpos").OIDs()
+		for i, g := range vals {
+			local := shard.Orders.LocalRowOf(g)
+			if local < 0 {
+				panic("tpch: appended lineitem's order not on its shard")
+			}
+			vals[i] = uint32(local)
+		}
+		shard.Lineitem.AppendDelta(ld, linRows[s])
+	}
+}
+
+// subsetTableRows copies the selected rows of every column into a fresh
+// table (no shard metadata — callers use it for prefixes and append deltas).
+func subsetTableRows(src *bat.Table, rows []uint32) *bat.Table {
+	t := bat.NewTable(src.Name)
+	for _, name := range src.Order {
+		t.Add(name, subsetCol(src.Col(name), rows))
+	}
+	return t
+}
+
+func rowRange(lo, hi int) []uint32 {
+	out := make([]uint32, 0, hi-lo)
+	for r := lo; r < hi; r++ {
+		out = append(out, uint32(r))
+	}
+	return out
+}

@@ -1,0 +1,120 @@
+package tpch
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/bat"
+)
+
+func tableOf(db *DB, name string) *bat.Table {
+	switch name {
+	case "orders":
+		return db.Orders
+	case "lineitem":
+		return db.Lineitem
+	default:
+		panic("unknown shard table " + name)
+	}
+}
+
+// TestShardUnionByteIdentical asserts the tentpole generation invariant:
+// scattering every shard's rows back through its GlobalRows map reproduces
+// the unsharded instance byte for byte, for uniform and Zipf-skewed data
+// and for several shard counts — including the rebased l_orderpos join
+// index, which must map back to the global order numbering exactly.
+func TestShardUnionByteIdentical(t *testing.T) {
+	for _, theta := range []float64{0, 1.1} {
+		for _, n := range []int{1, 2, 4} {
+			sdb := GenerateSharded(0.02, 42, theta, n)
+			g := sdb.Global
+
+			covered := 0
+			for _, sh := range sdb.Shards {
+				covered += sh.Orders.Rows()
+			}
+			if covered != g.Orders.Rows() {
+				t.Fatalf("theta %g, %d shards: shards cover %d orders, want %d", theta, n, covered, g.Orders.Rows())
+			}
+
+			for _, table := range ShardTables() {
+				gt := tableOf(g, table)
+				for _, col := range gt.Order {
+					want := gt.Col(col).Bytes()
+					got := make([]byte, len(want))
+					for _, sh := range sdb.Shards {
+						st := tableOf(sh, table)
+						rows := st.GlobalRowsSnapshot()
+						src := st.Col(col)
+						if src.PosInto == "orders" {
+							// Rebased column: map the shard-local positions
+							// back to global order rows before comparing.
+							vals := src.OIDs()
+							og := sh.Orders.GlobalRowsSnapshot()
+							for i, v := range vals {
+								putU32(got, int(rows[i]), og[v])
+							}
+							continue
+						}
+						b := src.Bytes()
+						for i := range rows {
+							copy(got[int(rows[i])*4:], b[i*4:i*4+4])
+						}
+					}
+					if !bytes.Equal(got, want) {
+						t.Fatalf("theta %g, %d shards: %s.%s union differs from unsharded", theta, n, table, col)
+					}
+				}
+			}
+
+			// Dimension tables are replicated by reference, not copied.
+			for _, sh := range sdb.Shards {
+				if sh.Customer != g.Customer || sh.Part != g.Part || sh.Nation != g.Nation {
+					t.Fatalf("theta %g, %d shards: dimension tables not shared by pointer", theta, n)
+				}
+			}
+		}
+	}
+}
+
+func putU32(b []byte, idx int, v uint32) {
+	b[idx*4+0] = byte(v)
+	b[idx*4+1] = byte(v >> 8)
+	b[idx*4+2] = byte(v >> 16)
+	b[idx*4+3] = byte(v >> 24)
+}
+
+// TestShardGenerationDeterministic asserts the same (sf, seed, theta,
+// nshards) yields byte-identical shards across invocations — the property
+// tpchgen's -shards/-shard mode relies on to emit one shard at a time.
+func TestShardGenerationDeterministic(t *testing.T) {
+	a := GenerateSharded(0.01, 7, 0.8, 3)
+	b := GenerateSharded(0.01, 7, 0.8, 3)
+	for s := range a.Shards {
+		for _, table := range ShardTables() {
+			ta, tb := tableOf(a.Shards[s], table), tableOf(b.Shards[s], table)
+			if ta.Rows() != tb.Rows() {
+				t.Fatalf("shard %d %s: %d vs %d rows across invocations", s, table, ta.Rows(), tb.Rows())
+			}
+			for _, col := range ta.Order {
+				if !bytes.Equal(ta.Col(col).Bytes(), tb.Col(col).Bytes()) {
+					t.Fatalf("shard %d %s.%s differs across invocations", s, table, col)
+				}
+			}
+		}
+	}
+}
+
+// TestShardKeyBalance sanity-checks the hash assignment: no shard is
+// starved even under heavy key-popularity skew (popularity skew must not
+// translate into row-placement skew for orders, which are unique keys).
+func TestShardKeyBalance(t *testing.T) {
+	sdb := GenerateSharded(0.05, 42, 1.2, 4)
+	total := sdb.Global.Orders.Rows()
+	for s, sh := range sdb.Shards {
+		frac := float64(sh.Orders.Rows()) / float64(total)
+		if frac < 0.15 || frac > 0.35 {
+			t.Fatalf("shard %d holds %.0f%% of orders, want ~25%%", s, frac*100)
+		}
+	}
+}
